@@ -1,0 +1,21 @@
+//! Baseline prefetchers the paper compares against (Figure 7).
+//!
+//! * [`StridePrefetcher`] — a reference-prediction-table stride prefetcher
+//!   (Chen & Baer) with degree 8, trained on demand loads by PC.
+//! * [`GhbPrefetcher`] — a Markov global-history-buffer prefetcher (Nesbit &
+//!   Smith, G/AC organisation) with depth 16 and width 6, in a *regular*
+//!   SRAM-realistic configuration (2048/2048) and a *large* configuration
+//!   modelling ~1 GiB of in-memory history with free access to it.
+//!
+//! Both implement [`etpp_mem::PrefetchEngine`] and attach to the same L1
+//! port as the programmable prefetcher, so every scheme contends for the
+//! same MSHRs, TLB and DRAM bandwidth.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ghb;
+pub mod stride;
+
+pub use ghb::{GhbParams, GhbPrefetcher};
+pub use stride::{StrideParams, StridePrefetcher};

@@ -1,0 +1,143 @@
+//! Criterion microbenches for the simulator's hot components.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etpp_core::{PrefetchProgramBuilder, PrefetcherParams, ProgrammablePrefetcher};
+use etpp_isa::{run_kernel, EventCtx, KernelBuilder};
+use etpp_mem::{
+    AccessKind, Cache, CacheParams, Dram, DramParams, MemParams, MemoryImage, MemorySystem,
+    NullEngine, PrefetchEngine,
+};
+
+struct NullCtx;
+impl EventCtx for NullCtx {
+    fn vaddr(&self) -> u64 {
+        0x1000
+    }
+    fn line_word(&self, _off: u8) -> u64 {
+        7
+    }
+    fn global(&self, _idx: u8) -> u64 {
+        0x8000
+    }
+    fn ewma_lookahead(&self, _range: u16) -> u64 {
+        16
+    }
+    fn prefetch(&mut self, _vaddr: u64, _tag: Option<u16>, _at: u64) {}
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut b = KernelBuilder::new("fanout");
+    let top = b.label();
+    let kernel = b
+        .ld_global(1, 0)
+        .li(2, 0)
+        .bind(top)
+        .ld_data(3, 2)
+        .shli(3, 3, 3)
+        .add(3, 3, 1)
+        .prefetch(3)
+        .addi(2, 2, 8)
+        .li(4, 64)
+        .bltu(2, 4, top)
+        .halt()
+        .build();
+    c.bench_function("isa/8-wide-fanout-kernel", |bch| {
+        bch.iter(|| run_kernel(&kernel, &mut NullCtx, 512))
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/lookup-fill-evict", |b| {
+        let mut cache = Cache::new(CacheParams::paper_l1());
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(0x40).wrapping_mul(0x9E3779B9) & 0xFF_FFC0;
+            cache.lookup_demand(addr);
+            cache.fill(addr, false, false)
+        })
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram/random-reads", |b| {
+        let mut dram = Dram::new(DramParams::paper());
+        let mut now = 0u64;
+        let mut addr = 1u64;
+        b.iter(|| {
+            addr = addr.wrapping_mul(6364136223846793005).wrapping_add(1);
+            now += 10;
+            dram.access_read(now, addr & 0xFF_FFC0)
+        })
+    });
+}
+
+fn bench_mem_system_tick(c: &mut Criterion) {
+    let mut image = MemoryImage::new();
+    let base = image.alloc(1 << 20, 4096);
+    let mut mem = MemorySystem::new(MemParams::paper(), image);
+    let mut engine = NullEngine;
+    c.bench_function("mem/tick+access", |b| {
+        let mut now = 0u64;
+        let mut i = 0u64;
+        b.iter(|| {
+            let _ = mem.try_access(now, base + (i * 8) % (1 << 20), AccessKind::Load, 1);
+            mem.tick(now, &mut engine);
+            mem.take_completions_due(now);
+            now += 1;
+            i += 1;
+        })
+    });
+}
+
+fn bench_prefetcher_event(c: &mut Criterion) {
+    let mut prog = PrefetchProgramBuilder::new();
+    let k = prog.add_kernel(
+        KernelBuilder::new("k")
+            .ld_vaddr(0)
+            .addi(0, 0, 128)
+            .prefetch(0)
+            .halt()
+            .build(),
+    );
+    let mut pf = ProgrammablePrefetcher::new(PrefetcherParams::paper(), prog.build());
+    pf.config(
+        0,
+        &etpp_mem::ConfigOp::SetRange {
+            id: etpp_mem::RangeId(0),
+            lo: 0,
+            hi: u64::MAX,
+            on_load: Some(k.0),
+            on_prefetch: None,
+            flags: etpp_mem::FilterFlags::default(),
+        },
+    );
+    c.bench_function("prefetcher/observe+dispatch+pop", |b| {
+        let mut now = 0u64;
+        b.iter(|| {
+            pf.on_demand(
+                now,
+                &etpp_mem::DemandEvent {
+                    at: now,
+                    vaddr: 0x1000 + (now * 8) % 4096,
+                    pc: 1,
+                    is_write: false,
+                    l1_hit: true,
+                },
+            );
+            pf.tick(now);
+            let r = pf.pop_request(now);
+            now += 40;
+            r
+        })
+    });
+}
+
+criterion_group!(
+    components,
+    bench_interpreter,
+    bench_cache,
+    bench_dram,
+    bench_mem_system_tick,
+    bench_prefetcher_event
+);
+criterion_main!(components);

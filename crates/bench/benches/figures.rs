@@ -1,0 +1,104 @@
+//! Criterion benches: one per figure/table of the paper.
+//!
+//! These time the *simulator* running each experiment's kernel at Tiny
+//! scale, so regressions in simulation speed (the practical cost of every
+//! figure) are tracked. The experiment *results* themselves come from the
+//! `repro` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etpp_sim::{experiments as ex, run, PrefetchMode, SystemConfig};
+use etpp_workloads::{workload_by_name, BuiltWorkload, Scale};
+
+fn built(name: &str) -> BuiltWorkload {
+    workload_by_name(name)
+        .expect("known workload")
+        .build(Scale::Tiny)
+}
+
+/// Figure 7's hot cell: manual-mode simulation of the flagship benchmark.
+fn bench_fig7(c: &mut Criterion) {
+    let cfg = SystemConfig::paper();
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    for name in ["HJ-2", "IntSort"] {
+        let wl = built(name);
+        g.bench_function(format!("{name}/manual"), |b| {
+            b.iter(|| run(&cfg, PrefetchMode::Manual, &wl).expect("runs"))
+        });
+        g.bench_function(format!("{name}/no-pf"), |b| {
+            b.iter(|| run(&cfg, PrefetchMode::None, &wl).expect("runs"))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 8: utilisation accounting costs (manual run + stats extraction).
+fn bench_fig8(c: &mut Criterion) {
+    let cfg = SystemConfig::paper();
+    let wl = built("ConjGrad");
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("ConjGrad/fig8-row", |b| {
+        b.iter(|| ex::fig8(&cfg, std::slice::from_ref(&wl)))
+    });
+    g.finish();
+}
+
+/// Figure 9: PPU clock sweeps (the dominating sweep cost).
+fn bench_fig9(c: &mut Criterion) {
+    let wl = built("RandAcc");
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    for hz in [250_000_000u64, 2_000_000_000] {
+        let cfg = SystemConfig::with_ppus(12, hz);
+        g.bench_function(format!("RandAcc/{}MHz", hz / 1_000_000), |b| {
+            b.iter(|| run(&cfg, PrefetchMode::Manual, &wl).expect("runs"))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 10: per-PPU activity accounting.
+fn bench_fig10(c: &mut Criterion) {
+    let cfg = SystemConfig::paper();
+    let wl = built("HJ-8");
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("HJ-8/activity", |b| {
+        b.iter(|| ex::fig10(&cfg, std::slice::from_ref(&wl)))
+    });
+    g.finish();
+}
+
+/// Figure 11: blocked-mode simulation (PPU stalling path).
+fn bench_fig11(c: &mut Criterion) {
+    let cfg = SystemConfig::paper();
+    let wl = built("HJ-8");
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("HJ-8/blocked", |b| {
+        b.iter(|| run(&cfg, PrefetchMode::Blocked, &wl).expect("runs"))
+    });
+    g.finish();
+}
+
+/// Table 2: workload construction (graph generation, trace recording).
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    for name in ["G500-CSR", "HJ-8"] {
+        g.bench_function(format!("{name}/build"), |b| b.iter(|| built(name)));
+    }
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_fig10,
+    bench_fig11,
+    bench_table2
+);
+criterion_main!(figures);

@@ -1,0 +1,217 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--scale tiny|small|paper] [table1|table2|fig7|fig8|fig9a|fig9b|fig10|fig11|traffic|swpf|all]
+//! ```
+//!
+//! Output is GitHub-flavoured Markdown on stdout, suitable for pasting into
+//! EXPERIMENTS.md.
+
+use etpp_sim::{ablations, experiments as ex};
+use etpp_sim::{report, PrefetchMode, SystemConfig};
+use etpp_workloads::{all_workloads, Scale};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Small;
+    let mut what: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--scale" {
+            let v = it.next().expect("--scale needs a value");
+            scale = etpp_bench::parse_scale(v).expect("scale: tiny|small|paper");
+        } else {
+            what.push(a.clone());
+        }
+    }
+    if what.is_empty() || what.iter().any(|w| w == "all") {
+        what = [
+            "table1", "table2", "fig7", "fig8", "fig9a", "fig9b", "fig10", "fig11", "traffic",
+            "swpf", "ablate",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    }
+
+    let cfg = SystemConfig::paper();
+    println!(
+        "# ETPP reproduction — scale: {scale:?}\n\n\
+         All speedups are relative to the no-prefetching baseline at the same scale.\n"
+    );
+
+    let needs_builds = what.iter().any(|w| w != "table1");
+    let t0 = Instant::now();
+    let workloads = if needs_builds {
+        let w = ex::build_all(scale);
+        eprintln!("[build] {} workloads in {:?}", w.len(), t0.elapsed());
+        w
+    } else {
+        Vec::new()
+    };
+
+    for w in &what {
+        let t = Instant::now();
+        match w.as_str() {
+            "table1" => print_table1(&cfg),
+            "table2" => print_table2(&workloads),
+            "fig7" => {
+                let cells = ex::fig7(&cfg, &workloads);
+                println!(
+                    "{}",
+                    report::speedup_table(
+                        "Figure 7: speedup over no prefetching",
+                        &cells,
+                        &[
+                            PrefetchMode::Stride,
+                            PrefetchMode::GhbRegular,
+                            PrefetchMode::GhbLarge,
+                            PrefetchMode::Software,
+                            PrefetchMode::Pragma,
+                            PrefetchMode::Converted,
+                            PrefetchMode::Manual,
+                        ],
+                    )
+                );
+            }
+            "fig8" => println!("{}", report::fig8_table(&ex::fig8(&cfg, &workloads))),
+            "fig9a" => println!("{}", report::fig9a_table(&ex::fig9a(&workloads))),
+            "fig9b" => {
+                let g = workloads
+                    .iter()
+                    .find(|w| w.name == "G500-CSR")
+                    .expect("G500-CSR built");
+                println!("{}", report::fig9b_table(&ex::fig9b(g)));
+            }
+            "fig10" => println!("{}", report::fig10_table(&ex::fig10(&cfg, &workloads))),
+            "fig11" => {
+                let cells = ex::fig11(&cfg, &workloads);
+                println!(
+                    "{}",
+                    report::speedup_table(
+                        "Figure 11: blocked vs event-triggered",
+                        &cells,
+                        &[PrefetchMode::Blocked, PrefetchMode::Manual],
+                    )
+                );
+            }
+            "traffic" => println!("{}", report::traffic_table(&ex::extra_traffic(&cfg, &workloads))),
+            "ablate" => {
+                let hj8 = workloads.iter().find(|w| w.name == "HJ-8").expect("built");
+                let intsort = workloads.iter().find(|w| w.name == "IntSort").expect("built");
+                println!(
+                    "{}",
+                    ablations::table(
+                        "observation queue depth (HJ-8)",
+                        "entries",
+                        &ablations::observation_queue(hj8, &[4, 10, 40, 160]),
+                    )
+                );
+                println!(
+                    "{}",
+                    ablations::table(
+                        "request queue depth (IntSort)",
+                        "entries",
+                        &ablations::request_queue(intsort, &[25, 50, 200, 800]),
+                    )
+                );
+                println!(
+                    "{}",
+                    ablations::table(
+                        "EWMA look-ahead scale (IntSort)",
+                        "scale",
+                        &ablations::lookahead_scale(intsort, &[1, 2, 4, 8]),
+                    )
+                );
+                println!(
+                    "{}",
+                    ablations::table(
+                        "prefetch buffer entries (IntSort)",
+                        "entries",
+                        &ablations::prefetch_buffer(intsort, &[0, 8, 16, 32, 64]),
+                    )
+                );
+            }
+            "swpf" => println!("{}", report::swpf_table(&ex::swpf_overhead(&workloads))),
+            other => eprintln!("unknown experiment: {other}"),
+        }
+        eprintln!("[{w}] done in {:?}", t.elapsed());
+    }
+}
+
+fn print_table1(cfg: &SystemConfig) {
+    println!("## Table 1: system configuration\n");
+    println!("| Component | Parameters |");
+    println!("|---|---|");
+    println!(
+        "| Core | {}-wide OoO, {}-entry ROB, {}-entry IQ, {}/{} LQ/SQ, {} Int + {} FP + {} Mul ALUs |",
+        cfg.core.width,
+        cfg.core.rob_entries,
+        cfg.core.iq_entries,
+        cfg.core.lq_entries,
+        cfg.core.sq_entries,
+        cfg.core.int_alus,
+        cfg.core.fp_alus,
+        cfg.core.muldiv_alus
+    );
+    println!(
+        "| Branch pred. | tournament: {} local, {} global, {} chooser, {} BTB |",
+        cfg.core.bpred.local_entries,
+        cfg.core.bpred.global_entries,
+        cfg.core.bpred.chooser_entries,
+        cfg.core.bpred.btb_entries
+    );
+    println!(
+        "| L1D | {} KB, {}-way, {}-cycle, {} MSHRs |",
+        cfg.mem.l1.size / 1024,
+        cfg.mem.l1.ways,
+        cfg.mem.l1.hit_latency,
+        cfg.mem.l1.mshrs
+    );
+    println!(
+        "| L2 | {} KB, {}-way, {}-cycle, {} MSHRs |",
+        cfg.mem.l2.size / 1024,
+        cfg.mem.l2.ways,
+        cfg.mem.l2.hit_latency,
+        cfg.mem.l2.mshrs
+    );
+    println!(
+        "| TLB | {}-entry L1, {}-entry {}-way L2 ({}cy), {} walkers |",
+        cfg.mem.tlb.l1_entries,
+        cfg.mem.tlb.l2_entries,
+        cfg.mem.tlb.l2_ways,
+        cfg.mem.tlb.l2_latency,
+        cfg.mem.tlb.walkers
+    );
+    println!(
+        "| DRAM | DDR3-1600 {}-{}-{}-{}, {} banks |",
+        cfg.mem.dram.t_cl, cfg.mem.dram.t_rcd, cfg.mem.dram.t_rp, cfg.mem.dram.t_ras, cfg.mem.dram.banks
+    );
+    println!(
+        "| Prefetcher | {} PPUs @ {} MHz, {}-entry observation queue, {}-entry request queue |\n",
+        cfg.pf.num_ppus,
+        cfg.pf.ppu_hz / 1_000_000,
+        cfg.pf.observation_queue,
+        cfg.pf.request_queue
+    );
+}
+
+fn print_table2(workloads: &[etpp_workloads::BuiltWorkload]) {
+    println!("## Table 2: benchmarks\n");
+    println!("| Benchmark | Trace ops | Mapped pages | Notes |");
+    println!("|---|---|---|---|");
+    let names: Vec<&str> = workloads.iter().map(|w| w.name).collect();
+    let _ = names;
+    for w in workloads {
+        println!(
+            "| {} | {} | {} | {} |",
+            w.name,
+            w.trace.len(),
+            w.image.mapped_pages(),
+            w.notes
+        );
+    }
+    let _ = all_workloads();
+    println!();
+}

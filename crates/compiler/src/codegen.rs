@@ -1,0 +1,427 @@
+//! PPU code generation from analysed chains (§6.3).
+//!
+//! Emits one `on_load` kernel per chain (triggered by demand loads on the
+//! chain's base array) plus one tag kernel per dependent-load level, and the
+//! configuration instructions (address bounds, globals, tag bindings) that
+//! install them. Distances are either the fixed source-level `dist`
+//! (conversion) or the EWMA look-ahead (pragma generation).
+
+use crate::convert::{AddrOp, Chain};
+use crate::ir::KernelLoop;
+use crate::GeneratedSetup;
+use etpp_isa::KernelBuilder;
+use etpp_mem::{ConfigOp, FilterFlags, RangeId, TagId};
+use std::collections::HashMap;
+
+/// Where the level-0 look-ahead distance comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distance {
+    /// The distance encoded in the software prefetch (`x + dist`).
+    Fixed,
+    /// The EWMA calculators (pragma-generated code).
+    Ewma,
+}
+
+#[derive(Default)]
+struct Globals {
+    map: HashMap<(&'static str, u64), u8>,
+    configs: Vec<ConfigOp>,
+}
+
+impl Globals {
+    fn get(&mut self, key: (&'static str, u64)) -> u8 {
+        let next = self.map.len() as u8;
+        match self.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(next);
+                self.configs.push(ConfigOp::SetGlobal {
+                    idx: next,
+                    value: key.1,
+                });
+                next
+            }
+        }
+    }
+}
+
+fn emit_value_ops(mut kb: KernelBuilder, ops: &[AddrOp], g: &mut Globals) -> KernelBuilder {
+    // Value lives in r0; r5/r6 are scratch.
+    for op in ops {
+        kb = match *op {
+            AddrOp::AddConst(c) => kb.addi(0, 0, c),
+            AddrOp::AddBase(_) => unreachable!("bases resolved before emission"),
+            AddrOp::AddInvariant(n, v) => {
+                let idx = g.get((n, v));
+                kb.ld_global(5, idx).add(0, 0, 5)
+            }
+            AddrOp::MulConst(c) => kb.muli(0, 0, c),
+            AddrOp::AndConst(c) => kb.andi(0, 0, c),
+            AddrOp::AndInvariant(n, v) => {
+                let idx = g.get((n, v));
+                kb.ld_global(5, idx).and(0, 0, 5)
+            }
+            AddrOp::Shl(s) => kb.shli(0, 0, s),
+            AddrOp::Shr(s) => kb.shri(0, 0, s),
+            AddrOp::Lcg(poly) => kb
+                .shri(6, 0, 63)
+                .muli(6, 6, poly)
+                .shli(0, 0, 1)
+                .xor(0, 0, 6),
+        };
+    }
+    kb
+}
+
+/// Emits kernels + configuration for a set of chains over one loop.
+pub(crate) fn emit(l: &KernelLoop, chains: &[Chain], distance: Distance) -> GeneratedSetup {
+    let mut program = etpp_core::PrefetchProgramBuilder::new();
+    let mut globals = Globals::default();
+    let mut configs: Vec<ConfigOp> = Vec::new();
+    let mut next_range = 0u16;
+    let mut next_tag = 0u16;
+
+    for (ci, chain) in chains.iter().enumerate() {
+        let base_arr = &l.arrays[chain.base.0 as usize];
+        let sh = base_arr.elem_size.trailing_zeros() as u8;
+        let base_range = next_range;
+        next_range += 1;
+
+        // Tags for each dependent level.
+        let level_tags: Vec<u16> = (0..chain.levels.len())
+            .map(|_| {
+                let t = next_tag;
+                next_tag += 1;
+                t
+            })
+            .collect();
+
+        // Level 0: on_load kernel — recover the index from the observed
+        // address, apply index ops + distance, bounds-check, prefetch.
+        let g_base = globals.get(("base", base_arr.base));
+        let g_end = globals.get(("end", base_arr.end));
+        let mut kb = KernelBuilder::new(format!("gen_{}_c{}_l0", l.name, ci));
+        let halt = kb.label();
+        kb = kb
+            .ld_vaddr(0)
+            .ld_global(1, g_base)
+            .sub(0, 0, 1)
+            .shri(0, 0, sh);
+        kb = match distance {
+            Distance::Fixed => kb,
+            Distance::Ewma => {
+                let r = kb.ld_ewma(2, base_range);
+                r.add(0, 0, 2)
+            }
+        };
+        kb = emit_value_ops(kb, &chain.index_ops, &mut globals);
+        kb = kb
+            .shli(0, 0, sh)
+            .add(0, 0, 1)
+            .ld_global(3, g_end)
+            .bgeu(0, 3, halt);
+        kb = if let Some(&t) = level_tags.first() {
+            kb.prefetch_tag(0, t)
+        } else {
+            kb.prefetch(0)
+        };
+        let l0 = program.add_kernel(kb.bind(halt).halt().build());
+
+        configs.push(ConfigOp::SetRange {
+            id: RangeId(base_range),
+            lo: base_arr.base,
+            hi: base_arr.end,
+            on_load: Some(l0.0),
+            on_prefetch: None,
+            flags: FilterFlags {
+                ewma_iteration: true,
+                ewma_chain_start: true,
+                ewma_chain_end: false,
+            },
+        });
+
+        // Dependent levels: tag kernels.
+        for (li, level) in chain.levels.iter().enumerate() {
+            let tgt = &l.arrays[level.target.0 as usize];
+            let mut kb = KernelBuilder::new(format!("gen_{}_c{}_l{}", l.name, ci, li + 1));
+            let halt = kb.label();
+            kb = kb.ld_vaddr(1).ld_data(0, 1);
+            if level.null_guard {
+                kb = kb.li(4, 0).beq(0, 4, halt);
+            }
+            // Resolve AddBase via globals.
+            let mut ops = Vec::new();
+            for op in &level.ops {
+                match op {
+                    AddrOp::AddBase(a) => {
+                        let arr = &l.arrays[a.0 as usize];
+                        ops.push(AddrOp::AddInvariant("base", arr.base));
+                    }
+                    other => ops.push(*other),
+                }
+            }
+            kb = emit_value_ops(kb, &ops, &mut globals);
+            if tgt.bounds_known {
+                let g_lo = globals.get(("base", tgt.base));
+                let g_hi = globals.get(("end", tgt.end));
+                kb = kb
+                    .ld_global(5, g_lo)
+                    .bltu(0, 5, halt)
+                    .ld_global(5, g_hi)
+                    .bgeu(0, 5, halt);
+            }
+            kb = if let Some(&t) = level_tags.get(li + 1) {
+                kb.prefetch_tag(0, t)
+            } else {
+                kb.prefetch(0)
+            };
+            let kid = program.add_kernel(kb.bind(halt).halt().build());
+            configs.push(ConfigOp::SetTagKernel {
+                tag: TagId(level_tags[li]),
+                kernel: kid.0,
+                chain_end: li + 1 == chain.levels.len(),
+            });
+        }
+
+        // Final target range: chain-end timing (and nothing else).
+        if let Some(last) = chain.levels.last() {
+            let tgt = &l.arrays[last.target.0 as usize];
+            configs.push(ConfigOp::SetRange {
+                id: RangeId(next_range),
+                lo: tgt.base,
+                hi: tgt.end,
+                on_load: None,
+                on_prefetch: None,
+                flags: FilterFlags {
+                    ewma_iteration: false,
+                    ewma_chain_start: false,
+                    ewma_chain_end: true,
+                },
+            });
+            next_range += 1;
+        }
+    }
+
+    let mut all = globals.configs;
+    all.extend(configs);
+    GeneratedSetup {
+        program: program.build(),
+        configs: all,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::{build_chain, root_target};
+    use crate::ir::{ArrayDecl, Expr, SwPrefetch};
+    use etpp_isa::{run_kernel, EventCtx};
+
+    /// Executes generated kernels against a mock prefetcher state, so tests
+    /// can verify the *addresses* the generated code computes.
+    struct MockCtx {
+        vaddr: u64,
+        word: u64,
+        globals: std::collections::HashMap<u8, u64>,
+        ewma: u64,
+        emitted: Vec<(u64, Option<u16>)>,
+    }
+
+    impl EventCtx for MockCtx {
+        fn vaddr(&self) -> u64 {
+            self.vaddr
+        }
+        fn line_word(&self, _off: u8) -> u64 {
+            self.word
+        }
+        fn global(&self, idx: u8) -> u64 {
+            *self.globals.get(&idx).unwrap_or(&0)
+        }
+        fn ewma_lookahead(&self, _r: u16) -> u64 {
+            self.ewma
+        }
+        fn prefetch(&mut self, vaddr: u64, tag: Option<u16>, _at: u64) {
+            self.emitted.push((vaddr, tag));
+        }
+    }
+
+    fn globals_of(setup: &GeneratedSetup) -> std::collections::HashMap<u8, u64> {
+        setup
+            .configs
+            .iter()
+            .filter_map(|c| match c {
+                ConfigOp::SetGlobal { idx, value } => Some((*idx, *value)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn converted_kernels_compute_correct_addresses() {
+        // B[A[i+8]] with A at 0x1000 (8B elements), B at 0x10000.
+        let mut l = KernelLoop::new("roundtrip");
+        let a = l.array(ArrayDecl {
+            name: "A".into(),
+            base: 0x1000,
+            end: 0x2000,
+            elem_size: 8,
+            bounds_known: true,
+        });
+        let b = l.array(ArrayDecl {
+            name: "B".into(),
+            base: 0x10000,
+            end: 0x18000,
+            elem_size: 8,
+            bounds_known: true,
+        });
+        let iv = l.value(Expr::IndVar);
+        let d = l.value(Expr::Const(8));
+        let ivd = l.value(Expr::Add(iv, d));
+        let la = l.load_index(a, ivd);
+        let addr = l.index_addr(b, la);
+        l.prefetches.push(SwPrefetch { addr, dist: 8 });
+        let t = root_target(&l, addr).unwrap();
+        let chain = build_chain(&l, addr, t).unwrap();
+        let setup = emit(&l, &[chain], Distance::Fixed);
+        let globals = globals_of(&setup);
+
+        // Level 0: observe a demand load of A[100] -> prefetch A[108], tagged.
+        let mut ctx = MockCtx {
+            vaddr: 0x1000 + 100 * 8,
+            word: 0,
+            globals: globals.clone(),
+            ewma: 0,
+            emitted: vec![],
+        };
+        let out = run_kernel(&setup.program.kernels[0], &mut ctx, 64);
+        assert!(out.completed);
+        assert_eq!(ctx.emitted, vec![(0x1000 + 108 * 8, Some(0))]);
+
+        // Level 1: the A-line returns with value 42 -> prefetch B[42], untagged.
+        let mut ctx = MockCtx {
+            vaddr: 0x1000 + 108 * 8,
+            word: 42,
+            globals,
+            ewma: 0,
+            emitted: vec![],
+        };
+        let out = run_kernel(&setup.program.kernels[1], &mut ctx, 64);
+        assert!(out.completed);
+        assert_eq!(ctx.emitted, vec![(0x10000 + 42 * 8, None)]);
+    }
+
+    #[test]
+    fn level0_bounds_check_halts_out_of_range() {
+        let mut l = KernelLoop::new("bounds");
+        let a = l.array(ArrayDecl {
+            name: "A".into(),
+            base: 0x1000,
+            end: 0x1400, // 128 elements
+            elem_size: 8,
+            bounds_known: true,
+        });
+        let b = l.array(ArrayDecl {
+            name: "B".into(),
+            base: 0x10000,
+            end: 0x18000,
+            elem_size: 8,
+            bounds_known: true,
+        });
+        let iv = l.value(Expr::IndVar);
+        let d = l.value(Expr::Const(16));
+        let ivd = l.value(Expr::Add(iv, d));
+        let la = l.load_index(a, ivd);
+        let addr = l.index_addr(b, la);
+        l.prefetches.push(SwPrefetch { addr, dist: 16 });
+        let t = root_target(&l, addr).unwrap();
+        let chain = build_chain(&l, addr, t).unwrap();
+        let setup = emit(&l, &[chain], Distance::Fixed);
+        // Observing A[120]: 120+16 = 136 > 128 -> no prefetch.
+        let mut ctx = MockCtx {
+            vaddr: 0x1000 + 120 * 8,
+            word: 0,
+            globals: globals_of(&setup),
+            ewma: 0,
+            emitted: vec![],
+        };
+        run_kernel(&setup.program.kernels[0], &mut ctx, 64);
+        assert!(ctx.emitted.is_empty(), "out-of-bounds prefetch suppressed");
+    }
+
+    #[test]
+    fn ewma_distance_kernels_query_the_calculators() {
+        let mut l = KernelLoop::new("ew");
+        let a = l.array(ArrayDecl {
+            name: "A".into(),
+            base: 0x1000,
+            end: 0x4000,
+            elem_size: 8,
+            bounds_known: true,
+        });
+        let b = l.array(ArrayDecl {
+            name: "B".into(),
+            base: 0x10000,
+            end: 0x18000,
+            elem_size: 8,
+            bounds_known: true,
+        });
+        let iv = l.value(Expr::IndVar);
+        let la = l.load_index(a, iv);
+        let addr = l.index_addr(b, la);
+        let t = root_target(&l, addr).unwrap();
+        let chain = build_chain(&l, addr, t).unwrap();
+        let setup = emit(&l, &[chain], Distance::Ewma);
+        // Observing A[10] with lookahead 24 -> prefetch A[34].
+        let mut ctx = MockCtx {
+            vaddr: 0x1000 + 10 * 8,
+            word: 0,
+            globals: globals_of(&setup),
+            ewma: 24,
+            emitted: vec![],
+        };
+        run_kernel(&setup.program.kernels[0], &mut ctx, 64);
+        assert_eq!(ctx.emitted, vec![(0x1000 + 34 * 8, Some(0))]);
+    }
+
+    #[test]
+    fn generated_program_is_small_and_configured() {
+        let mut l = KernelLoop::new("t");
+        let a = l.array(ArrayDecl {
+            name: "A".into(),
+            base: 0x1000,
+            end: 0x2000,
+            elem_size: 8,
+            bounds_known: true,
+        });
+        let b = l.array(ArrayDecl {
+            name: "B".into(),
+            base: 0x10000,
+            end: 0x18000,
+            elem_size: 8,
+            bounds_known: true,
+        });
+        let iv = l.value(Expr::IndVar);
+        let d = l.value(Expr::Const(8));
+        let ivd = l.value(Expr::Add(iv, d));
+        let la = l.load_index(a, ivd);
+        let addr = l.index_addr(b, la);
+        l.prefetches.push(SwPrefetch { addr, dist: 8 });
+        let t = root_target(&l, addr).unwrap();
+        let chain = build_chain(&l, addr, t).unwrap();
+        let setup = emit(&l, &[chain], Distance::Fixed);
+        assert_eq!(setup.program.kernels.len(), 2, "stride + indirect kernels");
+        assert!(setup.program.total_insts() < 48);
+        let ranges = setup
+            .configs
+            .iter()
+            .filter(|c| matches!(c, ConfigOp::SetRange { .. }))
+            .count();
+        assert_eq!(ranges, 2, "base + chain-end ranges");
+        let tags = setup
+            .configs
+            .iter()
+            .filter(|c| matches!(c, ConfigOp::SetTagKernel { .. }))
+            .count();
+        assert_eq!(tags, 1);
+    }
+}

@@ -1,0 +1,448 @@
+//! Algorithm 1: software-prefetch conversion, plus the shared chain
+//! analysis used by the pragma pass.
+//!
+//! The analysis walks backwards from an address expression through the SSA
+//! graph (`DFS(p)` in the paper), folding loop-invariant operands into
+//! address operations, and splitting the walk at every non-loop-invariant
+//! load (`split_on_loads`). The result is a [`Chain`]: the induction-strided
+//! *base* array whose demand loads trigger the first event, and one level
+//! per dependent load, ending at the prefetch target.
+//!
+//! Failure cases follow the paper exactly: impure calls, non-induction
+//! phis, events that would need two loaded values at once, and arrays whose
+//! bounds cannot be inferred.
+
+use crate::ir::{ArrayId, Expr, KernelLoop, ValueId};
+
+/// Why a prefetch could not be converted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConvError {
+    /// A call with side effects appeared in the address computation.
+    ImpureCall,
+    /// A control-flow-dependent value (non-induction phi) was reached.
+    NonInductionPhi,
+    /// An event would need more than one non-invariant loaded value.
+    MultipleLoads,
+    /// The expression did not bottom out in the induction variable.
+    NoInductionVariable,
+    /// Array bounds could not be inferred (§6.2).
+    UnknownBounds(ArrayId),
+    /// The address pattern was not `base + index*size` at the stride level.
+    UnsupportedPattern,
+    /// No software prefetches / candidate loads in the loop.
+    NothingToConvert,
+}
+
+/// One address-computation step applied to the incoming value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddrOp {
+    /// Add a constant.
+    AddConst(i64),
+    /// Add an array base (global register at runtime).
+    AddBase(ArrayId),
+    /// Add a loop-invariant scalar.
+    AddInvariant(&'static str, u64),
+    /// Multiply by a constant.
+    MulConst(u64),
+    /// AND with a constant.
+    AndConst(u64),
+    /// AND with a loop-invariant scalar.
+    AndInvariant(&'static str, u64),
+    /// Shift left.
+    Shl(u8),
+    /// Shift right.
+    Shr(u8),
+    /// The HPCC LCG step `v' = (v<<1) ^ ((v>>63)*poly)` — recognised as a
+    /// pure pattern so wrap-around prefetches can regenerate next-batch
+    /// values (§7.1's RandAcc discussion).
+    Lcg(u64),
+}
+
+/// One event level: operations turning the observed value into the next
+/// address, targeting `target`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Level {
+    /// Value-domain operations.
+    pub ops: Vec<AddrOp>,
+    /// Array the produced address points into.
+    pub target: ArrayId,
+    /// Guard against null pointers before prefetching (pointer chains).
+    pub null_guard: bool,
+}
+
+/// A full prefetch chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chain {
+    /// Array whose demand loads trigger level 0 (indexed by induction).
+    pub base: ArrayId,
+    /// Index-domain ops applied at level 0 (look-ahead offset, wrap masks).
+    pub index_ops: Vec<AddrOp>,
+    /// Dependent-load levels (possibly empty: a pure stride prefetch).
+    pub levels: Vec<Level>,
+}
+
+/// What a linearised expression bottoms out in.
+enum Input {
+    IndVar,
+    Load(ValueId),
+}
+
+/// Reduces a value to a static (loop-invariant) operand if possible.
+fn reduce_static(l: &KernelLoop, v: ValueId) -> Option<AddrOp> {
+    match l.expr(v) {
+        Expr::Const(c) => Some(AddrOp::AddConst(*c as i64)),
+        Expr::Base(a) => Some(AddrOp::AddBase(*a)),
+        Expr::Invariant(name, val) => Some(AddrOp::AddInvariant(name, *val)),
+        _ => None,
+    }
+}
+
+/// Recognises the LCG step pattern `xor(shl(x,1), mul(shr(x,63), poly))`.
+fn match_lcg(l: &KernelLoop, a: ValueId, b: ValueId) -> Option<(ValueId, u64)> {
+    let (shl, mul) = match (l.expr(a), l.expr(b)) {
+        (Expr::Shl(x, 1), Expr::Mul(m, n)) => (x, (m, n)),
+        (Expr::Mul(m, n), Expr::Shl(x, 1)) => (x, (m, n)),
+        _ => return None,
+    };
+    let (m, n) = mul;
+    let (shr_v, poly) = match (l.expr(*m), l.expr(*n)) {
+        (Expr::Shr(y, 63), Expr::Const(p)) => (y, *p),
+        (Expr::Const(p), Expr::Shr(y, 63)) => (y, *p),
+        _ => return None,
+    };
+    (shr_v == shl).then_some((*shl, poly))
+}
+
+/// Walks backwards from `v`, collecting ops until a load or the induction
+/// variable; ops come out innermost-first (application order).
+fn linearize(l: &KernelLoop, v: ValueId) -> Result<(Input, Vec<AddrOp>), ConvError> {
+    let mut ops_rev: Vec<AddrOp> = Vec::new();
+    let mut cur = v;
+    loop {
+        match l.expr(cur) {
+            Expr::IndVar => {
+                ops_rev.reverse();
+                return Ok((Input::IndVar, ops_rev));
+            }
+            Expr::Load { .. } => {
+                ops_rev.reverse();
+                return Ok((Input::Load(cur), ops_rev));
+            }
+            Expr::NonIndPhi => return Err(ConvError::NonInductionPhi),
+            Expr::Call { arg, pure } => {
+                if !pure {
+                    return Err(ConvError::ImpureCall);
+                }
+                cur = *arg;
+            }
+            Expr::Shl(x, s) => {
+                ops_rev.push(AddrOp::Shl(*s));
+                cur = *x;
+            }
+            Expr::Shr(x, s) => {
+                ops_rev.push(AddrOp::Shr(*s));
+                cur = *x;
+            }
+            Expr::Add(a, b) => match (reduce_static(l, *a), reduce_static(l, *b)) {
+                (_, Some(op)) => {
+                    ops_rev.push(op);
+                    cur = *a;
+                }
+                (Some(op), _) => {
+                    ops_rev.push(op);
+                    cur = *b;
+                }
+                (None, None) => return Err(ConvError::MultipleLoads),
+            },
+            Expr::Mul(a, b) => match (reduce_static(l, *a), reduce_static(l, *b)) {
+                (_, Some(AddrOp::AddConst(c))) => {
+                    ops_rev.push(AddrOp::MulConst(c as u64));
+                    cur = *a;
+                }
+                (Some(AddrOp::AddConst(c)), _) => {
+                    ops_rev.push(AddrOp::MulConst(c as u64));
+                    cur = *b;
+                }
+                _ => return Err(ConvError::MultipleLoads),
+            },
+            Expr::And(a, b) => match (reduce_static(l, *a), reduce_static(l, *b)) {
+                (_, Some(AddrOp::AddConst(c))) => {
+                    ops_rev.push(AddrOp::AndConst(c as u64));
+                    cur = *a;
+                }
+                (Some(AddrOp::AddConst(c)), _) => {
+                    ops_rev.push(AddrOp::AndConst(c as u64));
+                    cur = *b;
+                }
+                (_, Some(AddrOp::AddInvariant(n, val))) => {
+                    ops_rev.push(AddrOp::AndInvariant(n, val));
+                    cur = *a;
+                }
+                (Some(AddrOp::AddInvariant(n, val)), _) => {
+                    ops_rev.push(AddrOp::AndInvariant(n, val));
+                    cur = *b;
+                }
+                _ => return Err(ConvError::MultipleLoads),
+            },
+            Expr::Xor(a, b) => match match_lcg(l, *a, *b) {
+                Some((x, poly)) => {
+                    ops_rev.push(AddrOp::Lcg(poly));
+                    cur = x;
+                }
+                None => return Err(ConvError::MultipleLoads),
+            },
+            Expr::Const(_) | Expr::Base(_) | Expr::Invariant(..) => {
+                return Err(ConvError::NoInductionVariable)
+            }
+        }
+    }
+}
+
+/// Builds the full chain for an address expression targeting `target`.
+pub(crate) fn build_chain(
+    l: &KernelLoop,
+    addr: ValueId,
+    target: ArrayId,
+) -> Result<Chain, ConvError> {
+    let (input, ops) = linearize(l, addr)?;
+    match input {
+        Input::IndVar => {
+            // Stride level: the ops must end with `shl(log2 elem); add base`
+            // (the canonical `base + i*size` address); everything before is
+            // index-domain (distance, wrap masks).
+            let arr = &l.arrays[target.0 as usize];
+            if !arr.bounds_known {
+                return Err(ConvError::UnknownBounds(target));
+            }
+            let sh = arr.elem_size.trailing_zeros() as u8;
+            let n = ops.len();
+            if n < 2 {
+                return Err(ConvError::UnsupportedPattern);
+            }
+            match (&ops[n - 2], &ops[n - 1]) {
+                (AddrOp::Shl(s), AddrOp::AddBase(a)) if *s == sh && *a == target => {}
+                _ => return Err(ConvError::UnsupportedPattern),
+            }
+            Ok(Chain {
+                base: target,
+                index_ops: ops[..n - 2].to_vec(),
+                levels: Vec::new(),
+            })
+        }
+        Input::Load(load_vid) => {
+            let Expr::Load {
+                addr: inner_addr,
+                array: inner_array,
+                ..
+            } = *l.expr(load_vid)
+            else {
+                unreachable!("linearize only returns load inputs for loads");
+            };
+            let mut chain = build_chain(l, inner_addr, inner_array)?;
+            let arr = &l.arrays[target.0 as usize];
+            if !arr.bounds_known {
+                return Err(ConvError::UnknownBounds(target));
+            }
+            // A bare pointer dereference (no address arithmetic) guards
+            // against null.
+            let null_guard = ops.is_empty() || matches!(ops.as_slice(), [AddrOp::AddConst(_)]);
+            chain.levels.push(Level {
+                ops,
+                target,
+                null_guard,
+            });
+            Ok(chain)
+        }
+    }
+}
+
+/// Algorithm 1: converts every convertible software prefetch in `l` into
+/// event chains. Distances come from the source (`x + dist`).
+///
+/// # Errors
+/// [`ConvError::NothingToConvert`] if no prefetch converts; individual
+/// failures are skipped as in the paper.
+pub fn convert_software_prefetches(
+    l: &KernelLoop,
+) -> Result<crate::GeneratedSetup, ConvError> {
+    if l.prefetches.is_empty() {
+        return Err(ConvError::NothingToConvert);
+    }
+    let mut chains = Vec::new();
+    let mut last_err = ConvError::NothingToConvert;
+    for pf in &l.prefetches {
+        // The prefetch root is an address; its target array is found by
+        // resolving the expression's outermost load/array.
+        match root_target(l, pf.addr).and_then(|t| build_chain(l, pf.addr, t)) {
+            Ok(c) => chains.push(c),
+            Err(e) => last_err = e,
+        }
+    }
+    if chains.is_empty() {
+        return Err(last_err);
+    }
+    drop_prefix_chains(&mut chains);
+    Ok(crate::codegen::emit(l, &chains, crate::codegen::Distance::Fixed))
+}
+
+/// Removes chains that are proper prefixes of longer chains: the longer
+/// chain's intermediate tag events already fetch every prefix level, so the
+/// shorter chain would only duplicate work. This mirrors the paper's event
+/// splitting, where one prefetch's analysis restarting "from the load"
+/// subsumes shallower prefetches on the same path.
+pub(crate) fn drop_prefix_chains(chains: &mut Vec<Chain>) {
+    chains.dedup();
+    let snapshot = chains.clone();
+    chains.retain(|c| {
+        !snapshot.iter().any(|other| {
+            other.base == c.base
+                && other.index_ops == c.index_ops
+                && other.levels.len() > c.levels.len()
+                && other.levels[..c.levels.len()] == c.levels[..]
+        })
+    });
+}
+
+/// Determines which array an address expression points into.
+pub(crate) fn root_target(l: &KernelLoop, addr: ValueId) -> Result<ArrayId, ConvError> {
+    // Find the nearest AddBase on the path, or the array of a bare load.
+    let mut cur = addr;
+    loop {
+        match l.expr(cur) {
+            Expr::Add(a, b) => {
+                if let Expr::Base(arr) = l.expr(*b) {
+                    return Ok(*arr);
+                }
+                if let Expr::Base(arr) = l.expr(*a) {
+                    return Ok(*arr);
+                }
+                // Follow the non-static side.
+                cur = if reduce_static(l, *b).is_some() { *a } else { *b };
+            }
+            Expr::Load {
+                array, points_into, ..
+            } => return Ok(points_into.unwrap_or(*array)),
+            Expr::Shl(x, _) | Expr::Shr(x, _) => cur = *x,
+            Expr::And(a, _) | Expr::Mul(a, _) | Expr::Xor(a, _) => cur = *a,
+            Expr::Call { arg, .. } => cur = *arg,
+            Expr::NonIndPhi => return Err(ConvError::NonInductionPhi),
+            _ => return Err(ConvError::UnsupportedPattern),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ArrayDecl, SwPrefetch};
+
+    fn arr(name: &str, base: u64, len: u64, elem: u8, known: bool) -> ArrayDecl {
+        ArrayDecl {
+            name: name.into(),
+            base,
+            end: base + len,
+            elem_size: elem,
+            bounds_known: known,
+        }
+    }
+
+    /// Figure 5(a): `swpf(&C[B[A[x+n]]])`.
+    fn fig5_loop() -> KernelLoop {
+        let mut l = KernelLoop::new("fig5");
+        let a = l.array(arr("A", 0x1000, 0x1000, 8, true));
+        let b = l.array(arr("B", 0x10000, 0x8000, 8, true));
+        let c = l.array(arr("C", 0x40000, 0x8000, 8, true));
+        let iv = l.value(Expr::IndVar);
+        let dist = l.value(Expr::Const(16));
+        let ivd = l.value(Expr::Add(iv, dist));
+        let la = l.load_index(a, ivd);
+        let lb = l.load_index(b, la);
+        let addr_c = l.index_addr(c, lb);
+        l.prefetches.push(SwPrefetch { addr: addr_c, dist: 16 });
+        // Body: acc += C[B[A[x]]]
+        let la0 = l.load_index(a, iv);
+        let lb0 = l.load_index(b, la0);
+        let lc0 = l.load_index(c, lb0);
+        l.body_loads.extend([la0, lb0, lc0]);
+        l.pragma = true;
+        l
+    }
+
+    #[test]
+    fn fig5_converts_to_three_level_chain() {
+        let l = fig5_loop();
+        let target = root_target(&l, l.prefetches[0].addr).unwrap();
+        let chain = build_chain(&l, l.prefetches[0].addr, target).unwrap();
+        assert_eq!(chain.base, ArrayId(0), "observed array is A");
+        assert_eq!(chain.levels.len(), 2, "B and C levels");
+        assert_eq!(chain.index_ops, vec![AddrOp::AddConst(16)]);
+        assert_eq!(chain.levels[0].target, ArrayId(1));
+        assert_eq!(chain.levels[1].target, ArrayId(2));
+    }
+
+    #[test]
+    fn impure_call_fails() {
+        let mut l = KernelLoop::new("bad");
+        let a = l.array(arr("A", 0x1000, 0x1000, 8, true));
+        let iv = l.value(Expr::IndVar);
+        let call = l.value(Expr::Call { arg: iv, pure: false });
+        let addr = l.index_addr(a, call);
+        l.prefetches.push(SwPrefetch { addr, dist: 1 });
+        assert_eq!(
+            convert_software_prefetches(&l).unwrap_err(),
+            ConvError::ImpureCall
+        );
+    }
+
+    #[test]
+    fn non_induction_phi_fails() {
+        let mut l = KernelLoop::new("listy");
+        let a = l.array(arr("N", 0x1000, 0x1000, 16, true));
+        let phi = l.value(Expr::NonIndPhi);
+        let addr = l.index_addr(a, phi);
+        l.prefetches.push(SwPrefetch { addr, dist: 1 });
+        assert_eq!(
+            convert_software_prefetches(&l).unwrap_err(),
+            ConvError::NonInductionPhi
+        );
+    }
+
+    #[test]
+    fn unknown_bounds_fail() {
+        let mut l = KernelLoop::new("rawptr");
+        let a = l.array(arr("A", 0x1000, 0x1000, 8, false));
+        let iv = l.value(Expr::IndVar);
+        let addr = l.index_addr(a, iv);
+        l.prefetches.push(SwPrefetch { addr, dist: 4 });
+        assert!(matches!(
+            convert_software_prefetches(&l).unwrap_err(),
+            ConvError::UnknownBounds(_)
+        ));
+    }
+
+    #[test]
+    fn lcg_pattern_is_recognised() {
+        let mut l = KernelLoop::new("gups");
+        let ran = l.array(arr("ran", 0x1000, 1024, 8, true));
+        let tab = l.array(arr("tab", 0x10000, 0x8000, 8, true));
+        let iv = l.value(Expr::IndVar);
+        let d = l.value(Expr::Const(24));
+        let ivd = l.value(Expr::Add(iv, d));
+        let m = l.value(Expr::Const(127));
+        let wrapped = l.value(Expr::And(ivd, m));
+        let v = l.load_index(ran, wrapped);
+        // lcg(v)
+        let s1 = l.value(Expr::Shl(v, 1));
+        let s63 = l.value(Expr::Shr(v, 63));
+        let poly = l.value(Expr::Const(7));
+        let mul = l.value(Expr::Mul(s63, poly));
+        let lcg = l.value(Expr::Xor(s1, mul));
+        let mask = l.value(Expr::Invariant("mask", 0xfff));
+        let idx = l.value(Expr::And(lcg, mask));
+        let addr = l.index_addr(tab, idx);
+        let chain = build_chain(&l, addr, tab).unwrap();
+        assert_eq!(chain.base, ran);
+        assert_eq!(chain.index_ops, vec![AddrOp::AddConst(24), AddrOp::AndConst(127)]);
+        assert!(chain.levels[0].ops.contains(&AddrOp::Lcg(7)));
+    }
+}

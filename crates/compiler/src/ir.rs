@@ -1,0 +1,209 @@
+//! The loop IR: an SSA expression graph over one kernel loop.
+//!
+//! A [`KernelLoop`] holds the data-dependence graph of one loop body in SSA
+//! form (values reference earlier values), the arrays it walks, the software
+//! prefetches the programmer inserted (roots for Algorithm 1), and the loads
+//! of the loop body (roots for the pragma pass).
+
+/// Index of an array declaration within a loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayId(pub u16);
+
+/// Index of an SSA value within a loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ValueId(pub u32);
+
+/// A (possibly bounds-known) array the loop accesses.
+#[derive(Debug, Clone)]
+pub struct ArrayDecl {
+    /// Name (diagnostics).
+    pub name: String,
+    /// Base virtual address.
+    pub base: u64,
+    /// One-past-the-end virtual address.
+    pub end: u64,
+    /// Element size in bytes.
+    pub elem_size: u8,
+    /// Whether bounds are statically known (§6.2: typed arrays yes; raw
+    /// C pointers only if pattern matching/loop-termination analysis
+    /// succeeded).
+    pub bounds_known: bool,
+}
+
+/// An SSA expression node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// The loop induction variable (in elements).
+    IndVar,
+    /// A compile-time constant.
+    Const(u64),
+    /// The base address of an array (loop invariant).
+    Base(ArrayId),
+    /// A loop-invariant scalar (hash masks, sizes) — becomes a global
+    /// register.
+    Invariant(&'static str, u64),
+    /// A load from memory; `array` is the object the address falls in.
+    Load {
+        /// Address operand.
+        addr: ValueId,
+        /// Array the address falls in.
+        array: ArrayId,
+        /// For pointer-typed loads: the pool the loaded value points into
+        /// (e.g. a bucket head pointing at the node pool).
+        points_into: Option<ArrayId>,
+    },
+    /// Addition.
+    Add(ValueId, ValueId),
+    /// Multiplication.
+    Mul(ValueId, ValueId),
+    /// Bitwise AND.
+    And(ValueId, ValueId),
+    /// Bitwise XOR.
+    Xor(ValueId, ValueId),
+    /// Left shift by a constant.
+    Shl(ValueId, u8),
+    /// Logical right shift by a constant.
+    Shr(ValueId, u8),
+    /// A function call; conversion only proceeds if `pure`.
+    Call {
+        /// Argument.
+        arg: ValueId,
+        /// Side-effect free?
+        pure: bool,
+    },
+    /// A phi that is not the induction variable (control-flow dependent
+    /// value, e.g. a list-walk pointer): conversion fails here (§6.1).
+    NonIndPhi,
+}
+
+/// A software prefetch inserted by the programmer.
+#[derive(Debug, Clone, Copy)]
+pub struct SwPrefetch {
+    /// The address expression root.
+    pub addr: ValueId,
+    /// Look-ahead distance in induction elements encoded in the source
+    /// (`x + dist`).
+    pub dist: u64,
+}
+
+/// One kernel loop in SSA form.
+#[derive(Debug, Clone, Default)]
+pub struct KernelLoop {
+    /// Name (diagnostics).
+    pub name: String,
+    /// Arrays referenced.
+    pub arrays: Vec<ArrayDecl>,
+    /// SSA values (topologically ordered: operands precede users).
+    pub values: Vec<Expr>,
+    /// Software prefetches (roots for the conversion pass).
+    pub prefetches: Vec<SwPrefetch>,
+    /// Loop-body loads (roots for the pragma pass).
+    pub body_loads: Vec<ValueId>,
+    /// Whether the programmer marked the loop `#pragma prefetch`.
+    pub pragma: bool,
+}
+
+impl KernelLoop {
+    /// Creates an empty loop.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelLoop {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Declares an array.
+    pub fn array(&mut self, decl: ArrayDecl) -> ArrayId {
+        let id = ArrayId(self.arrays.len() as u16);
+        self.arrays.push(decl);
+        id
+    }
+
+    /// Adds an SSA value.
+    pub fn value(&mut self, e: Expr) -> ValueId {
+        let id = ValueId(self.values.len() as u32);
+        self.values.push(e);
+        id
+    }
+
+    /// Fetches a value's expression.
+    pub fn expr(&self, v: ValueId) -> &Expr {
+        &self.values[v.0 as usize]
+    }
+
+    /// Convenience: `base(array) + index << log2(elem)` address expression.
+    pub fn index_addr(&mut self, array: ArrayId, index: ValueId) -> ValueId {
+        let sh = self.arrays[array.0 as usize].elem_size.trailing_zeros() as u8;
+        let scaled = self.value(Expr::Shl(index, sh));
+        let base = self.value(Expr::Base(array));
+        self.value(Expr::Add(scaled, base))
+    }
+
+    /// Convenience: load `array[index]`.
+    pub fn load_index(&mut self, array: ArrayId, index: ValueId) -> ValueId {
+        let addr = self.index_addr(array, index);
+        self.value(Expr::Load {
+            addr,
+            array,
+            points_into: None,
+        })
+    }
+
+    /// Convenience: load a pointer `array[index]` that points into `pool`.
+    pub fn load_pointer(&mut self, array: ArrayId, index: ValueId, pool: ArrayId) -> ValueId {
+        let addr = self.index_addr(array, index);
+        self.value(Expr::Load {
+            addr,
+            array,
+            points_into: Some(pool),
+        })
+    }
+
+    /// Convenience: dereference a pointer value at `offset`, loading from
+    /// `pool`, the result pointing into `next_pool` if given.
+    pub fn deref(
+        &mut self,
+        ptr: ValueId,
+        offset: i64,
+        pool: ArrayId,
+        next_pool: Option<ArrayId>,
+    ) -> ValueId {
+        let addr = if offset == 0 {
+            ptr
+        } else {
+            let c = self.value(Expr::Const(offset as u64));
+            self.value(Expr::Add(ptr, c))
+        };
+        self.value(Expr::Load {
+            addr,
+            array: pool,
+            points_into: next_pool,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_topological_graph() {
+        let mut l = KernelLoop::new("t");
+        let a = l.array(ArrayDecl {
+            name: "A".into(),
+            base: 0x1000,
+            end: 0x2000,
+            elem_size: 8,
+            bounds_known: true,
+        });
+        let iv = l.value(Expr::IndVar);
+        let ld = l.load_index(a, iv);
+        match l.expr(ld) {
+            Expr::Load { addr, array, .. } => {
+                assert_eq!(*array, a);
+                assert!(addr.0 < ld.0, "operands precede users");
+            }
+            other => panic!("expected load, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Compiler support: generating event programs from loop IR (§6).
+//!
+//! Two passes, mirroring the paper's LLVM implementation:
+//!
+//! * [`convert::convert_software_prefetches`] — Algorithm 1: walk backwards
+//!   from each software-prefetch's address expression through the SSA
+//!   data-dependence graph, splitting at non-loop-invariant loads, until the
+//!   loop's induction variable is reached. Each segment becomes one event
+//!   kernel; the induction variable is replaced by address arithmetic on the
+//!   observed address; loop invariants become global registers; the original
+//!   software prefetches are removed (the caller runs the *plain* trace).
+//! * [`pragma::generate_from_pragma`] — §6.4: no software prefetches to
+//!   start from; instead, find loads with indirection whose address chains
+//!   bottom out in an induction-strided load, and build the same event
+//!   chains with an EWMA look-ahead. The pass cannot see wrap-around
+//!   tricks, data-dependent inner loops, or multi-value cache-line reuse —
+//!   exactly the limitations §7.1 reports.
+//!
+//! The IR ([`ir`]) is a small SSA expression graph per loop: enough to
+//! express every Table 2 kernel loop while keeping both passes honest
+//! (conversion *fails* on impure calls, non-induction phis and multi-load
+//! events, as in the paper).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod codegen;
+pub mod convert;
+pub mod ir;
+pub mod pragma;
+
+pub use convert::{convert_software_prefetches, ConvError};
+pub use ir::{ArrayDecl, ArrayId, Expr, KernelLoop, ValueId};
+pub use pragma::generate_from_pragma;
+
+use etpp_isa::Program;
+use etpp_mem::ConfigOp;
+
+/// A generated prefetch program plus its configuration preamble.
+#[derive(Debug, Clone, Default)]
+pub struct GeneratedSetup {
+    /// Event kernels.
+    pub program: Program,
+    /// Configuration instructions to execute before the loop.
+    pub configs: Vec<ConfigOp>,
+}

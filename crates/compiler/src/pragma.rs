@@ -1,0 +1,124 @@
+//! `#pragma prefetch` generation (§6.4).
+//!
+//! With no software prefetches to convert, the pass starts from the loop's
+//! *loads that feature indirection*: body loads whose address chains bottom
+//! out in an induction-strided load of another array. Each such load yields
+//! the same chain shape as conversion, but the look-ahead distance comes
+//! from the EWMA calculators, and source-level tricks (wrap-around, "first
+//! N" unrolls, multi-value line reuse) are invisible — matching the
+//! pragma-mode gaps §7.1 reports.
+
+use crate::convert::{build_chain, root_target, Chain, ConvError};
+use crate::ir::KernelLoop;
+use crate::GeneratedSetup;
+
+/// Generates an event program for a `#pragma prefetch` loop.
+///
+/// # Errors
+/// [`ConvError::NothingToConvert`] if no indirect load is analysable.
+pub fn generate_from_pragma(l: &KernelLoop) -> Result<GeneratedSetup, ConvError> {
+    if !l.pragma {
+        return Err(ConvError::NothingToConvert);
+    }
+    let mut chains: Vec<Chain> = Vec::new();
+    for &root in &l.body_loads {
+        let Ok(target) = root_target(l, addr_of_load(l, root)) else {
+            continue;
+        };
+        let Ok(chain) = build_chain(l, addr_of_load(l, root), target) else {
+            continue;
+        };
+        // Only loads *with indirection* are likely to miss unpredictably; a
+        // direct strided load is left to the hardware (§6.4).
+        if chain.levels.is_empty() {
+            continue;
+        }
+        if !chains.contains(&chain) {
+            chains.push(chain);
+        }
+    }
+    if chains.is_empty() {
+        return Err(ConvError::NothingToConvert);
+    }
+    crate::convert::drop_prefix_chains(&mut chains);
+    Ok(crate::codegen::emit(l, &chains, crate::codegen::Distance::Ewma))
+}
+
+fn addr_of_load(l: &KernelLoop, v: crate::ir::ValueId) -> crate::ir::ValueId {
+    match l.expr(v) {
+        crate::ir::Expr::Load { addr, .. } => *addr,
+        _ => v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ArrayDecl, Expr, KernelLoop};
+
+    fn arr(name: &str, base: u64, len: u64, elem: u8) -> ArrayDecl {
+        ArrayDecl {
+            name: name.into(),
+            base,
+            end: base + len,
+            elem_size: elem,
+            bounds_known: true,
+        }
+    }
+
+    #[test]
+    fn pragma_finds_stride_indirect_pattern() {
+        // acc += B[A[i]] under #pragma prefetch.
+        let mut l = KernelLoop::new("p");
+        let a = l.array(arr("A", 0x1000, 0x1000, 8));
+        let b = l.array(arr("B", 0x10000, 0x8000, 8));
+        let iv = l.value(Expr::IndVar);
+        let la = l.load_index(a, iv);
+        let lb = l.load_index(b, la);
+        l.body_loads.extend([la, lb]);
+        l.pragma = true;
+        let setup = generate_from_pragma(&l).unwrap();
+        assert_eq!(setup.program.kernels.len(), 2);
+        // EWMA distance: the level-0 kernel must read the calculators.
+        let k0 = &setup.program.kernels[0];
+        assert!(k0
+            .insts
+            .iter()
+            .any(|i| matches!(i, etpp_isa::Inst::LdEwma { .. })));
+    }
+
+    #[test]
+    fn direct_strided_loads_are_skipped() {
+        let mut l = KernelLoop::new("p");
+        let a = l.array(arr("A", 0x1000, 0x1000, 8));
+        let iv = l.value(Expr::IndVar);
+        let la = l.load_index(a, iv);
+        l.body_loads.push(la);
+        l.pragma = true;
+        assert_eq!(
+            generate_from_pragma(&l).unwrap_err(),
+            ConvError::NothingToConvert
+        );
+    }
+
+    #[test]
+    fn list_walks_are_invisible_to_pragma() {
+        let mut l = KernelLoop::new("p");
+        let n = l.array(arr("nodes", 0x1000, 0x10000, 16));
+        let phi = l.value(Expr::NonIndPhi);
+        let ld = l.value(Expr::Load {
+            addr: phi,
+            array: n,
+            points_into: None,
+        });
+        l.body_loads.push(ld);
+        l.pragma = true;
+        assert!(generate_from_pragma(&l).is_err());
+    }
+
+    #[test]
+    fn unmarked_loop_generates_nothing() {
+        let l = KernelLoop::new("plain");
+        assert!(generate_from_pragma(&l).is_err());
+    }
+}

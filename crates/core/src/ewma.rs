@@ -1,0 +1,208 @@
+//! EWMA calculators for dynamic prefetch look-ahead (§4.5).
+//!
+//! The paper generalises Mowry-style compile-time look-ahead into hardware:
+//! divide the observed *chain latency* (time from a triggering observation
+//! to the completion of the last prefetch in its chain) by the observed
+//! *iteration interval* (time between successive demand reads of the base
+//! structure) to get the number of elements ahead to prefetch. Both numbers
+//! are exponentially weighted moving averages that hardware can maintain
+//! with a subtract-shift-add per sample.
+
+/// A fixed-point exponentially weighted moving average.
+///
+/// `ewma += (sample - ewma) >> SHIFT` — the hardware-friendly form cited by
+/// the paper. Stored with 8 fractional bits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ewma {
+    scaled: u64,
+    primed: bool,
+}
+
+const FRAC_BITS: u32 = 8;
+const SMOOTH_SHIFT: u32 = 3; // alpha = 1/8
+
+impl Ewma {
+    /// A fresh, unprimed average.
+    pub fn new() -> Self {
+        Ewma::default()
+    }
+
+    /// Whether at least one sample has been absorbed.
+    pub fn primed(&self) -> bool {
+        self.primed
+    }
+
+    /// Absorbs a sample.
+    pub fn update(&mut self, sample: u64) {
+        let s = sample << FRAC_BITS;
+        if !self.primed {
+            self.scaled = s;
+            self.primed = true;
+        } else if s >= self.scaled {
+            self.scaled += (s - self.scaled) >> SMOOTH_SHIFT;
+        } else {
+            self.scaled -= (self.scaled - s) >> SMOOTH_SHIFT;
+        }
+    }
+
+    /// Current value (rounded down), or `None` before the first sample.
+    pub fn value(&self) -> Option<u64> {
+        self.primed.then_some(self.scaled >> FRAC_BITS)
+    }
+
+    /// Clears the average (context switches discard EWMA state, §5.3).
+    pub fn reset(&mut self) {
+        *self = Ewma::default();
+    }
+}
+
+/// Per-range iteration timers plus the shared chain-latency timer.
+#[derive(Debug, Clone)]
+pub struct EwmaBank {
+    iteration: Vec<Ewma>,
+    last_access: Vec<u64>,
+    chain: Ewma,
+    default_lookahead: u64,
+    max_lookahead: u64,
+    scale: u64,
+}
+
+impl EwmaBank {
+    /// Creates a bank for `ranges` filter entries. `scale` multiplies the
+    /// chain/iteration ratio: the paper notes distances "must be
+    /// overestimated relative to the EWMAs" (§7.2) since a chain's later
+    /// links only start once earlier links return.
+    pub fn new(ranges: usize, default_lookahead: u64, max_lookahead: u64, scale: u64) -> Self {
+        EwmaBank {
+            iteration: vec![Ewma::new(); ranges],
+            last_access: vec![u64::MAX; ranges],
+            chain: Ewma::new(),
+            default_lookahead,
+            max_lookahead,
+            scale,
+        }
+    }
+
+    /// Records a demand read of an iteration-flagged range at `now`.
+    pub fn record_iteration(&mut self, range: usize, now: u64) {
+        let last = self.last_access[range];
+        if last != u64::MAX && now > last {
+            self.iteration[range].update(now - last);
+        }
+        self.last_access[range] = now;
+    }
+
+    /// Records a completed timed prefetch chain (birth → completion).
+    pub fn record_chain(&mut self, latency: u64) {
+        self.chain.update(latency);
+    }
+
+    /// The look-ahead distance, in elements, for events observing `range`:
+    /// `ceil(chain_latency / iteration_interval)`, clamped to
+    /// `[1, max_lookahead]`; the configured default until both averages are
+    /// primed (the paper's warm-up period).
+    pub fn lookahead(&self, range: usize) -> u64 {
+        let (Some(chain), Some(iter)) = (
+            self.chain.value(),
+            self.iteration.get(range).and_then(|e| e.value()),
+        ) else {
+            return self.default_lookahead;
+        };
+        if iter == 0 {
+            return self.max_lookahead;
+        }
+        (self.scale * chain).div_ceil(iter).clamp(1, self.max_lookahead)
+    }
+
+    /// Discards all timing state (context switch, §5.3).
+    pub fn reset(&mut self) {
+        for e in &mut self.iteration {
+            e.reset();
+        }
+        for l in &mut self.last_access {
+            *l = u64::MAX;
+        }
+        self.chain.reset();
+    }
+
+    /// Whether the chain timer has been primed (diagnostics).
+    pub fn chain_primed(&self) -> bool {
+        self.chain.primed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_converges_to_constant_stream() {
+        let mut e = Ewma::new();
+        for _ in 0..100 {
+            e.update(320);
+        }
+        let v = e.value().unwrap();
+        assert!((315..=320).contains(&v), "converged value {v}");
+    }
+
+    #[test]
+    fn ewma_tracks_changes_smoothly() {
+        let mut e = Ewma::new();
+        for _ in 0..50 {
+            e.update(100);
+        }
+        e.update(1000);
+        let v = e.value().unwrap();
+        assert!(v > 100 && v < 400, "one outlier moves it a little: {v}");
+        for _ in 0..100 {
+            e.update(1000);
+        }
+        assert!(e.value().unwrap() > 900, "sustained change converges");
+    }
+
+    #[test]
+    fn lookahead_defaults_until_primed() {
+        let bank = EwmaBank::new(4, 8, 64, 1);
+        assert_eq!(bank.lookahead(0), 8);
+    }
+
+    #[test]
+    fn lookahead_is_chain_over_iteration() {
+        let mut bank = EwmaBank::new(4, 8, 64, 1);
+        // Iterations every 10 cycles on range 2.
+        let mut t = 0;
+        for _ in 0..50 {
+            bank.record_iteration(2, t);
+            t += 10;
+        }
+        // Chains take ~200 cycles.
+        for _ in 0..50 {
+            bank.record_chain(200);
+        }
+        let la = bank.lookahead(2);
+        assert!((18..=22).contains(&la), "expect ~20, got {la}");
+    }
+
+    #[test]
+    fn lookahead_clamps_to_max() {
+        let mut bank = EwmaBank::new(1, 8, 64, 1);
+        for t in 0..50u64 {
+            bank.record_iteration(0, t); // 1-cycle iterations
+        }
+        for _ in 0..50 {
+            bank.record_chain(100_000);
+        }
+        assert_eq!(bank.lookahead(0), 64);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut bank = EwmaBank::new(1, 8, 64, 1);
+        bank.record_iteration(0, 0);
+        bank.record_iteration(0, 10);
+        bank.record_chain(100);
+        bank.reset();
+        assert_eq!(bank.lookahead(0), 8);
+        assert!(!bank.chain_primed());
+    }
+}

@@ -1,0 +1,179 @@
+//! Programmable prefetch units (§4.4).
+//!
+//! Each PPU is an in-order, four-stage, one-instruction-per-cycle core
+//! running at its own clock (1 GHz against the 3.2 GHz main core in the
+//! paper's configuration). The simulator executes an event's kernel
+//! *atomically* at dispatch and converts its instruction count into main-core
+//! cycles of busy time; emitted prefetches are released into the request
+//! queue at the cycle their `prefetch` instruction would have retired. This
+//! is timing-equivalent to stepping the PPU cycle-by-cycle because kernels
+//! have no external inputs after dispatch.
+//!
+//! In *blocked* mode (the Figure 11 ablation) a PPU additionally stalls
+//! while any chained prefetch it issued is outstanding, modelling a
+//! prefetcher without the event-triggered programming model.
+
+/// Scheduling state of one PPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PpuState {
+    /// Available for new observations.
+    Idle,
+    /// Executing an event (until `busy_until`).
+    Busy,
+    /// Blocked-mode only: waiting for chained prefetches to return.
+    Blocked,
+}
+
+/// One programmable prefetch unit.
+#[derive(Debug, Clone)]
+pub struct Ppu {
+    /// Unit index (scheduling is lowest-ID-first, §7.2 / Figure 10).
+    pub id: usize,
+    busy_until: u64,
+    blocked_outstanding: u32,
+    block_started: u64,
+    /// Total main-core cycles this unit has spent awake (busy or blocked),
+    /// the numerator of Figure 10's activity factor.
+    pub busy_cycles: u64,
+    /// Events executed on this unit.
+    pub events_run: u64,
+}
+
+impl Ppu {
+    /// A fresh, idle unit.
+    pub fn new(id: usize) -> Self {
+        Ppu {
+            id,
+            busy_until: 0,
+            blocked_outstanding: 0,
+            block_started: 0,
+            busy_cycles: 0,
+            events_run: 0,
+        }
+    }
+
+    /// Current state at `now`.
+    pub fn state(&self, now: u64) -> PpuState {
+        if self.blocked_outstanding > 0 {
+            PpuState::Blocked
+        } else if now < self.busy_until {
+            PpuState::Busy
+        } else {
+            PpuState::Idle
+        }
+    }
+
+    /// Whether the scheduler may assign a new observation at `now`.
+    pub fn is_free(&self, now: u64) -> bool {
+        self.state(now) == PpuState::Idle
+    }
+
+    /// Cycle at which current execution finishes.
+    pub fn busy_until(&self) -> u64 {
+        self.busy_until
+    }
+
+    /// Begins executing an event at `start` for `duration` core cycles.
+    pub fn begin(&mut self, start: u64, duration: u64) {
+        debug_assert!(start >= self.busy_until, "PPU double-booked");
+        self.busy_until = start + duration;
+        self.busy_cycles += duration;
+        self.events_run += 1;
+    }
+
+    /// Registers `n` outstanding chained prefetches (blocked mode). The
+    /// wait time is accounted as awake time when the block resolves.
+    pub fn block(&mut self, now: u64, n: u32) {
+        if n == 0 {
+            return;
+        }
+        if self.blocked_outstanding == 0 {
+            self.block_started = now.max(self.busy_until);
+        }
+        self.blocked_outstanding += n;
+    }
+
+    /// One chained prefetch returned (or was dropped).
+    pub fn unblock_one(&mut self, now: u64) {
+        debug_assert!(self.blocked_outstanding > 0);
+        self.blocked_outstanding -= 1;
+        if self.blocked_outstanding == 0 {
+            let stall = now.saturating_sub(self.block_started.max(self.busy_until));
+            self.busy_cycles += stall;
+            self.busy_until = self.busy_until.max(now);
+        }
+    }
+
+    /// Number of chained prefetches still outstanding.
+    pub fn blocked_outstanding(&self) -> u32 {
+        self.blocked_outstanding
+    }
+
+    /// When the current blocking episode began (timeout handling).
+    pub fn block_started(&self) -> u64 {
+        self.block_started
+    }
+
+    /// Force-releases a stuck blocked unit (dropped chained prefetch).
+    pub fn force_unblock(&mut self, now: u64) {
+        while self.blocked_outstanding > 0 {
+            self.unblock_one(now);
+        }
+    }
+
+    /// Clears all transient state (context switch, §5.3).
+    pub fn reset(&mut self) {
+        self.busy_until = 0;
+        self.blocked_outstanding = 0;
+        self.block_started = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_idle_busy_idle() {
+        let mut p = Ppu::new(0);
+        assert!(p.is_free(0));
+        p.begin(10, 32);
+        assert_eq!(p.state(10), PpuState::Busy);
+        assert_eq!(p.state(41), PpuState::Busy);
+        assert_eq!(p.state(42), PpuState::Idle);
+        assert_eq!(p.busy_cycles, 32);
+        assert_eq!(p.events_run, 1);
+    }
+
+    #[test]
+    fn blocked_until_all_fills_return() {
+        let mut p = Ppu::new(1);
+        p.begin(0, 10);
+        p.block(0, 2);
+        assert_eq!(p.state(100), PpuState::Blocked);
+        p.unblock_one(50);
+        assert_eq!(p.state(100), PpuState::Blocked);
+        p.unblock_one(200);
+        assert_eq!(p.state(201), PpuState::Idle);
+        // Stall time 10..200 counted as awake.
+        assert_eq!(p.busy_cycles, 10 + 190);
+    }
+
+    #[test]
+    fn force_unblock_recovers() {
+        let mut p = Ppu::new(2);
+        p.begin(0, 4);
+        p.block(0, 3);
+        p.force_unblock(500);
+        assert!(p.is_free(501));
+    }
+
+    #[test]
+    fn back_to_back_events_accumulate() {
+        let mut p = Ppu::new(3);
+        p.begin(0, 20);
+        p.begin(20, 30);
+        assert_eq!(p.busy_cycles, 50);
+        assert_eq!(p.events_run, 2);
+    }
+}

@@ -1,0 +1,765 @@
+//! The out-of-order execution engine.
+//!
+//! A 3-wide machine with a 40-entry reorder buffer, 32-entry issue queue,
+//! 16-entry load queue, 32-entry store queue, 3 integer / 2 FP / 1 mul-div
+//! functional units and a tournament branch predictor — Table 1 of the
+//! paper. It replays a [`Trace`](crate::trace::Trace) against an
+//! [`etpp_mem::MemorySystem`]:
+//!
+//! * micro-ops dispatch in order into the ROB and wait for their
+//!   dependencies;
+//! * loads issue to the L1 when ready, retrying on MSHR-full rejections;
+//! * stores commit their data to the memory image at retirement and drain
+//!   through a store buffer;
+//! * loads forward from older overlapping stores;
+//! * mispredicted branches stall the front end until they resolve;
+//! * prefetcher-configuration ops are collected at retirement for the
+//!   attached engine.
+//!
+//! The engine makes no attempt to model wrong-path execution: the predictor
+//! decides only whether fetch would have stalled, which is the
+//! first-order effect for these memory-bound workloads.
+
+use crate::bpred::{BranchPredictor, BranchPredictorParams};
+use crate::trace::{OpClass, Trace};
+use etpp_mem::{AccessKind, ConfigOp, MemorySystem, Rejection};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Core configuration (Table 1 defaults via [`CoreParams::paper`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreParams {
+    /// Reorder buffer entries.
+    pub rob_entries: usize,
+    /// Issue queue entries.
+    pub iq_entries: usize,
+    /// Load queue entries (concurrent outstanding loads).
+    pub lq_entries: usize,
+    /// Store queue entries (dispatch to writeback).
+    pub sq_entries: usize,
+    /// Fetch/dispatch/retire width.
+    pub width: usize,
+    /// Integer ALUs.
+    pub int_alus: usize,
+    /// FP ALUs.
+    pub fp_alus: usize,
+    /// Multiply/divide units.
+    pub muldiv_alus: usize,
+    /// Front-end refill penalty after a mispredicted branch resolves.
+    pub mispredict_penalty: u64,
+    /// Branch predictor geometry.
+    pub bpred: BranchPredictorParams,
+}
+
+impl CoreParams {
+    /// The paper's 3-wide out-of-order core.
+    pub fn paper() -> Self {
+        CoreParams {
+            rob_entries: 40,
+            iq_entries: 32,
+            lq_entries: 16,
+            sq_entries: 32,
+            width: 3,
+            int_alus: 3,
+            fp_alus: 2,
+            muldiv_alus: 1,
+            mispredict_penalty: 12,
+            bpred: BranchPredictorParams::paper(),
+        }
+    }
+}
+
+impl Default for CoreParams {
+    fn default() -> Self {
+        CoreParams::paper()
+    }
+}
+
+/// Execution statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoreStats {
+    /// Micro-ops retired.
+    pub insts_retired: u64,
+    /// Loads issued to the memory system.
+    pub loads_issued: u64,
+    /// Load issue attempts rejected (MSHR/walker pressure).
+    pub load_retries: u64,
+    /// Loads satisfied by store-to-load forwarding.
+    pub store_forwards: u64,
+    /// Software prefetches issued.
+    pub swpf_issued: u64,
+    /// Software prefetches dropped for lack of resources.
+    pub swpf_dropped: u64,
+    /// Branches executed.
+    pub branches: u64,
+    /// Branches that stalled the front end (mispredicted).
+    pub mispredicts: u64,
+    /// Cycles with at least one op retired.
+    pub active_cycles: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Waiting,
+    Ready,
+    Executing,
+    Done,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    state: State,
+    wait_count: u8,
+    in_iq: bool,
+}
+
+const FREE: Slot = Slot {
+    state: State::Done,
+    wait_count: 0,
+    in_iq: false,
+};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SqState {
+    WaitRetire,
+    PendingIssue,
+    Draining,
+    Complete,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SqEntry {
+    addr8: u64,
+    trace_idx: u32,
+    state: SqState,
+    access: u64,
+}
+
+/// The out-of-order core bound to a trace.
+#[derive(Debug)]
+pub struct Core<'t> {
+    params: CoreParams,
+    trace: &'t Trace,
+    bpred: BranchPredictor,
+
+    /// Oldest un-retired trace index.
+    head: u32,
+    /// Next trace index to dispatch.
+    cursor: u32,
+    slots: Vec<Slot>,
+    dependents: Vec<Vec<u32>>,
+
+    iq_count: usize,
+    lq_inflight: usize,
+    sq: VecDeque<SqEntry>,
+
+    ready_int: VecDeque<u32>,
+    ready_fp: VecDeque<u32>,
+    ready_muldiv: VecDeque<u32>,
+    ready_mem: VecDeque<u32>,
+    exec_done: BinaryHeap<Reverse<(u64, u32)>>,
+    inflight_loads: HashMap<u64, u32>,
+
+    fetch_stall_until: u64,
+    blocking_branch: Option<u32>,
+
+    pending_configs: Vec<ConfigOp>,
+    /// Statistics.
+    pub stats: CoreStats,
+}
+
+impl<'t> Core<'t> {
+    /// Creates a core positioned at the start of `trace`.
+    pub fn new(params: CoreParams, trace: &'t Trace) -> Self {
+        Core {
+            bpred: BranchPredictor::new(params.bpred),
+            head: 0,
+            cursor: 0,
+            slots: vec![FREE; params.rob_entries],
+            dependents: vec![Vec::new(); params.rob_entries],
+            iq_count: 0,
+            lq_inflight: 0,
+            sq: VecDeque::with_capacity(params.sq_entries),
+            ready_int: VecDeque::new(),
+            ready_fp: VecDeque::new(),
+            ready_muldiv: VecDeque::new(),
+            ready_mem: VecDeque::new(),
+            exec_done: BinaryHeap::new(),
+            inflight_loads: HashMap::new(),
+            fetch_stall_until: 0,
+            blocking_branch: None,
+            pending_configs: Vec::new(),
+            stats: CoreStats::default(),
+            params,
+            trace,
+        }
+    }
+
+    /// Whether every op has retired and all buffers have drained.
+    pub fn finished(&self) -> bool {
+        self.head as usize == self.trace.len()
+            && self.sq.is_empty()
+            && self.inflight_loads.is_empty()
+    }
+
+    /// Configuration ops retired since the last call (to be forwarded to the
+    /// prefetch engine).
+    pub fn take_configs(&mut self) -> Vec<ConfigOp> {
+        std::mem::take(&mut self.pending_configs)
+    }
+
+    /// Branch predictor accuracy access for reporting.
+    pub fn bpred(&self) -> &BranchPredictor {
+        &self.bpred
+    }
+
+    #[inline]
+    fn slot_of(&self, idx: u32) -> usize {
+        idx as usize % self.params.rob_entries
+    }
+
+    /// Removes the op from issue-queue accounting exactly once.
+    #[inline]
+    fn leave_iq(&mut self, slot: usize) {
+        if self.slots[slot].in_iq {
+            self.slots[slot].in_iq = false;
+            self.iq_count -= 1;
+        }
+    }
+
+    /// Advances one cycle. Order within the cycle: absorb memory
+    /// completions, retire, complete FUs, issue, dispatch.
+    pub fn tick(&mut self, now: u64, mem: &mut MemorySystem) {
+        self.absorb_completions(now, mem);
+        self.complete_fus(now);
+        self.retire(now, mem);
+        self.drain_store_buffer(now, mem);
+        self.issue(now, mem);
+        self.dispatch(now);
+    }
+
+    fn absorb_completions(&mut self, now: u64, mem: &mut MemorySystem) {
+        for c in mem.take_completions_due(now) {
+            if let Some(idx) = self.inflight_loads.remove(&c.id.0) {
+                self.lq_inflight -= 1;
+                self.mark_done(idx);
+            } else if let Some(e) = self
+                .sq
+                .iter_mut()
+                .find(|e| e.state == SqState::Draining && e.access == c.id.0)
+            {
+                e.state = SqState::Complete;
+            }
+        }
+        while self.sq.front().is_some_and(|e| e.state == SqState::Complete) {
+            self.sq.pop_front();
+        }
+    }
+
+    fn complete_fus(&mut self, now: u64) {
+        while let Some(&Reverse((at, idx))) = self.exec_done.peek() {
+            if at > now {
+                break;
+            }
+            self.exec_done.pop();
+            self.mark_done(idx);
+            if self.blocking_branch == Some(idx) {
+                self.blocking_branch = None;
+                self.fetch_stall_until = now + self.params.mispredict_penalty;
+            }
+        }
+    }
+
+    fn mark_done(&mut self, idx: u32) {
+        let slot = self.slot_of(idx);
+        debug_assert_ne!(self.slots[slot].state, State::Done);
+        self.slots[slot].state = State::Done;
+        let woken = std::mem::take(&mut self.dependents[slot]);
+        for d in woken {
+            let ds = self.slot_of(d);
+            debug_assert!(self.slots[ds].wait_count > 0);
+            self.slots[ds].wait_count -= 1;
+            if self.slots[ds].wait_count == 0 && self.slots[ds].state == State::Waiting {
+                self.slots[ds].state = State::Ready;
+                self.enqueue_ready(d);
+            }
+        }
+    }
+
+    fn enqueue_ready(&mut self, idx: u32) {
+        match self.trace.ops[idx as usize].class {
+            OpClass::Int | OpClass::Branch | OpClass::Store => self.ready_int.push_back(idx),
+            OpClass::Fp => self.ready_fp.push_back(idx),
+            OpClass::MulDiv => self.ready_muldiv.push_back(idx),
+            OpClass::Load | OpClass::Swpf => self.ready_mem.push_back(idx),
+            OpClass::Config => unreachable!("config ops complete at dispatch"),
+        }
+    }
+
+    fn retire(&mut self, now: u64, mem: &mut MemorySystem) {
+        let mut retired = 0;
+        while retired < self.params.width && (self.head as usize) < self.trace.len() {
+            let slot = self.slot_of(self.head);
+            // Slot must belong to head (dispatched) and be done.
+            if self.head >= self.cursor || self.slots[slot].state != State::Done {
+                break;
+            }
+            let op = &self.trace.ops[self.head as usize];
+            match op.class {
+                OpClass::Store => {
+                    // Commit the data so prefetch kernels see current state,
+                    // then hand the writeback to the store buffer.
+                    mem.commit_store_data(op.addr, op.value, op.aux);
+                    if let Some(e) = self
+                        .sq
+                        .iter_mut()
+                        .find(|e| e.trace_idx == self.head && e.state == SqState::WaitRetire)
+                    {
+                        e.state = SqState::PendingIssue;
+                    }
+                }
+                OpClass::Config => {
+                    let cfg = self.trace.configs[op.value as usize].clone();
+                    self.pending_configs.push(cfg);
+                }
+                _ => {}
+            }
+            self.head += 1;
+            retired += 1;
+            self.stats.insts_retired += 1;
+        }
+        if retired > 0 {
+            self.stats.active_cycles += 1;
+        }
+        let _ = now;
+    }
+
+    fn drain_store_buffer(&mut self, now: u64, mem: &mut MemorySystem) {
+        // One store writeback issued per cycle.
+        if let Some(e) = self
+            .sq
+            .iter_mut()
+            .find(|e| e.state == SqState::PendingIssue)
+        {
+            match mem.try_access(now, e.addr8, AccessKind::Store, 0) {
+                Ok(id) => {
+                    e.state = SqState::Draining;
+                    e.access = id.0;
+                }
+                Err(Rejection::Fault) => panic!("store to unmapped address {:#x}", e.addr8),
+                Err(_) => {}
+            }
+        }
+    }
+
+    fn issue(&mut self, now: u64, mem: &mut MemorySystem) {
+        // Integer-class (also branches and store address generation).
+        for _ in 0..self.params.int_alus {
+            let Some(idx) = self.ready_int.pop_front() else {
+                break;
+            };
+            self.begin_exec(idx, now);
+        }
+        for _ in 0..self.params.fp_alus {
+            let Some(idx) = self.ready_fp.pop_front() else {
+                break;
+            };
+            self.begin_exec(idx, now);
+        }
+        for _ in 0..self.params.muldiv_alus {
+            let Some(idx) = self.ready_muldiv.pop_front() else {
+                break;
+            };
+            self.begin_exec(idx, now);
+        }
+
+        // Memory ops: loads and software prefetches, oldest first.
+        let mut attempts = self.ready_mem.len();
+        let mut issued = 0;
+        while attempts > 0 && issued < self.params.width {
+            attempts -= 1;
+            let Some(idx) = self.ready_mem.pop_front() else {
+                break;
+            };
+            let op = self.trace.ops[idx as usize];
+            match op.class {
+                OpClass::Swpf => {
+                    let slot = self.slot_of(idx);
+                    self.slots[slot].state = State::Executing;
+                    self.leave_iq(slot);
+                    match mem.try_software_prefetch(now, op.addr) {
+                        Ok(()) => self.stats.swpf_issued += 1,
+                        Err(_) => self.stats.swpf_dropped += 1,
+                    }
+                    self.exec_done.push(Reverse((now + 1, idx)));
+                    issued += 1;
+                }
+                OpClass::Load => {
+                    if self.lq_inflight >= self.params.lq_entries {
+                        self.ready_mem.push_front(idx);
+                        break;
+                    }
+                    // Store-to-load forwarding against older stores.
+                    let addr8 = op.addr & !7;
+                    if let Some(st) = self
+                        .sq
+                        .iter()
+                        .rev()
+                        .find(|e| e.trace_idx < idx && e.addr8 & !7 == addr8)
+                    {
+                        let st_idx = st.trace_idx;
+                        let st_done = st_idx < self.head
+                            || self.slots[self.slot_of(st_idx)].state == State::Done
+                            || st.state != SqState::WaitRetire;
+                        let slot = self.slot_of(idx);
+                        self.slots[slot].state = State::Executing;
+                        self.leave_iq(slot);
+                        if st_done {
+                            self.stats.store_forwards += 1;
+                            self.exec_done.push(Reverse((now + 1, idx)));
+                        } else {
+                            // Wait for the store's data, then forward.
+                            let ss = self.slot_of(st_idx);
+                            self.slots[slot].state = State::Waiting;
+                            self.slots[slot].wait_count = 1;
+                            self.dependents[ss].push(idx);
+                            self.stats.store_forwards += 1;
+                        }
+                        issued += 1;
+                        continue;
+                    }
+                    match mem.try_access(now, op.addr, AccessKind::Load, op.pc) {
+                        Ok(id) => {
+                            let slot = self.slot_of(idx);
+                            self.slots[slot].state = State::Executing;
+                            self.leave_iq(slot);
+                            self.lq_inflight += 1;
+                            self.inflight_loads.insert(id.0, idx);
+                            self.stats.loads_issued += 1;
+                            issued += 1;
+                        }
+                        Err(Rejection::Fault) => {
+                            panic!("load from unmapped address {:#x}", op.addr)
+                        }
+                        Err(_) => {
+                            self.stats.load_retries += 1;
+                            self.ready_mem.push_back(idx);
+                        }
+                    }
+                }
+                _ => unreachable!("only memory ops in ready_mem"),
+            }
+        }
+    }
+
+    fn begin_exec(&mut self, idx: u32, now: u64) {
+        let op = self.trace.ops[idx as usize];
+        let slot = self.slot_of(idx);
+        self.slots[slot].state = State::Executing;
+        self.leave_iq(slot);
+        let lat = match op.class {
+            OpClass::Branch => 1,
+            OpClass::Store => 1,
+            _ => op.aux.max(1) as u64,
+        };
+        self.exec_done.push(Reverse((now + lat, idx)));
+    }
+
+    fn dispatch(&mut self, now: u64) {
+        if now < self.fetch_stall_until || self.blocking_branch.is_some() {
+            return;
+        }
+        let mut dispatched = 0;
+        while dispatched < self.params.width && (self.cursor as usize) < self.trace.len() {
+            if (self.cursor - self.head) as usize >= self.params.rob_entries {
+                break; // ROB full
+            }
+            let op = self.trace.ops[self.cursor as usize];
+            let needs_iq = op.class != OpClass::Config;
+            if needs_iq && self.iq_count >= self.params.iq_entries {
+                break;
+            }
+            if op.class == OpClass::Store && self.sq.len() >= self.params.sq_entries {
+                break;
+            }
+
+            let idx = self.cursor;
+            let slot = self.slot_of(idx);
+            self.dependents[slot].clear();
+            self.slots[slot] = Slot {
+                state: State::Waiting,
+                wait_count: 0,
+                in_iq: needs_iq,
+            };
+            if needs_iq {
+                self.iq_count += 1;
+            }
+
+            if op.class == OpClass::Store {
+                self.sq.push_back(SqEntry {
+                    addr8: op.addr,
+                    trace_idx: idx,
+                    state: SqState::WaitRetire,
+                    access: u64::MAX,
+                });
+            }
+
+            // Resolve dependencies.
+            let mut waits = 0u8;
+            for dep in op.deps() {
+                if dep >= self.head {
+                    let ds = self.slot_of(dep);
+                    if self.slots[ds].state != State::Done {
+                        self.dependents[ds].push(idx);
+                        waits += 1;
+                    }
+                }
+            }
+            self.slots[slot].wait_count = waits;
+
+            match op.class {
+                OpClass::Config => {
+                    // Completes instantly; applied at retire.
+                    self.slots[slot].state = State::Done;
+                    self.slots[slot].in_iq = false;
+                }
+                OpClass::Branch => {
+                    self.stats.branches += 1;
+                    let correct = self.bpred.predict_and_update(op.pc, op.aux != 0, op.addr);
+                    if waits == 0 {
+                        self.slots[slot].state = State::Ready;
+                        self.enqueue_ready(idx);
+                    }
+                    if !correct {
+                        self.stats.mispredicts += 1;
+                        self.blocking_branch = Some(idx);
+                        self.cursor += 1;
+                        return; // front end stalls behind the misprediction
+                    }
+                }
+                _ => {
+                    if waits == 0 {
+                        self.slots[slot].state = State::Ready;
+                        self.enqueue_ready(idx);
+                    }
+                }
+            }
+            self.cursor += 1;
+            dispatched += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+    use etpp_mem::{MemParams, MemoryImage, NullEngine};
+
+    fn run(trace: &Trace, image: MemoryImage) -> (u64, CoreStats) {
+        let mut mem = MemorySystem::new(MemParams::paper(), image);
+        let mut core = Core::new(CoreParams::paper(), trace);
+        let mut engine = NullEngine;
+        let mut now = 0u64;
+        while !core.finished() {
+            mem.tick(now, &mut engine);
+            core.tick(now, &mut mem);
+            now += 1;
+            assert!(now < 10_000_000, "runaway simulation");
+        }
+        (now, core.stats)
+    }
+
+    fn image_with_array(n: u64) -> (MemoryImage, u64) {
+        let mut image = MemoryImage::new();
+        let base = image.alloc(n * 8, 4096);
+        for i in 0..n {
+            image.write_u64(base + 8 * i, i + 1);
+        }
+        (image, base)
+    }
+
+    #[test]
+    fn empty_trace_finishes_immediately() {
+        let t = TraceBuilder::new().build();
+        let (cycles, _) = run(&t, MemoryImage::new());
+        assert!(cycles <= 2);
+    }
+
+    #[test]
+    fn independent_loads_overlap() {
+        // 8 independent loads to distinct lines should take barely longer
+        // than one (bank-parallel DRAM + 12 MSHRs).
+        let (image, base) = image_with_array(1024);
+        let mut b = TraceBuilder::new();
+        b.load(base, 1, [None, None]);
+        let t1 = b.build();
+        let (serial_one, _) = run(&t1, image.clone());
+
+        let mut b = TraceBuilder::new();
+        for i in 0..8u64 {
+            b.load(base + 256 * i, 1, [None, None]);
+        }
+        let t8 = b.build();
+        let (par_eight, _) = run(&t8, image);
+        assert!(
+            par_eight < serial_one * 3,
+            "8 independent loads ({par_eight}) should overlap vs 1 load ({serial_one})"
+        );
+    }
+
+    #[test]
+    fn dependent_loads_serialise() {
+        let (image, base) = image_with_array(1024);
+        let mut b = TraceBuilder::new();
+        let mut prev = None;
+        for i in 0..4u64 {
+            let id = b.load(base + 1024 * i, 1, [prev, None]);
+            prev = Some(id);
+        }
+        let dep_t = b.build();
+        let (dep_cycles, _) = run(&dep_t, image.clone());
+
+        let mut b = TraceBuilder::new();
+        for i in 0..4u64 {
+            b.load(base + 1024 * i, 1, [None, None]);
+        }
+        let indep_t = b.build();
+        let (indep_cycles, _) = run(&indep_t, image);
+        assert!(
+            dep_cycles > indep_cycles * 2,
+            "dependent chain ({dep_cycles}) must be much slower than independent ({indep_cycles})"
+        );
+    }
+
+    #[test]
+    fn rob_bounds_memory_level_parallelism() {
+        // More independent loads than the ROB can hold: time scales linearly
+        // once the window is exhausted, but stays well under serial time.
+        let (image, base) = image_with_array(65536);
+        let mut b = TraceBuilder::new();
+        for i in 0..200u64 {
+            b.load(base + 4096 * i % (65536 * 8), 1, [None, None]);
+        }
+        let t = b.build();
+        let (cycles, stats) = run(&t, image);
+        assert_eq!(stats.loads_issued, 200);
+        assert!(cycles > 200, "200 DRAM loads can't finish in 200 cycles");
+    }
+
+    #[test]
+    fn store_then_load_forwards() {
+        let (image, base) = image_with_array(64);
+        let mut b = TraceBuilder::new();
+        let st = b.store(base + 8, 99, 1, [None, None]);
+        b.load(base + 8, 2, [Some(st), None]);
+        let t = b.build();
+        let (_, stats) = run(&t, image);
+        assert_eq!(stats.store_forwards, 1, "load should forward from store");
+    }
+
+    #[test]
+    fn stores_update_image_at_retire() {
+        let (image, base) = image_with_array(64);
+        let t = {
+            let mut b = TraceBuilder::new();
+            b.store(base, 0xabcd, 1, [None, None]);
+            b.build()
+        };
+        let mut mem = MemorySystem::new(MemParams::paper(), image);
+        let mut core = Core::new(CoreParams::paper(), &t);
+        let mut engine = NullEngine;
+        let mut now = 0u64;
+        while !core.finished() {
+            mem.tick(now, &mut engine);
+            core.tick(now, &mut mem);
+            now += 1;
+            assert!(now < 100_000);
+        }
+        assert_eq!(mem.image().read_u64(base), 0xabcd);
+    }
+
+    #[test]
+    fn config_ops_surface_at_retire() {
+        let (image, _) = image_with_array(8);
+        let t = {
+            let mut b = TraceBuilder::new();
+            b.config(ConfigOp::SetGlobal { idx: 1, value: 5 });
+            b.int_op(1, [None, None]);
+            b.build()
+        };
+        let mut mem = MemorySystem::new(MemParams::paper(), image);
+        let mut core = Core::new(CoreParams::paper(), &t);
+        let mut engine = NullEngine;
+        let mut now = 0u64;
+        let mut configs = Vec::new();
+        while !core.finished() {
+            mem.tick(now, &mut engine);
+            core.tick(now, &mut mem);
+            configs.extend(core.take_configs());
+            now += 1;
+            assert!(now < 100_000);
+        }
+        assert_eq!(configs, vec![ConfigOp::SetGlobal { idx: 1, value: 5 }]);
+    }
+
+    #[test]
+    fn mispredicted_branches_cost_cycles() {
+        let (image, base) = image_with_array(4096);
+        // Random branch directions (unpredictable) vs all-taken (predictable),
+        // same op counts.
+        let mk = |random: bool| {
+            let mut b = TraceBuilder::new();
+            let mut x = 0x9e3779b97f4a7c15u64;
+            for _ in 0..3000 {
+                let w = b.int_op(1, [None, None]);
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let taken = if random { (x >> 62) & 1 == 1 } else { true };
+                b.branch(0x40, taken, [Some(w), None]);
+            }
+            b.build()
+        };
+        let tr = mk(true);
+        let tp = mk(false);
+        let (rand_cycles, rs) = run(&tr, image.clone());
+        let (pred_cycles, _) = run(&tp, image);
+        assert!(rs.mispredicts > 500, "random branches should mispredict");
+        assert!(
+            rand_cycles > pred_cycles + rs.mispredicts * CoreParams::paper().mispredict_penalty / 2,
+            "mispredictions must slow execution: {rand_cycles} vs {pred_cycles}"
+        );
+        let _ = base;
+    }
+
+    #[test]
+    fn software_prefetch_hides_latency() {
+        let (image, base) = image_with_array(1 << 16);
+        // One missing line per iteration plus enough real work that the
+        // 40-entry ROB holds only a handful of iterations: without prefetch
+        // the exposed DRAM latency dominates; with it the loads hit.
+        let stride = 64u64;
+        let n = 512u64;
+        let mk = |with_pf: bool| {
+            let mut b = TraceBuilder::new();
+            for i in 0..n {
+                if with_pf {
+                    b.swpf(base + ((i + 24) * stride) % (1 << 19), 3, [None, None]);
+                }
+                let ld = b.load(base + i * stride, 1, [None, None]);
+                let mut dep = ld;
+                for _ in 0..8 {
+                    dep = b.int_op(1, [Some(dep), None]);
+                }
+                b.branch(2, true, [Some(dep), None]);
+            }
+            b.build()
+        };
+        let (plain_cycles, _) = run(&mk(false), image.clone());
+        let (pf_cycles, stats) = run(&mk(true), image);
+        assert!(stats.swpf_issued > 300, "issued {}", stats.swpf_issued);
+        assert!(
+            pf_cycles * 13 < plain_cycles * 10,
+            "software prefetch should speed up strided misses: {pf_cycles} vs {plain_cycles}"
+        );
+    }
+}

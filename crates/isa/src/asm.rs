@@ -1,0 +1,312 @@
+//! A small assembler for writing PPU kernels by hand.
+//!
+//! Manual prefetch programs (the paper's best-performing configuration) are
+//! written with [`KernelBuilder`], which provides one chainable method per
+//! instruction plus forward-referencing labels for loops — needed by kernels
+//! such as HJ-8's "walk every bucket until a null pointer" (§7.1).
+
+use crate::inst::{Inst, Kernel, Reg};
+use std::collections::HashMap;
+
+/// A label handle for branch targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+#[derive(Debug, Clone, Copy)]
+enum PendingBranch {
+    Beq(Reg, Reg),
+    Bne(Reg, Reg),
+    Bltu(Reg, Reg),
+    Bgeu(Reg, Reg),
+    Jmp,
+}
+
+/// Builder producing a [`Kernel`] with label resolution.
+///
+/// # Panics
+/// [`KernelBuilder::build`] panics if a label was referenced but never
+/// bound, or a branch target exceeds `u16::MAX`.
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    insts: Vec<Inst>,
+    labels: HashMap<Label, usize>,
+    pending: Vec<(usize, Label, PendingBranch)>,
+    next_label: usize,
+}
+
+impl KernelBuilder {
+    /// Starts a new kernel with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            insts: Vec::new(),
+            labels: HashMap::new(),
+            pending: Vec::new(),
+            next_label: 0,
+        }
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Binds `label` to the current position.
+    pub fn bind(mut self, label: Label) -> Self {
+        self.labels.insert(label, self.insts.len());
+        self
+    }
+
+    /// `rd = imm`
+    pub fn li(mut self, rd: Reg, imm: u64) -> Self {
+        self.insts.push(Inst::Li { rd, imm });
+        self
+    }
+
+    /// `rd = rs`
+    pub fn mov(mut self, rd: Reg, rs: Reg) -> Self {
+        self.insts.push(Inst::Mov { rd, rs });
+        self
+    }
+
+    /// `rd = ra + rb`
+    pub fn add(mut self, rd: Reg, ra: Reg, rb: Reg) -> Self {
+        self.insts.push(Inst::Add { rd, ra, rb });
+        self
+    }
+
+    /// `rd = ra - rb`
+    pub fn sub(mut self, rd: Reg, ra: Reg, rb: Reg) -> Self {
+        self.insts.push(Inst::Sub { rd, ra, rb });
+        self
+    }
+
+    /// `rd = ra * rb`
+    pub fn mul(mut self, rd: Reg, ra: Reg, rb: Reg) -> Self {
+        self.insts.push(Inst::Mul { rd, ra, rb });
+        self
+    }
+
+    /// `rd = ra & rb`
+    pub fn and(mut self, rd: Reg, ra: Reg, rb: Reg) -> Self {
+        self.insts.push(Inst::And { rd, ra, rb });
+        self
+    }
+
+    /// `rd = ra | rb`
+    pub fn or(mut self, rd: Reg, ra: Reg, rb: Reg) -> Self {
+        self.insts.push(Inst::Or { rd, ra, rb });
+        self
+    }
+
+    /// `rd = ra ^ rb`
+    pub fn xor(mut self, rd: Reg, ra: Reg, rb: Reg) -> Self {
+        self.insts.push(Inst::Xor { rd, ra, rb });
+        self
+    }
+
+    /// `rd = ra + imm`
+    pub fn addi(mut self, rd: Reg, ra: Reg, imm: i64) -> Self {
+        self.insts.push(Inst::AddI { rd, ra, imm });
+        self
+    }
+
+    /// `rd = ra * imm`
+    pub fn muli(mut self, rd: Reg, ra: Reg, imm: u64) -> Self {
+        self.insts.push(Inst::MulI { rd, ra, imm });
+        self
+    }
+
+    /// `rd = ra & imm`
+    pub fn andi(mut self, rd: Reg, ra: Reg, imm: u64) -> Self {
+        self.insts.push(Inst::AndI { rd, ra, imm });
+        self
+    }
+
+    /// `rd = ra << sh`
+    pub fn shli(mut self, rd: Reg, ra: Reg, sh: u8) -> Self {
+        self.insts.push(Inst::ShlI { rd, ra, sh });
+        self
+    }
+
+    /// `rd = ra >> sh`
+    pub fn shri(mut self, rd: Reg, ra: Reg, sh: u8) -> Self {
+        self.insts.push(Inst::ShrI { rd, ra, sh });
+        self
+    }
+
+    /// `rd = get_vaddr()`
+    pub fn ld_vaddr(mut self, rd: Reg) -> Self {
+        self.insts.push(Inst::LdVaddr { rd });
+        self
+    }
+
+    /// `rd = line[off..off+8]` (fixed byte offset)
+    pub fn ld_data_imm(mut self, rd: Reg, off: u8) -> Self {
+        self.insts.push(Inst::LdDataImm { rd, off });
+        self
+    }
+
+    /// `rd = line[(roff & 56)..]` (register byte offset)
+    pub fn ld_data(mut self, rd: Reg, roff: Reg) -> Self {
+        self.insts.push(Inst::LdData { rd, roff });
+        self
+    }
+
+    /// `rd = global[idx]`
+    pub fn ld_global(mut self, rd: Reg, idx: u8) -> Self {
+        self.insts.push(Inst::LdGlobal { rd, idx });
+        self
+    }
+
+    /// `rd = ewma_lookahead(range)`
+    pub fn ld_ewma(mut self, rd: Reg, range: u16) -> Self {
+        self.insts.push(Inst::LdEwma { rd, range });
+        self
+    }
+
+    /// `prefetch(ra)` — chain-terminating prefetch.
+    pub fn prefetch(mut self, ra: Reg) -> Self {
+        self.insts.push(Inst::Prefetch { ra });
+        self
+    }
+
+    /// `prefetch_tag(ra, tag)` — prefetch whose return triggers `tag`'s
+    /// kernel.
+    pub fn prefetch_tag(mut self, ra: Reg, tag: u16) -> Self {
+        self.insts.push(Inst::PrefetchTag { ra, tag });
+        self
+    }
+
+    /// Branch if equal.
+    pub fn beq(mut self, ra: Reg, rb: Reg, label: Label) -> Self {
+        self.pending
+            .push((self.insts.len(), label, PendingBranch::Beq(ra, rb)));
+        self.insts.push(Inst::Beq { ra, rb, target: 0 });
+        self
+    }
+
+    /// Branch if not equal.
+    pub fn bne(mut self, ra: Reg, rb: Reg, label: Label) -> Self {
+        self.pending
+            .push((self.insts.len(), label, PendingBranch::Bne(ra, rb)));
+        self.insts.push(Inst::Bne { ra, rb, target: 0 });
+        self
+    }
+
+    /// Branch if unsigned less-than.
+    pub fn bltu(mut self, ra: Reg, rb: Reg, label: Label) -> Self {
+        self.pending
+            .push((self.insts.len(), label, PendingBranch::Bltu(ra, rb)));
+        self.insts.push(Inst::Bltu { ra, rb, target: 0 });
+        self
+    }
+
+    /// Branch if unsigned greater-or-equal.
+    pub fn bgeu(mut self, ra: Reg, rb: Reg, label: Label) -> Self {
+        self.pending
+            .push((self.insts.len(), label, PendingBranch::Bgeu(ra, rb)));
+        self.insts.push(Inst::Bgeu { ra, rb, target: 0 });
+        self
+    }
+
+    /// Unconditional jump.
+    pub fn jmp(mut self, label: Label) -> Self {
+        self.pending
+            .push((self.insts.len(), label, PendingBranch::Jmp));
+        self.insts.push(Inst::Jmp { target: 0 });
+        self
+    }
+
+    /// `halt`
+    pub fn halt(mut self) -> Self {
+        self.insts.push(Inst::Halt);
+        self
+    }
+
+    /// Resolves labels and produces the kernel.
+    pub fn build(mut self) -> Kernel {
+        for (pos, label, kind) in std::mem::take(&mut self.pending) {
+            let target = *self
+                .labels
+                .get(&label)
+                .unwrap_or_else(|| panic!("unbound label {label:?} in kernel {}", self.name));
+            let target = u16::try_from(target).expect("kernel too large");
+            self.insts[pos] = match kind {
+                PendingBranch::Beq(ra, rb) => Inst::Beq { ra, rb, target },
+                PendingBranch::Bne(ra, rb) => Inst::Bne { ra, rb, target },
+                PendingBranch::Bltu(ra, rb) => Inst::Bltu { ra, rb, target },
+                PendingBranch::Bgeu(ra, rb) => Inst::Bgeu { ra, rb, target },
+                PendingBranch::Jmp => Inst::Jmp { target },
+            };
+        }
+        Kernel {
+            name: self.name,
+            insts: self.insts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_kernel() {
+        let k = KernelBuilder::new("k")
+            .ld_vaddr(0)
+            .addi(0, 0, 64)
+            .prefetch(0)
+            .halt()
+            .build();
+        assert_eq!(k.len(), 4);
+        assert_eq!(k.insts[3], Inst::Halt);
+    }
+
+    #[test]
+    fn backward_label_resolves() {
+        let mut b = KernelBuilder::new("loop");
+        let top = b.label();
+        let k = b
+            .li(0, 0)
+            .bind(top)
+            .addi(0, 0, 1)
+            .li(1, 10)
+            .bltu(0, 1, top)
+            .halt()
+            .build();
+        match k.insts[3] {
+            Inst::Bltu { target, .. } => assert_eq!(target, 1),
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forward_label_resolves() {
+        let mut b = KernelBuilder::new("fwd");
+        let out = b.label();
+        let k = b
+            .li(0, 0)
+            .li(1, 0)
+            .beq(0, 1, out)
+            .prefetch(0)
+            .bind(out)
+            .halt()
+            .build();
+        match k.insts[2] {
+            Inst::Beq { target, .. } => assert_eq!(target, 4),
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut b = KernelBuilder::new("bad");
+        let l = b.label();
+        let _ = b.jmp(l).build();
+    }
+}

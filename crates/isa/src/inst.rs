@@ -1,0 +1,315 @@
+//! Instruction definitions for the PPU bytecode.
+
+/// A PPU register index (`r0`–`r15`).
+pub type Reg = u8;
+
+/// Number of PPU general-purpose registers.
+///
+/// The paper notes registers "provide ample storage for temporary values";
+/// sixteen 64-bit registers matches a Cortex-M-class core.
+pub const NUM_REGS: usize = 16;
+
+/// One PPU instruction.
+///
+/// All arithmetic is 64-bit and wrapping (address arithmetic semantics).
+/// Branch targets are absolute instruction indices within the kernel,
+/// resolved from labels by [`crate::KernelBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inst {
+    /// `rd = imm`
+    Li {
+        /// Destination.
+        rd: Reg,
+        /// Immediate value.
+        imm: u64,
+    },
+    /// `rd = rs`
+    Mov {
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rs: Reg,
+    },
+    /// `rd = ra + rb`
+    Add {
+        /// Destination.
+        rd: Reg,
+        /// Left operand.
+        ra: Reg,
+        /// Right operand.
+        rb: Reg,
+    },
+    /// `rd = ra - rb`
+    Sub {
+        /// Destination.
+        rd: Reg,
+        /// Left operand.
+        ra: Reg,
+        /// Right operand.
+        rb: Reg,
+    },
+    /// `rd = ra * rb`
+    Mul {
+        /// Destination.
+        rd: Reg,
+        /// Left operand.
+        ra: Reg,
+        /// Right operand.
+        rb: Reg,
+    },
+    /// `rd = ra & rb`
+    And {
+        /// Destination.
+        rd: Reg,
+        /// Left operand.
+        ra: Reg,
+        /// Right operand.
+        rb: Reg,
+    },
+    /// `rd = ra | rb`
+    Or {
+        /// Destination.
+        rd: Reg,
+        /// Left operand.
+        ra: Reg,
+        /// Right operand.
+        rb: Reg,
+    },
+    /// `rd = ra ^ rb`
+    Xor {
+        /// Destination.
+        rd: Reg,
+        /// Left operand.
+        ra: Reg,
+        /// Right operand.
+        rb: Reg,
+    },
+    /// `rd = ra + imm` (imm is sign-extended)
+    AddI {
+        /// Destination.
+        rd: Reg,
+        /// Operand.
+        ra: Reg,
+        /// Signed immediate.
+        imm: i64,
+    },
+    /// `rd = ra * imm`
+    MulI {
+        /// Destination.
+        rd: Reg,
+        /// Operand.
+        ra: Reg,
+        /// Immediate multiplier.
+        imm: u64,
+    },
+    /// `rd = ra & imm`
+    AndI {
+        /// Destination.
+        rd: Reg,
+        /// Operand.
+        ra: Reg,
+        /// Immediate mask.
+        imm: u64,
+    },
+    /// `rd = ra << sh`
+    ShlI {
+        /// Destination.
+        rd: Reg,
+        /// Operand.
+        ra: Reg,
+        /// Shift amount (0–63).
+        sh: u8,
+    },
+    /// `rd = ra >> sh` (logical)
+    ShrI {
+        /// Destination.
+        rd: Reg,
+        /// Operand.
+        ra: Reg,
+        /// Shift amount (0–63).
+        sh: u8,
+    },
+    /// `rd = get_vaddr()` — the address that triggered this event.
+    LdVaddr {
+        /// Destination.
+        rd: Reg,
+    },
+    /// `rd = *(u64*)(line + off)` — read the observed cache line at a fixed
+    /// byte offset (must be 8-byte aligned, 0–56).
+    LdDataImm {
+        /// Destination.
+        rd: Reg,
+        /// Byte offset within the line.
+        off: u8,
+    },
+    /// `rd = *(u64*)(line + (roff & 56))` — line read at a register offset.
+    LdData {
+        /// Destination.
+        rd: Reg,
+        /// Register holding the byte offset (masked into the line).
+        roff: Reg,
+    },
+    /// `rd = global[idx]` — read a global prefetcher register.
+    LdGlobal {
+        /// Destination.
+        rd: Reg,
+        /// Global register index.
+        idx: u8,
+    },
+    /// `rd = ewma_lookahead(range)` — the dynamic look-ahead distance (in
+    /// elements) computed by the EWMA calculators for a filter range.
+    LdEwma {
+        /// Destination.
+        rd: Reg,
+        /// Filter-table range the iteration EWMA is bound to.
+        range: u16,
+    },
+    /// Issue a prefetch to the address in `ra`. No callback: this is the
+    /// last link of a chain.
+    Prefetch {
+        /// Register holding the target virtual address.
+        ra: Reg,
+    },
+    /// Issue a prefetch to the address in `ra`, tagged so that the kernel
+    /// registered for `tag` runs when the data arrives (§4.7).
+    PrefetchTag {
+        /// Register holding the target virtual address.
+        ra: Reg,
+        /// Memory-request tag naming the follow-on kernel.
+        tag: u16,
+    },
+    /// Branch to `target` if `ra == rb`.
+    Beq {
+        /// Left operand.
+        ra: Reg,
+        /// Right operand.
+        rb: Reg,
+        /// Absolute instruction index.
+        target: u16,
+    },
+    /// Branch to `target` if `ra != rb`.
+    Bne {
+        /// Left operand.
+        ra: Reg,
+        /// Right operand.
+        rb: Reg,
+        /// Absolute instruction index.
+        target: u16,
+    },
+    /// Branch to `target` if `ra < rb` (unsigned).
+    Bltu {
+        /// Left operand.
+        ra: Reg,
+        /// Right operand.
+        rb: Reg,
+        /// Absolute instruction index.
+        target: u16,
+    },
+    /// Branch to `target` if `ra >= rb` (unsigned).
+    Bgeu {
+        /// Left operand.
+        ra: Reg,
+        /// Right operand.
+        rb: Reg,
+        /// Absolute instruction index.
+        target: u16,
+    },
+    /// Unconditional jump to `target`.
+    Jmp {
+        /// Absolute instruction index.
+        target: u16,
+    },
+    /// Finish the event.
+    Halt,
+}
+
+/// Index of a kernel within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KernelId(pub u16);
+
+/// A compiled event kernel: a short straight-line-ish instruction sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Kernel {
+    /// Human-readable name (e.g. `on_A_prefetch`).
+    pub name: String,
+    /// The instructions.
+    pub insts: Vec<Inst>,
+}
+
+impl Kernel {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the kernel is empty (an empty kernel completes immediately).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+/// A full prefetch program: every kernel loadable onto the PPUs.
+///
+/// The paper notes at most ~1 KB of PPU code per application; the shared
+/// instruction cache is modelled as always-hitting since programs are tiny.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// All kernels, indexed by [`KernelId`].
+    pub kernels: Vec<Kernel>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Adds a kernel, returning its id.
+    pub fn add(&mut self, kernel: Kernel) -> KernelId {
+        let id = KernelId(self.kernels.len() as u16);
+        self.kernels.push(kernel);
+        id
+    }
+
+    /// Looks a kernel up by id.
+    pub fn kernel(&self, id: KernelId) -> &Kernel {
+        &self.kernels[id.0 as usize]
+    }
+
+    /// Finds a kernel by name (diagnostics/tests).
+    pub fn find(&self, name: &str) -> Option<KernelId> {
+        self.kernels
+            .iter()
+            .position(|k| k.name == name)
+            .map(|i| KernelId(i as u16))
+    }
+
+    /// Total instruction footprint across all kernels (the paper's "at most
+    /// 1KB fetched" check corresponds to a few hundred instructions).
+    pub fn total_insts(&self) -> usize {
+        self.kernels.iter().map(|k| k.insts.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_add_and_find() {
+        let mut p = Program::new();
+        let a = p.add(Kernel {
+            name: "a".into(),
+            insts: vec![Inst::Halt],
+        });
+        let b = p.add(Kernel {
+            name: "b".into(),
+            insts: vec![Inst::Li { rd: 0, imm: 1 }, Inst::Halt],
+        });
+        assert_eq!(p.find("a"), Some(a));
+        assert_eq!(p.find("b"), Some(b));
+        assert_eq!(p.find("c"), None);
+        assert_eq!(p.total_insts(), 3);
+        assert_eq!(p.kernel(b).len(), 2);
+    }
+}

@@ -1,0 +1,305 @@
+//! The PPU interpreter: executes one event kernel to completion.
+//!
+//! Execution is *batched*: when the scheduler dispatches an observation to a
+//! PPU, the kernel's effects are computed immediately against the observed
+//! line and current global state, and the instruction count is returned so
+//! the caller can charge PPU-cycles (and release emitted prefetches at the
+//! cycle each `prefetch` instruction would have retired). This preserves
+//! the timing behaviour of an in-order 1-IPC core at any clock frequency
+//! while keeping simulation fast.
+//!
+//! Faulting operations (out-of-line reads, runaway loops hitting the
+//! instruction budget) terminate the event, mirroring §5.1: "any operation
+//! that would usually cause a trap or exception immediately causes
+//! termination of the prefetch event".
+
+use crate::inst::{Inst, Kernel, NUM_REGS};
+
+/// The environment a kernel executes against.
+///
+/// Implemented by the programmable prefetcher (`etpp-core`), which supplies
+/// observation state and collects emitted prefetches; tests implement it
+/// directly.
+pub trait EventCtx {
+    /// The virtual address that triggered this event.
+    fn vaddr(&self) -> u64;
+    /// Read the 8-byte word at `off` (pre-masked to 0..=56) in the observed
+    /// line. For load-triggered events with no observed line this returns 0.
+    fn line_word(&self, off: u8) -> u64;
+    /// Read a global prefetcher register.
+    fn global(&self, idx: u8) -> u64;
+    /// Current EWMA look-ahead distance (in elements) for a filter range.
+    fn ewma_lookahead(&self, range: u16) -> u64;
+    /// Emit a prefetch request. `tag` binds the follow-on kernel; `at_inst`
+    /// is the dynamic instruction index of the `prefetch` instruction, so
+    /// callers can stamp each request with the PPU-cycle it retires.
+    fn prefetch(&mut self, vaddr: u64, tag: Option<u16>, at_inst: u64);
+}
+
+/// Result of running one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Instructions executed (the PPU-cycle cost of the event).
+    pub insts: u64,
+    /// False if the event was terminated (fault or budget exhaustion).
+    pub completed: bool,
+    /// Number of prefetches emitted.
+    pub prefetches: u64,
+}
+
+/// Executes `kernel` against `ctx`, stopping after `max_insts` instructions.
+///
+/// Register state starts zeroed: events are stateless between invocations
+/// (§5.1 — "PPUs do not need to keep state between computations").
+pub fn run_kernel(kernel: &Kernel, ctx: &mut dyn EventCtx, max_insts: u64) -> RunOutcome {
+    let mut regs = [0u64; NUM_REGS];
+    let mut pc = 0usize;
+    let mut insts = 0u64;
+    let mut prefetches = 0u64;
+
+    while insts < max_insts {
+        let Some(inst) = kernel.insts.get(pc) else {
+            // Fell off the end: treat like halt.
+            return RunOutcome {
+                insts,
+                completed: true,
+                prefetches,
+            };
+        };
+        insts += 1;
+        pc += 1;
+        match *inst {
+            Inst::Li { rd, imm } => regs[rd as usize] = imm,
+            Inst::Mov { rd, rs } => regs[rd as usize] = regs[rs as usize],
+            Inst::Add { rd, ra, rb } => {
+                regs[rd as usize] = regs[ra as usize].wrapping_add(regs[rb as usize])
+            }
+            Inst::Sub { rd, ra, rb } => {
+                regs[rd as usize] = regs[ra as usize].wrapping_sub(regs[rb as usize])
+            }
+            Inst::Mul { rd, ra, rb } => {
+                regs[rd as usize] = regs[ra as usize].wrapping_mul(regs[rb as usize])
+            }
+            Inst::And { rd, ra, rb } => regs[rd as usize] = regs[ra as usize] & regs[rb as usize],
+            Inst::Or { rd, ra, rb } => regs[rd as usize] = regs[ra as usize] | regs[rb as usize],
+            Inst::Xor { rd, ra, rb } => regs[rd as usize] = regs[ra as usize] ^ regs[rb as usize],
+            Inst::AddI { rd, ra, imm } => {
+                regs[rd as usize] = regs[ra as usize].wrapping_add(imm as u64)
+            }
+            Inst::MulI { rd, ra, imm } => regs[rd as usize] = regs[ra as usize].wrapping_mul(imm),
+            Inst::AndI { rd, ra, imm } => regs[rd as usize] = regs[ra as usize] & imm,
+            Inst::ShlI { rd, ra, sh } => {
+                regs[rd as usize] = regs[ra as usize].wrapping_shl(sh as u32)
+            }
+            Inst::ShrI { rd, ra, sh } => {
+                regs[rd as usize] = regs[ra as usize].wrapping_shr(sh as u32)
+            }
+            Inst::LdVaddr { rd } => regs[rd as usize] = ctx.vaddr(),
+            Inst::LdDataImm { rd, off } => {
+                if off > 56 || off % 8 != 0 {
+                    // Misaligned line read: trap → terminate event.
+                    return RunOutcome {
+                        insts,
+                        completed: false,
+                        prefetches,
+                    };
+                }
+                regs[rd as usize] = ctx.line_word(off);
+            }
+            Inst::LdData { rd, roff } => {
+                let off = (regs[roff as usize] & 56) as u8;
+                regs[rd as usize] = ctx.line_word(off);
+            }
+            Inst::LdGlobal { rd, idx } => regs[rd as usize] = ctx.global(idx),
+            Inst::LdEwma { rd, range } => regs[rd as usize] = ctx.ewma_lookahead(range),
+            Inst::Prefetch { ra } => {
+                ctx.prefetch(regs[ra as usize], None, insts);
+                prefetches += 1;
+            }
+            Inst::PrefetchTag { ra, tag } => {
+                ctx.prefetch(regs[ra as usize], Some(tag), insts);
+                prefetches += 1;
+            }
+            Inst::Beq { ra, rb, target } => {
+                if regs[ra as usize] == regs[rb as usize] {
+                    pc = target as usize;
+                }
+            }
+            Inst::Bne { ra, rb, target } => {
+                if regs[ra as usize] != regs[rb as usize] {
+                    pc = target as usize;
+                }
+            }
+            Inst::Bltu { ra, rb, target } => {
+                if regs[ra as usize] < regs[rb as usize] {
+                    pc = target as usize;
+                }
+            }
+            Inst::Bgeu { ra, rb, target } => {
+                if regs[ra as usize] >= regs[rb as usize] {
+                    pc = target as usize;
+                }
+            }
+            Inst::Jmp { target } => pc = target as usize,
+            Inst::Halt => {
+                return RunOutcome {
+                    insts,
+                    completed: true,
+                    prefetches,
+                }
+            }
+        }
+    }
+    // Instruction budget exhausted: runaway event terminated.
+    RunOutcome {
+        insts,
+        completed: false,
+        prefetches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::KernelBuilder;
+
+    struct TestCtx {
+        vaddr: u64,
+        line: [u8; 64],
+        globals: [u64; 8],
+        ewma: u64,
+        emitted: Vec<(u64, Option<u16>)>,
+    }
+
+    impl Default for TestCtx {
+        fn default() -> Self {
+            TestCtx {
+                vaddr: 0x1000,
+                line: [0; 64],
+                globals: [0; 8],
+                ewma: 4,
+                emitted: vec![],
+            }
+        }
+    }
+
+    impl EventCtx for TestCtx {
+        fn vaddr(&self) -> u64 {
+            self.vaddr
+        }
+        fn line_word(&self, off: u8) -> u64 {
+            u64::from_le_bytes(self.line[off as usize..off as usize + 8].try_into().unwrap())
+        }
+        fn global(&self, idx: u8) -> u64 {
+            self.globals[idx as usize]
+        }
+        fn ewma_lookahead(&self, _range: u16) -> u64 {
+            self.ewma
+        }
+        fn prefetch(&mut self, vaddr: u64, tag: Option<u16>, _at_inst: u64) {
+            self.emitted.push((vaddr, tag));
+        }
+    }
+
+    #[test]
+    fn figure4_on_a_prefetch_kernel() {
+        // on_A_prefetch: dat = get_data(); prefetch(get_base(1) + dat*8)
+        let k = KernelBuilder::new("on_A_prefetch")
+            .ld_vaddr(1)
+            .ld_data(0, 1) // value at the observed address within the line
+            .shli(0, 0, 3)
+            .ld_global(2, 1)
+            .add(0, 0, 2)
+            .prefetch_tag(0, 9)
+            .halt()
+            .build();
+        let mut ctx = TestCtx {
+            vaddr: 0x1008, // second word of the line
+            ..Default::default()
+        };
+        ctx.line[8..16].copy_from_slice(&42u64.to_le_bytes());
+        ctx.globals[1] = 0x8000; // base of B
+        let out = run_kernel(&k, &mut ctx, 64);
+        assert!(out.completed);
+        assert_eq!(ctx.emitted, vec![(0x8000 + 42 * 8, Some(9))]);
+    }
+
+    #[test]
+    fn loop_kernel_prefetches_n_lines() {
+        // for i in 0..4: prefetch(base + 64*i)
+        let mut b = KernelBuilder::new("loop");
+        let top = b.label();
+        let k = b
+            .ld_vaddr(0) // base
+            .li(1, 0) // i
+            .li(2, 4) // n
+            .bind(top)
+            .prefetch(0)
+            .addi(0, 0, 64)
+            .addi(1, 1, 1)
+            .bltu(1, 2, top)
+            .halt()
+            .build();
+        let mut ctx = TestCtx::default();
+        let out = run_kernel(&k, &mut ctx, 1000);
+        assert!(out.completed);
+        assert_eq!(out.prefetches, 4);
+        assert_eq!(
+            ctx.emitted.iter().map(|e| e.0).collect::<Vec<_>>(),
+            vec![0x1000, 0x1040, 0x1080, 0x10c0]
+        );
+        // 3 setup + 4 iterations x 4 insts + halt
+        assert_eq!(out.insts, 3 + 16 + 1);
+    }
+
+    #[test]
+    fn runaway_loop_is_terminated() {
+        let mut b = KernelBuilder::new("spin");
+        let top = b.label();
+        let k = b.bind(top).addi(0, 0, 1).jmp(top).build();
+        let mut ctx = TestCtx::default();
+        let out = run_kernel(&k, &mut ctx, 100);
+        assert!(!out.completed);
+        assert_eq!(out.insts, 100);
+    }
+
+    #[test]
+    fn misaligned_line_read_terminates() {
+        let k = KernelBuilder::new("bad").ld_data_imm(0, 13).halt().build();
+        let mut ctx = TestCtx::default();
+        let out = run_kernel(&k, &mut ctx, 10);
+        assert!(!out.completed);
+    }
+
+    #[test]
+    fn ewma_lookahead_reaches_kernel() {
+        let k = KernelBuilder::new("ew")
+            .ld_ewma(0, 3)
+            .shli(0, 0, 3)
+            .ld_vaddr(1)
+            .add(0, 0, 1)
+            .prefetch(0)
+            .halt()
+            .build();
+        let mut ctx = TestCtx {
+            ewma: 16,
+            ..Default::default()
+        };
+        run_kernel(&k, &mut ctx, 64);
+        assert_eq!(ctx.emitted, vec![(0x1000 + 16 * 8, None)]);
+    }
+
+    #[test]
+    fn empty_kernel_completes() {
+        let k = Kernel {
+            name: "empty".into(),
+            insts: vec![],
+        };
+        let mut ctx = TestCtx::default();
+        let out = run_kernel(&k, &mut ctx, 10);
+        assert!(out.completed);
+        assert_eq!(out.insts, 0);
+    }
+
+    use crate::inst::Kernel;
+}

@@ -1,0 +1,56 @@
+//! The PPU instruction set: a tiny 64-bit RISC bytecode for prefetch events.
+//!
+//! Programmable prefetch units (PPUs) in the paper are microcontroller-class
+//! in-order cores (Cortex-M0+-sized) with no load/store units, no stack and
+//! no data cache. Their entire world is:
+//!
+//! * the virtual address that triggered the event,
+//! * the 64-byte cache line observed (for prefetch-return events),
+//! * local registers,
+//! * global prefetcher registers (array bases, hash masks, sizes), and
+//! * the EWMA look-ahead calculators.
+//!
+//! This crate defines that world as an instruction set ([`Inst`]), an
+//! assembler with labels ([`KernelBuilder`]), and an interpreter
+//! ([`run_kernel`]) that executes one event to completion against an
+//! [`EventCtx`], counting instructions so the caller can convert work into
+//! PPU-cycles at any clock frequency (the Figure 9 sweeps).
+//!
+//! # Example: the `on_A_load` kernel from Figure 4 of the paper
+//!
+//! ```
+//! use etpp_isa::{KernelBuilder, run_kernel, EventCtx, RunOutcome};
+//!
+//! // void on_A_load() { prefetch(get_vaddr() + 128); }
+//! let kernel = KernelBuilder::new("on_A_load")
+//!     .ld_vaddr(0)
+//!     .addi(0, 0, 128)
+//!     .prefetch(0)
+//!     .halt()
+//!     .build();
+//!
+//! struct Ctx(Vec<u64>);
+//! impl EventCtx for Ctx {
+//!     fn vaddr(&self) -> u64 { 0x1000 }
+//!     fn line_word(&self, _off: u8) -> u64 { 0 }
+//!     fn global(&self, _idx: u8) -> u64 { 0 }
+//!     fn ewma_lookahead(&self, _range: u16) -> u64 { 1 }
+//!     fn prefetch(&mut self, vaddr: u64, _tag: Option<u16>, _at: u64) { self.0.push(vaddr); }
+//! }
+//!
+//! let mut ctx = Ctx(vec![]);
+//! let out = run_kernel(&kernel, &mut ctx, 64);
+//! assert_eq!(out, RunOutcome { insts: 4, completed: true, prefetches: 1 });
+//! assert_eq!(ctx.0, vec![0x1000 + 128]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod asm;
+pub mod inst;
+pub mod interp;
+
+pub use asm::KernelBuilder;
+pub use inst::{Inst, Kernel, KernelId, Program, Reg, NUM_REGS};
+pub use interp::{run_kernel, EventCtx, RunOutcome};

@@ -1,0 +1,68 @@
+//! Address constants and helpers shared across the memory hierarchy.
+//!
+//! All addresses in the simulator are 64-bit *virtual* addresses. The
+//! simulated machine uses an identity virtual→physical mapping (see
+//! [`crate::tlb`]), so the same numeric value is used for cache indexing and
+//! DRAM bank mapping; translation still costs TLB/walker time.
+
+/// Cache line size in bytes (fixed at 64, as in the paper's configuration).
+pub const LINE_SIZE: u64 = 64;
+
+/// Page size in bytes (4 KiB, standard ARMv8 granule).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Returns the line-aligned base address containing `addr`.
+///
+/// # Example
+/// ```
+/// assert_eq!(etpp_mem::line_of(0x1234), 0x1200);
+/// ```
+#[inline]
+pub fn line_of(addr: u64) -> u64 {
+    addr & !(LINE_SIZE - 1)
+}
+
+/// Returns the byte offset of `addr` within its cache line.
+///
+/// # Example
+/// ```
+/// assert_eq!(etpp_mem::offset_in_line(0x1234), 0x34);
+/// ```
+#[inline]
+pub fn offset_in_line(addr: u64) -> u64 {
+    addr & (LINE_SIZE - 1)
+}
+
+/// Returns the page-aligned base address containing `addr`.
+#[inline]
+pub fn page_of(addr: u64) -> u64 {
+    addr & !(PAGE_SIZE - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_of_is_aligned() {
+        for a in [0u64, 1, 63, 64, 65, 0xdead_beef] {
+            assert_eq!(line_of(a) % LINE_SIZE, 0);
+            assert!(line_of(a) <= a);
+            assert!(a - line_of(a) < LINE_SIZE);
+        }
+    }
+
+    #[test]
+    fn offset_plus_line_recovers_addr() {
+        for a in [0u64, 7, 64, 100, u64::MAX - 63] {
+            assert_eq!(line_of(a) + offset_in_line(a), a);
+        }
+    }
+
+    #[test]
+    fn page_of_is_aligned() {
+        assert_eq!(page_of(0x1fff), 0x1000);
+        assert_eq!(page_of(0x1000), 0x1000);
+        assert_eq!(page_of(0xfff), 0);
+    }
+}

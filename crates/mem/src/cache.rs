@@ -1,0 +1,345 @@
+//! Set-associative, write-back cache state with prefetch accounting.
+//!
+//! The cache model holds *presence* state (tags, LRU, dirty/prefetched/used
+//! bits); timing is orchestrated by [`crate::system::MemorySystem`]. Each
+//! line carries a `prefetched` bit that is cleared on the first demand hit;
+//! evicting a line whose bit is still set counts as an *unused* prefetch,
+//! which is exactly the denominator of Figure 8(a) in the paper.
+
+use crate::addr::LINE_SIZE;
+use crate::stats::CacheStats;
+
+/// A 64-byte cache line's worth of data.
+pub type Line = [u8; LINE_SIZE as usize];
+
+/// Static parameters of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Total capacity in bytes.
+    pub size: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Hit latency in core cycles.
+    pub hit_latency: u64,
+    /// Number of miss status holding registers.
+    pub mshrs: usize,
+}
+
+impl CacheParams {
+    /// The paper's L1D: 32 KB, 2-way, 2-cycle hit, 12 MSHRs.
+    pub fn paper_l1() -> Self {
+        CacheParams {
+            size: 32 * 1024,
+            ways: 2,
+            hit_latency: 2,
+            mshrs: 12,
+        }
+    }
+
+    /// The paper's L2: 1 MB, 16-way, 12-cycle hit, 16 MSHRs.
+    pub fn paper_l2() -> Self {
+        CacheParams {
+            size: 1024 * 1024,
+            ways: 16,
+            hit_latency: 12,
+            mshrs: 16,
+        }
+    }
+
+    /// Number of sets implied by size/ways/line-size.
+    pub fn sets(&self) -> usize {
+        (self.size / LINE_SIZE) as usize / self.ways
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Set when the fill was triggered by a prefetch and no demand access has
+    /// touched the line yet.
+    prefetched: bool,
+    /// LRU stamp; larger is more recent.
+    lru: u64,
+}
+
+/// What a lookup found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupResult {
+    /// Line present. `was_prefetched` reports whether this is the first
+    /// demand touch of a prefetched line.
+    Hit {
+        /// True if this demand access is the first use of a prefetched line.
+        was_prefetched: bool,
+    },
+    /// Line absent.
+    Miss,
+}
+
+/// An evicted line: address and whether it must be written back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Line-aligned address of the victim.
+    pub line_addr: u64,
+    /// Victim was dirty and needs a writeback to the next level.
+    pub dirty: bool,
+    /// Victim still had its prefetched bit set (prefetch was never used).
+    pub unused_prefetch: bool,
+}
+
+/// Set-associative cache presence state.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    params: CacheParams,
+    sets: Vec<Way>,
+    stamp: u64,
+    /// Running statistics (demand/prefetch hits and misses, utilisation).
+    pub stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    /// Panics if the geometry does not divide evenly.
+    pub fn new(params: CacheParams) -> Self {
+        let sets = params.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert_eq!(
+            sets as u64 * params.ways as u64 * LINE_SIZE,
+            params.size,
+            "size must equal sets*ways*line"
+        );
+        Cache {
+            params,
+            sets: vec![Way::default(); sets * params.ways],
+            stamp: 1,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The parameters this cache was built with.
+    pub fn params(&self) -> &CacheParams {
+        &self.params
+    }
+
+    #[inline]
+    fn set_index(&self, line_addr: u64) -> usize {
+        ((line_addr / LINE_SIZE) as usize) & (self.params.sets() - 1)
+    }
+
+    #[inline]
+    fn ways_of(&mut self, set: usize) -> &mut [Way] {
+        let w = self.params.ways;
+        &mut self.sets[set * w..(set + 1) * w]
+    }
+
+    /// Probes for `line_addr` without updating statistics. Demand accesses
+    /// update LRU and consume the prefetched bit; probe-only lookups (e.g.
+    /// from the prefetch path) use [`Cache::contains`].
+    pub fn lookup_demand(&mut self, line_addr: u64) -> LookupResult {
+        let set = self.set_index(line_addr);
+        let stamp = self.bump();
+        for way in self.ways_of(set) {
+            if way.valid && way.tag == line_addr {
+                way.lru = stamp;
+                let was_prefetched = way.prefetched;
+                way.prefetched = false;
+                if was_prefetched {
+                    self.stats.prefetches_used += 1;
+                }
+                return LookupResult::Hit { was_prefetched };
+            }
+        }
+        LookupResult::Miss
+    }
+
+    /// Whether the line is present (no LRU or bit side effects).
+    pub fn contains(&self, line_addr: u64) -> bool {
+        let set = self.set_index(line_addr);
+        let w = self.params.ways;
+        self.sets[set * w..(set + 1) * w]
+            .iter()
+            .any(|way| way.valid && way.tag == line_addr)
+    }
+
+    /// Marks the line dirty (committed store hit). No-op if absent.
+    pub fn mark_dirty(&mut self, line_addr: u64) {
+        let set = self.set_index(line_addr);
+        for way in self.ways_of(set) {
+            if way.valid && way.tag == line_addr {
+                way.dirty = true;
+                return;
+            }
+        }
+    }
+
+    /// Inserts `line_addr`, evicting the LRU way if the set is full.
+    ///
+    /// `prefetched` marks the fill as prefetch-triggered for utilisation
+    /// accounting; `dirty` pre-dirties the line (writeback fills).
+    pub fn fill(&mut self, line_addr: u64, prefetched: bool, dirty: bool) -> Option<Eviction> {
+        let set = self.set_index(line_addr);
+        let stamp = self.bump();
+        // Already present (e.g. racing fills): refresh bits, no eviction.
+        for way in self.ways_of(set) {
+            if way.valid && way.tag == line_addr {
+                way.lru = stamp;
+                way.dirty |= dirty;
+                return None;
+            }
+        }
+        let ways = self.ways_of(set);
+        let victim = match ways.iter_mut().find(|w| !w.valid) {
+            Some(w) => w,
+            None => ways.iter_mut().min_by_key(|w| w.lru).expect("ways"),
+        };
+        let evicted = if victim.valid {
+            Some(Eviction {
+                line_addr: victim.tag,
+                dirty: victim.dirty,
+                unused_prefetch: victim.prefetched,
+            })
+        } else {
+            None
+        };
+        *victim = Way {
+            tag: line_addr,
+            valid: true,
+            dirty,
+            prefetched,
+            lru: stamp,
+        };
+        if evicted.is_some_and(|e| e.unused_prefetch) {
+            self.stats.prefetches_unused += 1;
+        }
+        if prefetched {
+            self.stats.prefetch_fills += 1;
+        }
+        evicted
+    }
+
+    /// Invalidates the line if present, returning its eviction record.
+    pub fn invalidate(&mut self, line_addr: u64) -> Option<Eviction> {
+        let set = self.set_index(line_addr);
+        for way in self.ways_of(set) {
+            if way.valid && way.tag == line_addr {
+                let ev = Eviction {
+                    line_addr: way.tag,
+                    dirty: way.dirty,
+                    unused_prefetch: way.prefetched,
+                };
+                way.valid = false;
+                return Some(ev);
+            }
+        }
+        None
+    }
+
+    /// Number of currently valid lines (test/diagnostic helper).
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().filter(|w| w.valid).count()
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.stamp += 1;
+        self.stamp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B = 512B
+        Cache::new(CacheParams {
+            size: 512,
+            ways: 2,
+            hit_latency: 1,
+            mshrs: 4,
+        })
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.lookup_demand(0x1000), LookupResult::Miss);
+        assert!(c.fill(0x1000, false, false).is_none());
+        assert!(matches!(c.lookup_demand(0x1000), LookupResult::Hit { .. }));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (set stride = 4 sets * 64 = 256B).
+        c.fill(0x0000, false, false);
+        c.fill(0x0100, false, false);
+        // Touch 0x0000 so 0x0100 becomes LRU.
+        c.lookup_demand(0x0000);
+        let ev = c.fill(0x0200, false, false).expect("eviction");
+        assert_eq!(ev.line_addr, 0x0100);
+        assert!(c.contains(0x0000));
+        assert!(c.contains(0x0200));
+        assert!(!c.contains(0x0100));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.fill(0x0000, false, false);
+        c.mark_dirty(0x0000);
+        c.fill(0x0100, false, false);
+        let ev = c.fill(0x0200, false, false).expect("eviction");
+        assert!(ev.dirty, "dirty victim must ask for writeback");
+    }
+
+    #[test]
+    fn prefetched_bit_consumed_on_first_hit() {
+        let mut c = tiny();
+        c.fill(0x40, true, false);
+        assert_eq!(
+            c.lookup_demand(0x40),
+            LookupResult::Hit {
+                was_prefetched: true
+            }
+        );
+        assert_eq!(
+            c.lookup_demand(0x40),
+            LookupResult::Hit {
+                was_prefetched: false
+            }
+        );
+        assert_eq!(c.stats.prefetches_used, 1);
+    }
+
+    #[test]
+    fn unused_prefetch_counted_on_eviction() {
+        let mut c = tiny();
+        c.fill(0x0000, true, false);
+        c.fill(0x0100, false, false);
+        c.fill(0x0200, false, false); // evicts one of them
+        c.fill(0x0300, false, false); // evicts the other
+        assert_eq!(c.stats.prefetch_fills, 1);
+        assert_eq!(c.stats.prefetches_unused, 1);
+        assert_eq!(c.stats.prefetches_used, 0);
+    }
+
+    #[test]
+    fn refill_of_present_line_does_not_evict() {
+        let mut c = tiny();
+        c.fill(0x0000, false, false);
+        assert!(c.fill(0x0000, false, true).is_none());
+        let ev = c.invalidate(0x0000).unwrap();
+        assert!(ev.dirty, "refill with dirty=true must stick");
+    }
+
+    #[test]
+    fn paper_geometries_are_valid() {
+        let l1 = Cache::new(CacheParams::paper_l1());
+        assert_eq!(l1.params().sets(), 256);
+        let l2 = Cache::new(CacheParams::paper_l2());
+        assert_eq!(l2.params().sets(), 1024);
+    }
+}

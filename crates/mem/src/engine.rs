@@ -1,0 +1,189 @@
+//! The prefetch-engine attachment point.
+//!
+//! Every prefetcher in this repository — the event-triggered programmable
+//! prefetcher of the paper as well as the stride and GHB baselines — plugs
+//! into the L1 data cache through [`PrefetchEngine`]. The memory system:
+//!
+//! * forwards snooped demand accesses ([`PrefetchEngine::on_demand`]),
+//! * forwards prefetched data arriving at L1, with the actual 64-byte line
+//!   contents and any request tag ([`PrefetchEngine::on_prefetch_fill`]),
+//! * gives the engine a cycle callback ([`PrefetchEngine::tick`]), and
+//! * pops prefetch requests whenever the L1 has a free MSHR
+//!   ([`PrefetchEngine::pop_request`]), per §4.6 of the paper.
+//!
+//! Configuration instructions executed by the main core (address-bounds
+//! registration, global registers, tag bindings — §4.2/§5) arrive through
+//! [`PrefetchEngine::config`].
+
+use crate::cache::Line;
+
+/// Identifier of a filter-table range entry (paper: "address bounds").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RangeId(pub u16);
+
+/// Identifier of a memory-request tag (§4.7), naming a linked data structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TagId(pub u16);
+
+/// Flags controlling EWMA timing collection for a filter range (§4.5).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FilterFlags {
+    /// Record the interval between successive demand reads in this range
+    /// (e.g. time between FIFO pops in BFS) into the iteration EWMA.
+    pub ewma_iteration: bool,
+    /// Events triggered from this range start a timed prefetch chain.
+    pub ewma_chain_start: bool,
+    /// Prefetches completing in this range terminate a timed chain and feed
+    /// the load-time EWMA.
+    pub ewma_chain_end: bool,
+}
+
+/// A demand access snooped at the L1 (paper: "all snooped reads from the
+/// main core").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DemandEvent {
+    /// Cycle the access was issued.
+    pub at: u64,
+    /// Exact virtual address accessed.
+    pub vaddr: u64,
+    /// Program counter of the access (used by the PC-indexed baselines).
+    pub pc: u32,
+    /// True for stores.
+    pub is_write: bool,
+    /// Whether the access hit in L1.
+    pub l1_hit: bool,
+}
+
+/// A prefetch request produced by an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchRequest {
+    /// Virtual address to prefetch (need not be line aligned; kernels use
+    /// the offset to locate fields within the returned line).
+    pub vaddr: u64,
+    /// Memory-request tag; when the data returns, the engine is notified
+    /// with this tag so linked-structure kernels can continue the chain.
+    pub tag: Option<TagId>,
+    /// Opaque metadata returned verbatim in `on_prefetch_fill` (the
+    /// programmable prefetcher threads EWMA chain birth-times through here).
+    pub meta: u64,
+}
+
+/// A prefetcher configuration operation executed by the main core.
+///
+/// These correspond to the "explicit address bounds configuration
+/// instructions" of §4.2 and the global-register setup of §5.2; compiler
+/// passes emit them immediately before the loop they serve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigOp {
+    /// Register (or overwrite) a filter-table range.
+    SetRange {
+        /// Which filter-table slot to write.
+        id: RangeId,
+        /// Inclusive lower virtual-address bound.
+        lo: u64,
+        /// Exclusive upper virtual-address bound.
+        hi: u64,
+        /// Kernel to run on a demand load in the range (`Load Ptr`).
+        on_load: Option<u16>,
+        /// Kernel to run when a prefetch into the range returns (`PF Ptr`).
+        on_prefetch: Option<u16>,
+        /// EWMA timing roles of this range.
+        flags: FilterFlags,
+    },
+    /// Remove a filter-table range.
+    ClearRange {
+        /// Slot to clear.
+        id: RangeId,
+    },
+    /// Write a global prefetcher register (array bases, hash masks, ...).
+    SetGlobal {
+        /// Register index.
+        idx: u8,
+        /// Value.
+        value: u64,
+    },
+    /// Bind a memory-request tag to the kernel run when tagged data returns.
+    SetTagKernel {
+        /// Tag to bind.
+        tag: TagId,
+        /// Kernel index.
+        kernel: u16,
+        /// Tagged fills also terminate a timed EWMA chain.
+        chain_end: bool,
+    },
+    /// Enable or disable the whole engine (power gating; §4.1).
+    Enable(bool),
+}
+
+/// A prefetch engine attached to the L1 data cache.
+///
+/// Engines must be cheap to call: `on_demand` fires for every L1 access.
+pub trait PrefetchEngine {
+    /// A demand access was snooped at the L1.
+    fn on_demand(&mut self, now: u64, ev: &DemandEvent);
+
+    /// Prefetched data arrived at the L1 (or was found already resident).
+    /// `line` is the actual 64-byte content; `tag`/`meta` echo the request.
+    fn on_prefetch_fill(
+        &mut self,
+        now: u64,
+        vaddr: u64,
+        line: &Line,
+        tag: Option<TagId>,
+        meta: u64,
+    );
+
+    /// Advance internal state by one core cycle.
+    fn tick(&mut self, now: u64);
+
+    /// Pop the next prefetch request, if any. Called only when the L1 has a
+    /// free MSHR, so returning `Some` guarantees issue (modulo TLB faults).
+    fn pop_request(&mut self, now: u64) -> Option<PrefetchRequest>;
+
+    /// Execute a configuration instruction from the main core.
+    fn config(&mut self, now: u64, op: &ConfigOp);
+}
+
+/// An engine that never prefetches (the "no prefetching" baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullEngine;
+
+impl PrefetchEngine for NullEngine {
+    fn on_demand(&mut self, _now: u64, _ev: &DemandEvent) {}
+    fn on_prefetch_fill(
+        &mut self,
+        _now: u64,
+        _vaddr: u64,
+        _line: &Line,
+        _tag: Option<TagId>,
+        _meta: u64,
+    ) {
+    }
+    fn tick(&mut self, _now: u64) {}
+    fn pop_request(&mut self, _now: u64) -> Option<PrefetchRequest> {
+        None
+    }
+    fn config(&mut self, _now: u64, _op: &ConfigOp) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_engine_is_inert() {
+        let mut e = NullEngine;
+        e.on_demand(
+            0,
+            &DemandEvent {
+                at: 0,
+                vaddr: 0x40,
+                pc: 1,
+                is_write: false,
+                l1_hit: false,
+            },
+        );
+        e.tick(1);
+        assert_eq!(e.pop_request(2), None);
+    }
+}

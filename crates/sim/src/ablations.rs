@@ -1,0 +1,151 @@
+//! Ablations of the prefetcher's design parameters.
+//!
+//! The paper fixes the observation queue at 40 entries, the request queue
+//! at 200, and motivates both dropping policies and the EWMA-driven
+//! look-ahead. These drivers vary one parameter at a time on a benchmark
+//! that stresses it, quantifying how much each design choice contributes —
+//! the "ablation benches for the design choices DESIGN.md calls out".
+
+use crate::config::{PrefetchMode, SystemConfig};
+use crate::system::run;
+use etpp_core::PrefetcherParams;
+use etpp_workloads::BuiltWorkload;
+
+/// One ablation point: a parameter value and the speedup achieved with it.
+#[derive(Debug, Clone)]
+pub struct AblationPoint {
+    /// Parameter value.
+    pub value: u64,
+    /// Speedup over the no-prefetch baseline.
+    pub speedup: f64,
+}
+
+fn speedup_with(cfg: &SystemConfig, wl: &BuiltWorkload, base: u64) -> f64 {
+    let r = run(cfg, PrefetchMode::Manual, wl).expect("manual program");
+    assert!(r.validated, "{} ablation corrupted output", wl.name);
+    base as f64 / r.cycles as f64
+}
+
+/// Sweeps the observation-queue depth (paper: 40 entries; overflow drops
+/// the oldest observation).
+pub fn observation_queue(wl: &BuiltWorkload, depths: &[usize]) -> Vec<AblationPoint> {
+    let base = run(&SystemConfig::paper(), PrefetchMode::None, wl)
+        .expect("baseline")
+        .cycles;
+    depths
+        .iter()
+        .map(|&d| {
+            let mut cfg = SystemConfig::paper();
+            cfg.pf = PrefetcherParams {
+                observation_queue: d,
+                ..cfg.pf
+            };
+            AblationPoint {
+                value: d as u64,
+                speedup: speedup_with(&cfg, wl, base),
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the prefetch-request-queue depth (paper: 200 entries).
+pub fn request_queue(wl: &BuiltWorkload, depths: &[usize]) -> Vec<AblationPoint> {
+    let base = run(&SystemConfig::paper(), PrefetchMode::None, wl)
+        .expect("baseline")
+        .cycles;
+    depths
+        .iter()
+        .map(|&d| {
+            let mut cfg = SystemConfig::paper();
+            cfg.pf = PrefetcherParams {
+                request_queue: d,
+                ..cfg.pf
+            };
+            AblationPoint {
+                value: d as u64,
+                speedup: speedup_with(&cfg, wl, base),
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the EWMA look-ahead safety multiplier (§7.2's "overestimated
+/// relative to the EWMAs"; 0 = use the raw ratio).
+pub fn lookahead_scale(wl: &BuiltWorkload, scales: &[u64]) -> Vec<AblationPoint> {
+    let base = run(&SystemConfig::paper(), PrefetchMode::None, wl)
+        .expect("baseline")
+        .cycles;
+    scales
+        .iter()
+        .map(|&s| {
+            let mut cfg = SystemConfig::paper();
+            cfg.pf = PrefetcherParams {
+                lookahead_scale: s.max(1),
+                ..cfg.pf
+            };
+            AblationPoint {
+                value: s,
+                speedup: speedup_with(&cfg, wl, base),
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the prefetch-buffer capacity (DESIGN.md's L2-issue
+/// interpretation; 0 entries disables prefetching entirely).
+pub fn prefetch_buffer(wl: &BuiltWorkload, sizes: &[usize]) -> Vec<AblationPoint> {
+    let base = run(&SystemConfig::paper(), PrefetchMode::None, wl)
+        .expect("baseline")
+        .cycles;
+    sizes
+        .iter()
+        .map(|&n| {
+            let mut cfg = SystemConfig::paper();
+            cfg.mem.pf_buffer_entries = n;
+            AblationPoint {
+                value: n as u64,
+                speedup: speedup_with(&cfg, wl, base),
+            }
+        })
+        .collect()
+}
+
+/// Renders an ablation sweep as a Markdown table.
+pub fn table(title: &str, param: &str, points: &[AblationPoint]) -> String {
+    let mut out = format!("## Ablation: {title}\n\n| {param} | speedup |\n|---|---|\n");
+    for p in points {
+        out += &format!("| {} | {:.2} |\n", p.value, p.speedup);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etpp_workloads::{workload_by_name, Scale};
+
+    #[test]
+    fn zero_prefetch_buffer_disables_prefetching() {
+        let wl = workload_by_name("IntSort").unwrap().build(Scale::Tiny);
+        let pts = prefetch_buffer(&wl, &[0, 32]);
+        assert!(
+            (pts[0].speedup - 1.0).abs() < 0.08,
+            "no buffer => no speedup, got {:.2}",
+            pts[0].speedup
+        );
+        assert!(
+            pts[1].speedup > pts[0].speedup + 0.1,
+            "default buffer must beat none: {pts:?}"
+        );
+    }
+
+    #[test]
+    fn tiny_observation_queue_hurts() {
+        let wl = workload_by_name("HJ-8").unwrap().build(Scale::Tiny);
+        let pts = observation_queue(&wl, &[1, 40]);
+        assert!(
+            pts[1].speedup >= pts[0].speedup - 0.05,
+            "40-entry queue should not lose to 1-entry: {pts:?}"
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Developer diagnostic: simulation wall-clock speed and quick speedup
+//! sanity numbers for two representative benchmarks at small scale.
+//!
+//! ```text
+//! cargo run --release -p etpp-sim --bin speedcheck
+//! ```
+
+use etpp_sim::{run, PrefetchMode, SystemConfig};
+use etpp_workloads::{Scale, Workload};
+use std::time::Instant;
+
+fn main() {
+    let cfg = SystemConfig::paper();
+    for (name, w) in [
+        ("IntSort", Box::new(etpp_workloads::intsort::IntSort) as Box<dyn Workload>),
+        ("HJ-8", Box::new(etpp_workloads::hashjoin::Hj8)),
+    ] {
+        let t0 = Instant::now();
+        let wl = w.build(Scale::Small);
+        eprintln!("{name}: build {:?} trace_ops={}", t0.elapsed(), wl.trace.len());
+        for mode in [PrefetchMode::None, PrefetchMode::Manual, PrefetchMode::Software] {
+            let t = Instant::now();
+            match run(&cfg, mode, &wl) {
+                Ok(r) => {
+                    eprintln!(
+                        "  {:>10}: cycles={:>12} ipc={:.2} wall={:?} validated={} l1hit={:.3} late={} pfissued={} pfdrops={} redund={} util={:.2}",
+                        mode.label(), r.cycles, r.ipc(), t.elapsed(), r.validated,
+                        r.mem.l1.read_hit_rate(), r.mem.l1.late_prefetch_merges,
+                        r.mem.prefetches_issued, r.mem.prefetch_drops,
+                        r.mem.prefetch_l1_redundant,
+                        r.mem.l1.prefetch_utilisation(),
+                    );
+                    eprintln!("             lookahead={}", r.final_lookahead);
+                    if let Some(pf) = &r.pf {
+                        eprintln!("             events={} insts={} emitted={} obsdrop={} reqdrop={}",
+                            pf.events_run, pf.insts_executed, pf.prefetches_emitted, pf.obs_dropped, pf.req_dropped);
+                    }
+                }
+                Err(s) => eprintln!("  {:>10}: skipped ({s})", mode.label()),
+            }
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! Experiment drivers: one function per figure/table of the paper.
+//!
+//! Each driver builds (or reuses) the workloads at a given scale, runs the
+//! required (workload, mode, configuration) grid — in parallel across OS
+//! threads, since runs are independent — and returns structured rows that
+//! [`crate::report`] renders in the paper's format.
+
+use crate::config::{PrefetchMode, SystemConfig};
+use crate::system::{run, RunResult, Skip};
+use etpp_workloads::{all_workloads, BuiltWorkload, Scale};
+use std::sync::Mutex;
+
+/// A (workload × mode) speedup cell for Figure 7 / 11-style tables.
+#[derive(Debug, Clone)]
+pub struct SpeedupCell {
+    /// Benchmark name.
+    pub workload: &'static str,
+    /// Prefetching scheme.
+    pub mode: PrefetchMode,
+    /// Speedup over the no-prefetch baseline (None = not expressible).
+    pub speedup: Option<f64>,
+    /// Full result for detail reporting.
+    pub result: Option<RunResult>,
+}
+
+/// Builds every workload at `scale` (parallel).
+pub fn build_all(scale: Scale) -> Vec<BuiltWorkload> {
+    let out = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for w in all_workloads() {
+            let out = &out;
+            s.spawn(move || {
+                let built = w.build(scale);
+                out.lock().expect("poisoned").push(built);
+            });
+        }
+    });
+    let mut v = out.into_inner().expect("poisoned");
+    // Restore Table 2 order (threads finish out of order).
+    let order = [
+        "G500-CSR", "G500-List", "HJ-2", "HJ-8", "PageRank", "RandAcc", "IntSort", "ConjGrad",
+    ];
+    v.sort_by_key(|w| order.iter().position(|n| *n == w.name).unwrap_or(99));
+    v
+}
+
+fn run_grid(
+    cfg: &SystemConfig,
+    workloads: &[BuiltWorkload],
+    modes: &[PrefetchMode],
+) -> Vec<SpeedupCell> {
+    // Baselines first (one per workload), then all modes in parallel.
+    let baselines: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|w| s.spawn(move || run(cfg, PrefetchMode::None, w).expect("baseline").cycles))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("join")).collect()
+    });
+
+    let cells = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for (w, &base) in workloads.iter().zip(&baselines) {
+            for &mode in modes {
+                let cells = &cells;
+                s.spawn(move || {
+                    let cell = match run(cfg, mode, w) {
+                        Ok(r) => SpeedupCell {
+                            workload: w.name,
+                            mode,
+                            speedup: Some(base as f64 / r.cycles as f64),
+                            result: Some(r),
+                        },
+                        Err(Skip::NotExpressible(_)) | Err(Skip::NoProgram(_)) => SpeedupCell {
+                            workload: w.name,
+                            mode,
+                            speedup: None,
+                            result: None,
+                        },
+                    };
+                    cells.lock().expect("poisoned").push(cell);
+                });
+            }
+        }
+    });
+    cells.into_inner().expect("poisoned")
+}
+
+/// Figure 7: speedups for every scheme on every benchmark.
+pub fn fig7(cfg: &SystemConfig, workloads: &[BuiltWorkload]) -> Vec<SpeedupCell> {
+    run_grid(
+        cfg,
+        workloads,
+        &[
+            PrefetchMode::Stride,
+            PrefetchMode::GhbRegular,
+            PrefetchMode::GhbLarge,
+            PrefetchMode::Software,
+            PrefetchMode::Pragma,
+            PrefetchMode::Converted,
+            PrefetchMode::Manual,
+        ],
+    )
+}
+
+/// One Figure 8 row: utilisation and hit rates for the Manual configuration.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Benchmark.
+    pub workload: &'static str,
+    /// Fraction of prefetched L1 lines used before eviction (Fig. 8a).
+    pub l1_utilisation: f64,
+    /// L1 read hit rate without prefetching.
+    pub l1_hit_nopf: f64,
+    /// L1 read hit rate with the programmable prefetcher.
+    pub l1_hit_pf: f64,
+    /// L2 read hit rate without prefetching (G500-List annotation).
+    pub l2_hit_nopf: f64,
+    /// L2 read hit rate with the prefetcher.
+    pub l2_hit_pf: f64,
+}
+
+/// Figure 8: L1 prefetch utilisation and read hit rates.
+pub fn fig8(cfg: &SystemConfig, workloads: &[BuiltWorkload]) -> Vec<Fig8Row> {
+    let rows = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for w in workloads {
+            let rows = &rows;
+            s.spawn(move || {
+                let base = run(cfg, PrefetchMode::None, w).expect("baseline");
+                let Ok(pf) = run(cfg, PrefetchMode::Manual, w) else {
+                    return;
+                };
+                rows.lock().expect("poisoned").push(Fig8Row {
+                    workload: w.name,
+                    l1_utilisation: pf.mem.l1.prefetch_utilisation(),
+                    l1_hit_nopf: base.mem.l1.read_hit_rate(),
+                    l1_hit_pf: pf.mem.l1.read_hit_rate(),
+                    l2_hit_nopf: base.mem.l2.read_hit_rate(),
+                    l2_hit_pf: pf.mem.l2.read_hit_rate(),
+                });
+            });
+        }
+    });
+    let mut v = rows.into_inner().expect("poisoned");
+    v.sort_by_key(|r| workloads.iter().position(|w| w.name == r.workload));
+    v
+}
+
+/// One Figure 9(a) series: speedup vs PPU clock for a benchmark.
+#[derive(Debug, Clone)]
+pub struct Fig9aRow {
+    /// Benchmark.
+    pub workload: &'static str,
+    /// (clock in Hz, speedup) pairs.
+    pub points: Vec<(u64, f64)>,
+}
+
+/// Figure 9(a): PPU clock sweep at 12 PPUs (250 MHz – 2 GHz).
+pub fn fig9a(workloads: &[BuiltWorkload]) -> Vec<Fig9aRow> {
+    let clocks = [250_000_000u64, 500_000_000, 1_000_000_000, 2_000_000_000];
+    let rows = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for w in workloads {
+            let rows = &rows;
+            let clocks = &clocks;
+            s.spawn(move || {
+                let cfg0 = SystemConfig::paper();
+                let base = run(&cfg0, PrefetchMode::None, w).expect("baseline").cycles;
+                let mut points = Vec::new();
+                for &hz in clocks {
+                    let cfg = SystemConfig::with_ppus(12, hz);
+                    if let Ok(r) = run(&cfg, PrefetchMode::Manual, w) {
+                        points.push((hz, base as f64 / r.cycles as f64));
+                    }
+                }
+                rows.lock().expect("poisoned").push(Fig9aRow {
+                    workload: w.name,
+                    points,
+                });
+            });
+        }
+    });
+    let mut v = rows.into_inner().expect("poisoned");
+    v.sort_by_key(|r| workloads.iter().position(|w| w.name == r.workload));
+    v
+}
+
+/// Figure 9(b): PPU-count × clock sweep on G500-CSR.
+pub fn fig9b(g500csr: &BuiltWorkload) -> Vec<(usize, Vec<(u64, f64)>)> {
+    let clocks = [
+        125_000_000u64,
+        250_000_000,
+        500_000_000,
+        1_000_000_000,
+        2_000_000_000,
+        4_000_000_000,
+    ];
+    let counts = [3usize, 6, 12];
+    let base = run(&SystemConfig::paper(), PrefetchMode::None, g500csr)
+        .expect("baseline")
+        .cycles;
+    let out = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for &n in &counts {
+            let out = &out;
+            let clocks = &clocks;
+            s.spawn(move || {
+                let mut series = Vec::new();
+                for &hz in clocks {
+                    let cfg = SystemConfig::with_ppus(n, hz);
+                    if let Ok(r) = run(&cfg, PrefetchMode::Manual, g500csr) {
+                        series.push((hz, base as f64 / r.cycles as f64));
+                    }
+                }
+                out.lock().expect("poisoned").push((n, series));
+            });
+        }
+    });
+    let mut v = out.into_inner().expect("poisoned");
+    v.sort_by_key(|(n, _)| *n);
+    v
+}
+
+/// Figure 10: per-PPU activity factors under the lowest-ID-first scheduler.
+#[derive(Debug, Clone)]
+pub struct Fig10Row {
+    /// Benchmark.
+    pub workload: &'static str,
+    /// Activity factor (busy cycles / total cycles) per PPU, by unit id.
+    pub activity: Vec<f64>,
+}
+
+/// Figure 10: PPU activity distribution at 12 PPUs / 1 GHz.
+pub fn fig10(cfg: &SystemConfig, workloads: &[BuiltWorkload]) -> Vec<Fig10Row> {
+    let rows = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for w in workloads {
+            let rows = &rows;
+            s.spawn(move || {
+                let Ok(r) = run(cfg, PrefetchMode::Manual, w) else {
+                    return;
+                };
+                let Some(pf) = r.pf else { return };
+                let activity = pf
+                    .per_ppu_busy
+                    .iter()
+                    .map(|&b| b as f64 / r.cycles as f64)
+                    .collect();
+                rows.lock().expect("poisoned").push(Fig10Row {
+                    workload: w.name,
+                    activity,
+                });
+            });
+        }
+    });
+    let mut v = rows.into_inner().expect("poisoned");
+    v.sort_by_key(|r| workloads.iter().position(|w| w.name == r.workload));
+    v
+}
+
+/// Figure 11: event-triggered vs blocked-on-intermediate-loads.
+pub fn fig11(cfg: &SystemConfig, workloads: &[BuiltWorkload]) -> Vec<SpeedupCell> {
+    run_grid(cfg, workloads, &[PrefetchMode::Blocked, PrefetchMode::Manual])
+}
+
+/// §7.2 "extra memory accesses": DRAM traffic with/without the prefetcher.
+#[derive(Debug, Clone)]
+pub struct TrafficRow {
+    /// Benchmark.
+    pub workload: &'static str,
+    /// DRAM accesses without prefetching.
+    pub base_accesses: u64,
+    /// DRAM accesses with the Manual prefetcher.
+    pub pf_accesses: u64,
+}
+
+impl TrafficRow {
+    /// Fractional extra accesses (0.16 = +16%).
+    pub fn extra(&self) -> f64 {
+        self.pf_accesses as f64 / self.base_accesses.max(1) as f64 - 1.0
+    }
+}
+
+/// §7.2: extra memory traffic from prefetching.
+pub fn extra_traffic(cfg: &SystemConfig, workloads: &[BuiltWorkload]) -> Vec<TrafficRow> {
+    let rows = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for w in workloads {
+            let rows = &rows;
+            s.spawn(move || {
+                let base = run(cfg, PrefetchMode::None, w).expect("baseline");
+                let Ok(pf) = run(cfg, PrefetchMode::Manual, w) else {
+                    return;
+                };
+                rows.lock().expect("poisoned").push(TrafficRow {
+                    workload: w.name,
+                    base_accesses: base.mem.dram.total_accesses(),
+                    pf_accesses: pf.mem.dram.total_accesses(),
+                });
+            });
+        }
+    });
+    let mut v = rows.into_inner().expect("poisoned");
+    v.sort_by_key(|r| workloads.iter().position(|w| w.name == r.workload));
+    v
+}
+
+/// §7.1: software-prefetch dynamic-instruction overhead.
+#[derive(Debug, Clone)]
+pub struct SwpfOverheadRow {
+    /// Benchmark.
+    pub workload: &'static str,
+    /// Dynamic instructions without software prefetch.
+    pub base_insts: u64,
+    /// Dynamic instructions with software prefetch.
+    pub sw_insts: u64,
+}
+
+impl SwpfOverheadRow {
+    /// Fractional overhead (1.13 = +113%).
+    pub fn overhead(&self) -> f64 {
+        self.sw_insts as f64 / self.base_insts.max(1) as f64 - 1.0
+    }
+}
+
+/// §7.1: dynamic instruction increase from software prefetching.
+pub fn swpf_overhead(workloads: &[BuiltWorkload]) -> Vec<SwpfOverheadRow> {
+    workloads
+        .iter()
+        .filter_map(|w| {
+            let sw = w.sw_trace.as_ref()?;
+            Some(SwpfOverheadRow {
+                workload: w.name,
+                base_insts: w.trace.class_counts().total(),
+                sw_insts: sw.class_counts().total(),
+            })
+        })
+        .collect()
+}
+
+/// Geometric mean of the speedups for one mode.
+pub fn geomean(cells: &[SpeedupCell], mode: PrefetchMode) -> f64 {
+    let vals: Vec<f64> = cells
+        .iter()
+        .filter(|c| c.mode == mode)
+        .filter_map(|c| c.speedup)
+        .collect();
+    if vals.is_empty() {
+        return 0.0;
+    }
+    (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_tiny_grid_shapes_hold() {
+        let workloads: Vec<BuiltWorkload> = [
+            etpp_workloads::workload_by_name("HJ-8").unwrap(),
+            etpp_workloads::workload_by_name("IntSort").unwrap(),
+        ]
+        .into_iter()
+        .map(|w| w.build(Scale::Tiny))
+        .collect();
+        let cfg = SystemConfig::paper();
+        let cells = fig7(&cfg, &workloads);
+        // Manual must win on HJ-8 and beat stride everywhere.
+        let get = |wl: &str, m: PrefetchMode| {
+            cells
+                .iter()
+                .find(|c| c.workload == wl && c.mode == m)
+                .and_then(|c| c.speedup)
+        };
+        let hj8_manual = get("HJ-8", PrefetchMode::Manual).unwrap();
+        let hj8_stride = get("HJ-8", PrefetchMode::Stride).unwrap();
+        assert!(hj8_manual > 1.5, "HJ-8 manual {hj8_manual}");
+        assert!(hj8_manual > hj8_stride);
+        let gm = geomean(&cells, PrefetchMode::Manual);
+        assert!(gm > 1.2, "manual geomean {gm}");
+    }
+
+    #[test]
+    fn fig10_lowest_id_scheduling_skews_work() {
+        let w = etpp_workloads::workload_by_name("IntSort")
+            .unwrap()
+            .build(Scale::Tiny);
+        let cfg = SystemConfig::paper();
+        let rows = fig10(&cfg, std::slice::from_ref(&w));
+        let a = &rows[0].activity;
+        assert_eq!(a.len(), 12);
+        assert!(
+            a[0] >= a[11],
+            "PPU 0 must work at least as much as PPU 11: {a:?}"
+        );
+    }
+
+    #[test]
+    fn swpf_overhead_reports_expected_benchmarks() {
+        let workloads = vec![
+            etpp_workloads::workload_by_name("IntSort")
+                .unwrap()
+                .build(Scale::Tiny),
+            etpp_workloads::workload_by_name("PageRank")
+                .unwrap()
+                .build(Scale::Tiny),
+        ];
+        let rows = swpf_overhead(&workloads);
+        assert_eq!(rows.len(), 1, "PageRank has no software variant");
+        assert!(rows[0].overhead() > 0.3);
+    }
+}

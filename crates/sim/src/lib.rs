@@ -1,0 +1,20 @@
+//! Full-system simulation: core + caches + prefetch engine + DRAM.
+//!
+//! This crate wires the out-of-order core ([`etpp_cpu`]), the memory
+//! hierarchy ([`etpp_mem`]), and any prefetch engine — the programmable
+//! prefetcher ([`etpp_core`]), the stride/GHB baselines
+//! ([`etpp_baselines`]), or none — into a single runnable [`System`], and
+//! provides the experiment drivers that regenerate every figure and table
+//! of the paper's evaluation (see [`experiments`]).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablations;
+pub mod config;
+pub mod experiments;
+pub mod report;
+pub mod system;
+
+pub use config::{PrefetchMode, SystemConfig};
+pub use system::{run, RunResult};

@@ -1,0 +1,219 @@
+//! Plain-text rendering of experiment results in the paper's layout.
+
+use crate::config::PrefetchMode;
+use crate::experiments::{
+    Fig10Row, Fig8Row, Fig9aRow, SpeedupCell, SwpfOverheadRow, TrafficRow,
+};
+
+fn fmt_speedup(s: Option<f64>) -> String {
+    match s {
+        Some(v) => format!("{v:5.2}"),
+        None => "    -".to_string(),
+    }
+}
+
+/// Renders a Figure 7 / Figure 11 style speedup table.
+pub fn speedup_table(title: &str, cells: &[SpeedupCell], modes: &[PrefetchMode]) -> String {
+    let mut workloads: Vec<&str> = Vec::new();
+    for c in cells {
+        if !workloads.contains(&c.workload) {
+            workloads.push(c.workload);
+        }
+    }
+    let mut out = format!("## {title}\n\n| Benchmark |");
+    for m in modes {
+        out += &format!(" {} |", m.label());
+    }
+    out += "\n|---|";
+    for _ in modes {
+        out += "---|";
+    }
+    out += "\n";
+    for w in &workloads {
+        out += &format!("| {w} |");
+        for m in modes {
+            let s = cells
+                .iter()
+                .find(|c| c.workload == *w && c.mode == *m)
+                .and_then(|c| c.speedup);
+            out += &format!(" {} |", fmt_speedup(s));
+        }
+        out += "\n";
+    }
+    out += "| **geomean** |";
+    for m in modes {
+        let gm = crate::experiments::geomean(cells, *m);
+        out += &format!(" {gm:5.2} |");
+    }
+    out += "\n";
+    out
+}
+
+/// Renders Figure 8's two panels.
+pub fn fig8_table(rows: &[Fig8Row]) -> String {
+    let mut out = String::from(
+        "## Figure 8: prefetch utilisation and hit rates (Manual)\n\n\
+         | Benchmark | L1 PF utilisation | L1 hit (no PF) | L1 hit (PF) | L2 hit (no PF) | L2 hit (PF) |\n\
+         |---|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        out += &format!(
+            "| {} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} |\n",
+            r.workload, r.l1_utilisation, r.l1_hit_nopf, r.l1_hit_pf, r.l2_hit_nopf, r.l2_hit_pf
+        );
+    }
+    out
+}
+
+/// Renders a Figure 9(a) clock sweep.
+pub fn fig9a_table(rows: &[Fig9aRow]) -> String {
+    let mut out = String::from("## Figure 9a: speedup vs PPU clock (12 PPUs)\n\n| Benchmark |");
+    if let Some(first) = rows.first() {
+        for (hz, _) in &first.points {
+            out += &format!(" {} |", clock_label(*hz));
+        }
+    }
+    out += "\n|---|";
+    if let Some(first) = rows.first() {
+        for _ in &first.points {
+            out += "---|";
+        }
+    }
+    out += "\n";
+    for r in rows {
+        out += &format!("| {} |", r.workload);
+        for (_, s) in &r.points {
+            out += &format!(" {s:5.2} |");
+        }
+        out += "\n";
+    }
+    out
+}
+
+/// Renders Figure 9(b)'s count × clock sweep.
+pub fn fig9b_table(series: &[(usize, Vec<(u64, f64)>)]) -> String {
+    let mut out = String::from("## Figure 9b: G500-CSR, PPU count x clock\n\n| PPUs |");
+    if let Some((_, pts)) = series.first() {
+        for (hz, _) in pts {
+            out += &format!(" {} |", clock_label(*hz));
+        }
+        out += "\n|---|";
+        for _ in pts {
+            out += "---|";
+        }
+        out += "\n";
+    }
+    for (n, pts) in series {
+        out += &format!("| {n} |");
+        for (_, s) in pts {
+            out += &format!(" {s:5.2} |");
+        }
+        out += "\n";
+    }
+    out
+}
+
+/// Renders Figure 10's activity distribution (min/quartiles/median/max).
+pub fn fig10_table(rows: &[Fig10Row]) -> String {
+    let mut out = String::from(
+        "## Figure 10: PPU activity factors (12 PPUs @ 1GHz, lowest-ID-first)\n\n\
+         | Benchmark | min | q1 | median | q3 | max | idle PPUs |\n|---|---|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        let mut sorted = r.activity.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let q = |p: f64| sorted[((sorted.len() - 1) as f64 * p).round() as usize];
+        let idle = sorted.iter().filter(|&&a| a == 0.0).count();
+        out += &format!(
+            "| {} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {} |\n",
+            r.workload,
+            q(0.0),
+            q(0.25),
+            q(0.5),
+            q(0.75),
+            q(1.0),
+            idle
+        );
+    }
+    out
+}
+
+/// Renders the §7.2 extra-traffic table.
+pub fn traffic_table(rows: &[TrafficRow]) -> String {
+    let mut out = String::from(
+        "## Extra memory accesses (Manual vs no-PF, section 7.2)\n\n\
+         | Benchmark | DRAM accesses (no PF) | DRAM accesses (PF) | extra |\n|---|---|---|---|\n",
+    );
+    for r in rows {
+        out += &format!(
+            "| {} | {} | {} | {:+.1}% |\n",
+            r.workload,
+            r.base_accesses,
+            r.pf_accesses,
+            100.0 * r.extra()
+        );
+    }
+    out
+}
+
+/// Renders the §7.1 software-prefetch overhead table.
+pub fn swpf_table(rows: &[SwpfOverheadRow]) -> String {
+    let mut out = String::from(
+        "## Software prefetch dynamic instruction overhead (section 7.1)\n\n\
+         | Benchmark | plain insts | swpf insts | overhead |\n|---|---|---|---|\n",
+    );
+    for r in rows {
+        out += &format!(
+            "| {} | {} | {} | {:+.0}% |\n",
+            r.workload,
+            r.base_insts,
+            r.sw_insts,
+            100.0 * r.overhead()
+        );
+    }
+    out
+}
+
+fn clock_label(hz: u64) -> String {
+    if hz >= 1_000_000_000 {
+        format!("{}GHz", hz / 1_000_000_000)
+    } else {
+        format!("{}MHz", hz / 1_000_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_table_renders_missing_bars() {
+        let cells = vec![
+            SpeedupCell {
+                workload: "X",
+                mode: PrefetchMode::Manual,
+                speedup: Some(3.0),
+                result: None,
+            },
+            SpeedupCell {
+                workload: "X",
+                mode: PrefetchMode::Software,
+                speedup: None,
+                result: None,
+            },
+        ];
+        let t = speedup_table(
+            "T",
+            &cells,
+            &[PrefetchMode::Software, PrefetchMode::Manual],
+        );
+        assert!(t.contains(" 3.00 |"));
+        assert!(t.contains("    - |"), "missing bar rendered as dash:\n{t}");
+    }
+
+    #[test]
+    fn clock_labels() {
+        assert_eq!(clock_label(250_000_000), "250MHz");
+        assert_eq!(clock_label(2_000_000_000), "2GHz");
+    }
+}

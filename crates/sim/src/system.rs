@@ -1,0 +1,270 @@
+//! The simulated system: one core + memory hierarchy + prefetch engine.
+//!
+//! [`run`] executes a built workload under a chosen [`PrefetchMode`] and
+//! returns cycle counts plus every statistic the paper's figures need. The
+//! memory image is cloned per run, so a [`BuiltWorkload`] can be reused
+//! across an entire parameter sweep.
+
+use crate::config::{PrefetchMode, SystemConfig};
+use etpp_baselines::{GhbParams, GhbPrefetcher, StrideParams, StridePrefetcher};
+use etpp_core::{PfEngineStats, PrefetcherParams, ProgrammablePrefetcher};
+use etpp_cpu::{Core, CoreStats, Trace};
+use etpp_mem::{MemStats, MemorySystem, NullEngine, PrefetchEngine};
+use etpp_workloads::{checksum_region, BuiltWorkload, PrefetchSetup};
+
+/// Result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Benchmark name.
+    pub workload: &'static str,
+    /// Mode simulated.
+    pub mode: PrefetchMode,
+    /// Total cycles to completion.
+    pub cycles: u64,
+    /// Core-side statistics.
+    pub core: CoreStats,
+    /// Memory-side statistics.
+    pub mem: MemStats,
+    /// Programmable-prefetcher statistics (programmable modes only).
+    pub pf: Option<PfEngineStats>,
+    /// Dynamic instruction count (trace length actually retired).
+    pub dyn_insts: u64,
+    /// Branch misprediction rate.
+    pub mispredict_rate: f64,
+    /// Whether the post-run memory image matched the expected checksum.
+    pub validated: bool,
+    /// Final EWMA look-ahead of filter range 0 (programmable modes).
+    pub final_lookahead: u64,
+}
+
+impl RunResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.dyn_insts as f64 / self.cycles.max(1) as f64
+    }
+}
+
+/// Why a (workload, mode) combination cannot be simulated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Skip {
+    /// The paper notes this combination is impossible (e.g. software
+    /// prefetch through BGL iterators).
+    NotExpressible(&'static str),
+    /// No prefetch program available for this mode.
+    NoProgram(&'static str),
+}
+
+impl std::fmt::Display for Skip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Skip::NotExpressible(why) => write!(f, "not expressible: {why}"),
+            Skip::NoProgram(mode) => write!(f, "no {mode} program"),
+        }
+    }
+}
+
+enum Engine {
+    Null(NullEngine),
+    Stride(StridePrefetcher),
+    Ghb(Box<GhbPrefetcher>),
+    Prog(Box<ProgrammablePrefetcher>),
+}
+
+impl Engine {
+    fn as_dyn(&mut self) -> &mut dyn PrefetchEngine {
+        match self {
+            Engine::Null(e) => e,
+            Engine::Stride(e) => e,
+            Engine::Ghb(e) => e.as_mut(),
+            Engine::Prog(e) => e.as_mut(),
+        }
+    }
+}
+
+fn programmable(
+    params: PrefetcherParams,
+    setup: &PrefetchSetup,
+    blocked: bool,
+) -> ProgrammablePrefetcher {
+    let params = PrefetcherParams {
+        blocked_mode: blocked,
+        ..params
+    };
+    let mut pf = ProgrammablePrefetcher::new(params, setup.program.clone());
+    for op in &setup.configs {
+        pf.config(0, op);
+    }
+    pf
+}
+
+/// Selects the trace and engine for `mode`.
+///
+/// # Errors
+/// Returns [`Skip`] when the combination is impossible for this workload
+/// (matching the paper's missing bars).
+fn select<'w>(
+    cfg: &SystemConfig,
+    mode: PrefetchMode,
+    wl: &'w BuiltWorkload,
+) -> Result<(&'w Trace, Engine), Skip> {
+    let plain = &wl.trace;
+    match mode {
+        PrefetchMode::None => Ok((plain, Engine::Null(NullEngine))),
+        PrefetchMode::Stride => Ok((
+            plain,
+            Engine::Stride(StridePrefetcher::new(StrideParams::paper())),
+        )),
+        PrefetchMode::GhbRegular => Ok((
+            plain,
+            Engine::Ghb(Box::new(GhbPrefetcher::new(GhbParams::regular()))),
+        )),
+        PrefetchMode::GhbLarge => Ok((
+            plain,
+            Engine::Ghb(Box::new(GhbPrefetcher::new(GhbParams::large()))),
+        )),
+        PrefetchMode::Software => match &wl.sw_trace {
+            Some(t) => Ok((t, Engine::Null(NullEngine))),
+            None => Err(Skip::NotExpressible(wl.notes)),
+        },
+        PrefetchMode::Manual => match &wl.manual {
+            Some(s) => Ok((plain, Engine::Prog(Box::new(programmable(cfg.pf, s, false))))),
+            None => Err(Skip::NoProgram("manual")),
+        },
+        PrefetchMode::Blocked => match &wl.manual {
+            Some(s) => Ok((plain, Engine::Prog(Box::new(programmable(cfg.pf, s, true))))),
+            None => Err(Skip::NoProgram("manual")),
+        },
+        PrefetchMode::Converted => match &wl.converted {
+            Some(s) => Ok((plain, Engine::Prog(Box::new(programmable(cfg.pf, s, false))))),
+            None => Err(Skip::NoProgram("converted")),
+        },
+        PrefetchMode::Pragma => match &wl.pragma {
+            Some(s) => Ok((plain, Engine::Prog(Box::new(programmable(cfg.pf, s, false))))),
+            None => Err(Skip::NoProgram("pragma")),
+        },
+    }
+}
+
+/// Simulates `wl` under `mode`, returning full statistics.
+///
+/// # Errors
+/// [`Skip`] when the mode is impossible for this workload.
+///
+/// # Panics
+/// Panics if the simulation exceeds `cfg.max_cycles` (deadlock guard) or
+/// the trace accesses unmapped memory (workload generator bug).
+pub fn run(cfg: &SystemConfig, mode: PrefetchMode, wl: &BuiltWorkload) -> Result<RunResult, Skip> {
+    let (trace, mut engine) = select(cfg, mode, wl)?;
+    let mut mem = MemorySystem::new(cfg.mem, wl.image.clone());
+    let mut core = Core::new(cfg.core, trace);
+
+    let mut now: u64 = 0;
+    while !core.finished() {
+        mem.tick(now, engine.as_dyn());
+        core.tick(now, &mut mem);
+        let configs = core.take_configs();
+        for op in configs {
+            engine.as_dyn().config(now, &op);
+        }
+        now += 1;
+        assert!(
+            now < cfg.max_cycles,
+            "simulation exceeded {} cycles for {} / {:?}",
+            cfg.max_cycles,
+            wl.name,
+            mode
+        );
+    }
+
+    let validated = checksum_region(mem.image(), wl.check_region) == wl.expected;
+    let pf = match &engine {
+        Engine::Prog(p) => Some(p.stats()),
+        _ => None,
+    };
+    let final_lookahead = match &engine {
+        Engine::Prog(p) => p.lookahead(0),
+        _ => 0,
+    };
+    Ok(RunResult {
+        workload: wl.name,
+        mode,
+        cycles: now,
+        core: core.stats,
+        mem: mem.stats(),
+        pf,
+        dyn_insts: core.stats.insts_retired,
+        mispredict_rate: core.bpred().mispredict_rate(),
+        validated,
+        final_lookahead,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etpp_workloads::{Scale, Workload};
+
+    #[test]
+    fn intsort_validates_and_manual_speeds_up() {
+        let wl = etpp_workloads::intsort::IntSort.build(Scale::Tiny);
+        let cfg = SystemConfig::paper();
+        let base = run(&cfg, PrefetchMode::None, &wl).unwrap();
+        assert!(base.validated, "baseline run must produce correct counts");
+        let manual = run(&cfg, PrefetchMode::Manual, &wl).unwrap();
+        assert!(manual.validated);
+        let speedup = base.cycles as f64 / manual.cycles as f64;
+        assert!(
+            speedup > 1.2,
+            "manual events should speed IntSort up even at Tiny scale, got {speedup:.2}x"
+        );
+    }
+
+    #[test]
+    fn hj2_modes_rank_in_paper_order() {
+        let wl = etpp_workloads::hashjoin::Hj2.build(Scale::Tiny);
+        let cfg = SystemConfig::paper();
+        let base = run(&cfg, PrefetchMode::None, &wl).unwrap().cycles as f64;
+        let stride = run(&cfg, PrefetchMode::Stride, &wl).unwrap().cycles as f64;
+        let sw = run(&cfg, PrefetchMode::Software, &wl).unwrap().cycles as f64;
+        let manual = run(&cfg, PrefetchMode::Manual, &wl).unwrap().cycles as f64;
+        // Paper: stride barely helps; software helps; manual helps most.
+        assert!(base / manual > base / sw - 0.05, "manual >= software");
+        assert!(base / manual > base / stride, "manual > stride");
+        assert!(base / manual > 1.3, "manual speedup {:.2}", base / manual);
+    }
+
+    #[test]
+    fn ghb_regular_is_useless_on_huge_footprints() {
+        let wl = etpp_workloads::randacc::RandAcc.build(Scale::Tiny);
+        let cfg = SystemConfig::paper();
+        let base = run(&cfg, PrefetchMode::None, &wl).unwrap().cycles as f64;
+        let ghb = run(&cfg, PrefetchMode::GhbRegular, &wl).unwrap().cycles as f64;
+        let speedup = base / ghb;
+        assert!(
+            (0.85..=1.15).contains(&speedup),
+            "GHB-regular should be ~neutral on RandAcc, got {speedup:.2}"
+        );
+    }
+
+    #[test]
+    fn pagerank_software_mode_is_skipped() {
+        let wl = etpp_workloads::pagerank::PageRank.build(Scale::Tiny);
+        let cfg = SystemConfig::paper();
+        assert!(matches!(
+            run(&cfg, PrefetchMode::Software, &wl),
+            Err(Skip::NotExpressible(_))
+        ));
+    }
+
+    #[test]
+    fn blocked_mode_is_no_faster_than_events() {
+        let wl = etpp_workloads::hashjoin::Hj8.build(Scale::Tiny);
+        let cfg = SystemConfig::paper();
+        let manual = run(&cfg, PrefetchMode::Manual, &wl).unwrap().cycles;
+        let blocked = run(&cfg, PrefetchMode::Blocked, &wl).unwrap().cycles;
+        assert!(
+            blocked as f64 >= manual as f64 * 0.95,
+            "blocking must not beat events: manual {manual}, blocked {blocked}"
+        );
+    }
+}

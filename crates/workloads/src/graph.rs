@@ -1,0 +1,175 @@
+//! Graph generation: Graph500 Kronecker (R-MAT) edge lists and builders.
+//!
+//! The Graph500 reference generator produces R-MAT graphs with initiator
+//! probabilities A=0.57, B=0.19, C=0.19, D=0.05 and an edge factor of 16.
+//! This module reimplements it deterministically (quadrant choices are
+//! derived from splitmix64 of the edge/bit indices) and provides CSR and
+//! adjacency-linked-list builders plus a host-side BFS for validation.
+
+use crate::common::mix64;
+
+/// An undirected edge list over `2^scale` vertices.
+#[derive(Debug, Clone)]
+pub struct EdgeList {
+    /// Number of vertices (`2^scale`).
+    pub n_vertices: u64,
+    /// Directed edge tuples (both directions are inserted by the builders).
+    pub edges: Vec<(u32, u32)>,
+}
+
+/// Generates a Kronecker (R-MAT) graph with Graph500's initiator matrix.
+///
+/// `scale` is log2 of the vertex count; `edge_factor` is edges per vertex.
+pub fn kronecker(scale: u32, edge_factor: u64, seed: u64) -> EdgeList {
+    let n = 1u64 << scale;
+    let m = n * edge_factor;
+    let mut edges = Vec::with_capacity(m as usize);
+    for e in 0..m {
+        let mut src = 0u64;
+        let mut dst = 0u64;
+        for bit in 0..scale {
+            let r = mix64(seed ^ (e << 8) ^ bit as u64) % 100;
+            // A=57, B=19, C=19, D=5.
+            let (sbit, dbit) = if r < 57 {
+                (0, 0)
+            } else if r < 76 {
+                (0, 1)
+            } else if r < 95 {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            src = (src << 1) | sbit;
+            dst = (dst << 1) | dbit;
+        }
+        edges.push((src as u32, dst as u32));
+    }
+    EdgeList {
+        n_vertices: n,
+        edges,
+    }
+}
+
+/// A CSR adjacency structure (vertex ids as u64 for direct 8-byte loads).
+#[derive(Debug, Clone)]
+pub struct Csr {
+    /// `rowstart[v]..rowstart[v+1]` indexes `adjacency` for vertex `v`.
+    pub rowstart: Vec<u64>,
+    /// Flattened adjacency (both edge directions).
+    pub adjacency: Vec<u64>,
+}
+
+/// Builds symmetric CSR adjacency from an edge list (self-loops dropped).
+pub fn to_csr(el: &EdgeList) -> Csr {
+    let n = el.n_vertices as usize;
+    let mut degree = vec![0u64; n];
+    for &(s, d) in &el.edges {
+        if s != d {
+            degree[s as usize] += 1;
+            degree[d as usize] += 1;
+        }
+    }
+    let mut rowstart = vec![0u64; n + 1];
+    for v in 0..n {
+        rowstart[v + 1] = rowstart[v] + degree[v];
+    }
+    let mut cursor = rowstart.clone();
+    let mut adjacency = vec![0u64; rowstart[n] as usize];
+    for &(s, d) in &el.edges {
+        if s != d {
+            adjacency[cursor[s as usize] as usize] = d as u64;
+            cursor[s as usize] += 1;
+            adjacency[cursor[d as usize] as usize] = s as u64;
+            cursor[d as usize] += 1;
+        }
+    }
+    Csr {
+        rowstart,
+        adjacency,
+    }
+}
+
+/// Host-side BFS over CSR: returns (visit order, visited flags).
+pub fn bfs_reference(csr: &Csr, root: u64) -> (Vec<u64>, Vec<bool>) {
+    let n = csr.rowstart.len() - 1;
+    let mut visited = vec![false; n];
+    let mut queue = Vec::with_capacity(n);
+    visited[root as usize] = true;
+    queue.push(root);
+    let mut i = 0;
+    while i < queue.len() {
+        let u = queue[i] as usize;
+        i += 1;
+        for e in csr.rowstart[u]..csr.rowstart[u + 1] {
+            let v = csr.adjacency[e as usize];
+            if !visited[v as usize] {
+                visited[v as usize] = true;
+                queue.push(v);
+            }
+        }
+    }
+    (queue, visited)
+}
+
+/// Picks a root in the largest connected component: the highest-degree
+/// vertex (Graph500 picks random roots with degree ≥ 1; the hub is the
+/// deterministic equivalent that guarantees a large traversal).
+pub fn pick_root(csr: &Csr) -> u64 {
+    let n = csr.rowstart.len() - 1;
+    (0..n)
+        .max_by_key(|&v| csr.rowstart[v + 1] - csr.rowstart[v])
+        .unwrap_or(0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kronecker_is_deterministic() {
+        let a = kronecker(8, 4, 1);
+        let b = kronecker(8, 4, 1);
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.edges.len(), 256 * 4);
+    }
+
+    #[test]
+    fn kronecker_is_skewed() {
+        // R-MAT concentrates edges on low-numbered vertices: the max degree
+        // should far exceed the average.
+        let el = kronecker(10, 8, 42);
+        let csr = to_csr(&el);
+        let n = 1024;
+        let avg = csr.adjacency.len() as u64 / n;
+        let max = (0..n as usize)
+            .map(|v| csr.rowstart[v + 1] - csr.rowstart[v])
+            .max()
+            .unwrap();
+        assert!(max > avg * 8, "max degree {max} vs avg {avg}");
+    }
+
+    #[test]
+    fn csr_is_symmetric() {
+        let el = kronecker(6, 4, 7);
+        let csr = to_csr(&el);
+        // Every edge (u,v) has a mirror (v,u).
+        for u in 0..64usize {
+            for e in csr.rowstart[u]..csr.rowstart[u + 1] {
+                let v = csr.adjacency[e as usize] as usize;
+                let back = (csr.rowstart[v]..csr.rowstart[v + 1])
+                    .any(|e2| csr.adjacency[e2 as usize] == u as u64);
+                assert!(back, "missing mirror of ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_reaches_most_of_the_hub_component() {
+        let el = kronecker(10, 8, 3);
+        let csr = to_csr(&el);
+        let root = pick_root(&csr);
+        let (order, visited) = bfs_reference(&csr, root);
+        assert!(order.len() > 200, "traversal too small: {}", order.len());
+        assert_eq!(order.len(), visited.iter().filter(|&&v| v).count());
+    }
+}

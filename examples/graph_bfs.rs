@@ -1,0 +1,57 @@
+//! Graph traversal tour: BFS over CSR vs linked lists, across prefetchers.
+//!
+//! Reproduces the paper's core graph story at example scale: CSR BFS has
+//! abundant memory-level parallelism the event programs can exploit, while
+//! linked-list BFS serialises edge fetching and caps the benefit (§7.1).
+//!
+//! ```text
+//! cargo run --release --example graph_bfs
+//! ```
+
+use etpp::sim::{run, PrefetchMode, SystemConfig};
+use etpp::workloads::{workload_by_name, Scale};
+
+fn main() {
+    let cfg = SystemConfig::paper();
+    let modes = [
+        PrefetchMode::Stride,
+        PrefetchMode::GhbRegular,
+        PrefetchMode::Pragma,
+        PrefetchMode::Converted,
+        PrefetchMode::Manual,
+    ];
+
+    for name in ["G500-CSR", "G500-List"] {
+        let wl = workload_by_name(name).expect("graph benchmark").build(Scale::Tiny);
+        let base = run(&cfg, PrefetchMode::None, &wl).expect("baseline");
+        println!(
+            "{name}: {} trace ops, baseline {} cycles (L1 hit {:.2}, L2 hit {:.2})",
+            wl.trace.len(),
+            base.cycles,
+            base.mem.l1.read_hit_rate(),
+            base.mem.l2.read_hit_rate()
+        );
+        for mode in modes {
+            match run(&cfg, mode, &wl) {
+                Ok(r) => {
+                    println!(
+                        "  {:>14}: {:.2}x   L1 hit {:.2} -> {:.2}, L2 hit {:.2} -> {:.2}",
+                        mode.label(),
+                        base.cycles as f64 / r.cycles as f64,
+                        base.mem.l1.read_hit_rate(),
+                        r.mem.l1.read_hit_rate(),
+                        base.mem.l2.read_hit_rate(),
+                        r.mem.l2.read_hit_rate(),
+                    );
+                }
+                Err(skip) => println!("  {:>14}: skipped ({skip})", mode.label()),
+            }
+        }
+        println!();
+    }
+    println!(
+        "Note the paper's G500-List signature: a modest L1 win but a large L2\n\
+         hit-rate improvement — prefetches arrive too early for the 32KB L1\n\
+         but still land in the 1MB L2 (Figure 8's annotation)."
+    );
+}

@@ -1,0 +1,62 @@
+//! The paper's motivating example (Figure 1): a database hash-join probe,
+//! across every latency-hiding technique it discusses.
+//!
+//! Shows the Figure 2 story end-to-end: software prefetching only reaches
+//! the hash buckets; the event-triggered program walks all the bucket
+//! chains in parallel; and the Figure 11 ablation (PPUs blocking on
+//! intermediate loads) loses most of the benefit on the chained join.
+//!
+//! ```text
+//! cargo run --release --example hash_join_tour
+//! ```
+
+use etpp::sim::{run, PrefetchMode, SystemConfig};
+use etpp::workloads::{workload_by_name, Scale};
+
+fn main() {
+    let cfg = SystemConfig::paper();
+
+    for name in ["HJ-2", "HJ-8"] {
+        let wl = workload_by_name(name).expect("join benchmark").build(Scale::Tiny);
+        let base = run(&cfg, PrefetchMode::None, &wl).expect("baseline");
+        println!(
+            "{name} ({}): baseline {} cycles",
+            if name == "HJ-2" {
+                "inline buckets"
+            } else {
+                "8-deep bucket chains"
+            },
+            base.cycles
+        );
+        for mode in [
+            PrefetchMode::Software,
+            PrefetchMode::Converted,
+            PrefetchMode::Manual,
+            PrefetchMode::Blocked,
+        ] {
+            match run(&cfg, mode, &wl) {
+                Ok(r) => {
+                    let speedup = base.cycles as f64 / r.cycles as f64;
+                    let extra = match &r.pf {
+                        Some(pf) => format!(
+                            " ({} PPU events, {} kernel insts)",
+                            pf.events_run, pf.insts_executed
+                        ),
+                        None => format!(
+                            " ({} swpf issued, {} dropped)",
+                            r.core.swpf_issued, r.core.swpf_dropped
+                        ),
+                    };
+                    println!("  {:>10}: {speedup:.2}x{extra}", mode.label());
+                }
+                Err(skip) => println!("  {:>10}: skipped ({skip})", mode.label()),
+            }
+        }
+        println!();
+    }
+    println!(
+        "HJ-8 is the paper's headline: software prefetching cannot reach the\n\
+         linked chains, and blocking PPUs on intermediate loads (Figure 11)\n\
+         squanders the parallelism that the event model exposes."
+    );
+}

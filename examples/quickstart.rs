@@ -1,0 +1,45 @@
+//! Quickstart: simulate one benchmark with and without the programmable
+//! prefetcher and print the speedup.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use etpp::sim::{run, PrefetchMode, SystemConfig};
+use etpp::workloads::{workload_by_name, Scale};
+
+fn main() {
+    // Build the hash-join probe benchmark at unit-test scale (~seconds).
+    let workload = workload_by_name("HJ-2")
+        .expect("HJ-2 is a Table 2 benchmark")
+        .build(Scale::Tiny);
+
+    // Table 1 system configuration: 3.2 GHz OoO core, 32KB L1 / 1MB L2,
+    // DDR3-1600, 12 PPUs at 1 GHz.
+    let cfg = SystemConfig::paper();
+
+    let base = run(&cfg, PrefetchMode::None, &workload).expect("baseline runs");
+    let manual = run(&cfg, PrefetchMode::Manual, &workload).expect("manual runs");
+
+    assert!(base.validated && manual.validated, "join output mismatch");
+
+    println!("HJ-2 @ Tiny scale");
+    println!(
+        "  no prefetch : {:>12} cycles  (IPC {:.2}, L1 hit {:.2})",
+        base.cycles,
+        base.ipc(),
+        base.mem.l1.read_hit_rate()
+    );
+    println!(
+        "  manual PPUs : {:>12} cycles  (IPC {:.2}, L1 hit {:.2})",
+        manual.cycles,
+        manual.ipc(),
+        manual.mem.l1.read_hit_rate()
+    );
+    println!(
+        "  speedup     : {:.2}x  ({} prefetches issued, {:.0}% used)",
+        base.cycles as f64 / manual.cycles as f64,
+        manual.mem.prefetches_issued,
+        100.0 * manual.mem.l1.prefetch_utilisation()
+    );
+}

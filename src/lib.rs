@@ -1,0 +1,48 @@
+//! ETPP — an event-triggered programmable prefetcher for irregular
+//! workloads.
+//!
+//! A complete, cycle-level Rust reproduction of *"An Event-Triggered
+//! Programmable Prefetcher for Irregular Workloads"* (Ainsworth & Jones,
+//! ASPLOS 2018): the prefetcher architecture itself, the out-of-order core
+//! and memory hierarchy it attaches to, the compiler passes that generate
+//! event programs, the eight evaluation benchmarks, and the experiment
+//! harness that regenerates every figure and table of the paper.
+//!
+//! # Crate map
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `etpp-core` | the programmable prefetcher (filter, PPUs, EWMA, tags) |
+//! | [`mem`] | `etpp-mem` | caches + MSHRs, DRAM, TLBs, memory image |
+//! | [`cpu`] | `etpp-cpu` | out-of-order core, branch predictor, traces |
+//! | [`isa`] | `etpp-isa` | PPU bytecode, assembler, interpreter |
+//! | [`compiler`] | `etpp-compiler` | loop IR, software-prefetch conversion, pragma pass |
+//! | [`baselines`] | `etpp-baselines` | stride (RPT) and Markov GHB prefetchers |
+//! | [`workloads`] | `etpp-workloads` | the eight Table 2 benchmarks |
+//! | [`sim`] | `etpp-sim` | full-system wiring + experiment drivers |
+//!
+//! # Example
+//!
+//! ```
+//! use etpp::sim::{run, PrefetchMode, SystemConfig};
+//! use etpp::workloads::{workload_by_name, Scale};
+//!
+//! let wl = workload_by_name("RandAcc").expect("Table 2 name").build(Scale::Tiny);
+//! let cfg = SystemConfig::paper();
+//! let base = run(&cfg, PrefetchMode::None, &wl).expect("runs");
+//! let pf = run(&cfg, PrefetchMode::Manual, &wl).expect("runs");
+//! assert!(pf.validated, "prefetching never changes program results");
+//! assert!(pf.cycles < base.cycles, "and GUPS gets faster");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use etpp_baselines as baselines;
+pub use etpp_compiler as compiler;
+pub use etpp_core as core;
+pub use etpp_cpu as cpu;
+pub use etpp_isa as isa;
+pub use etpp_mem as mem;
+pub use etpp_sim as sim;
+pub use etpp_workloads as workloads;

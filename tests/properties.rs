@@ -1,0 +1,196 @@
+//! Property-based tests over the simulator's core invariants.
+
+use etpp::cpu::{Core, CoreParams, TraceBuilder};
+use etpp::isa::{run_kernel, EventCtx, Inst, Kernel};
+use etpp::mem::{
+    AccessKind, Cache, CacheParams, MemParams, MemoryImage, MemorySystem, NullEngine,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Cache invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// A line is present after fill until something else evicts it; lookups
+    /// never spuriously report lines the cache was never given.
+    #[test]
+    fn cache_tracks_membership(addrs in proptest::collection::vec(0u64..1u64 << 20, 1..200)) {
+        let mut cache = Cache::new(CacheParams { size: 4096, ways: 2, hit_latency: 1, mshrs: 4 });
+        let mut resident: std::collections::HashSet<u64> = Default::default();
+        for a in addrs {
+            let line = a & !63;
+            if let Some(ev) = cache.fill(line, false, false) {
+                prop_assert!(resident.remove(&ev.line_addr), "evicted a line never filled");
+            }
+            resident.insert(line);
+            prop_assert!(cache.contains(line));
+        }
+        // Everything the model thinks is resident must really be there.
+        for &line in &resident {
+            prop_assert!(cache.contains(line), "bookkeeping lost line {line:#x}");
+        }
+        prop_assert_eq!(cache.occupancy(), resident.len());
+    }
+
+    /// Prefetch accounting: used + unused never exceeds fills.
+    #[test]
+    fn prefetch_accounting_is_consistent(
+        ops in proptest::collection::vec((0u64..1u64 << 14, any::<bool>()), 1..300)
+    ) {
+        let mut cache = Cache::new(CacheParams { size: 2048, ways: 2, hit_latency: 1, mshrs: 4 });
+        for (a, is_pf) in ops {
+            let line = a & !63;
+            if is_pf {
+                cache.fill(line, true, false);
+            } else {
+                cache.lookup_demand(line);
+            }
+        }
+        let s = cache.stats;
+        prop_assert!(s.prefetches_used + s.prefetches_unused <= s.prefetch_fills);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Memory image
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Reads always return the last written value, at any alignment.
+    #[test]
+    fn image_read_after_write(
+        writes in proptest::collection::vec((0u64..1 << 16, any::<u64>()), 1..100)
+    ) {
+        let mut img = MemoryImage::new();
+        let base = img.alloc(1 << 17, 4096);
+        let mut last_write: std::collections::HashMap<u64, (usize, u64)> = Default::default();
+        for (i, (off, val)) in writes.iter().enumerate() {
+            img.write_u64(base + off, *val);
+            last_write.insert(*off, (i, *val));
+        }
+        // Verify offsets whose 8-byte windows were not clobbered by a later
+        // write to an overlapping offset.
+        for (&off, &(idx, val)) in &last_write {
+            let clobbered = last_write
+                .iter()
+                .any(|(&o, &(i, _))| o != off && o.abs_diff(off) < 8 && i > idx);
+            if !clobbered {
+                prop_assert_eq!(img.read_u64(base + off), val);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PPU interpreter
+// ---------------------------------------------------------------------------
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    let r = 0u8..16;
+    prop_oneof![
+        (r.clone(), any::<u64>()).prop_map(|(rd, imm)| Inst::Li { rd, imm }),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(rd, ra, rb)| Inst::Add { rd, ra, rb }),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(rd, ra, rb)| Inst::Xor { rd, ra, rb }),
+        (r.clone(), r.clone(), any::<i64>()).prop_map(|(rd, ra, imm)| Inst::AddI { rd, ra, imm }),
+        (r.clone(), r.clone(), 0u8..64).prop_map(|(rd, ra, sh)| Inst::ShlI { rd, ra, sh }),
+        (r.clone(), r.clone(), 0u8..64).prop_map(|(rd, ra, sh)| Inst::ShrI { rd, ra, sh }),
+        (r.clone()).prop_map(|rd| Inst::LdVaddr { rd }),
+        (r.clone(), r.clone()).prop_map(|(rd, roff)| Inst::LdData { rd, roff }),
+        (r.clone(), 0u8..32).prop_map(|(rd, idx)| Inst::LdGlobal { rd, idx }),
+        (r.clone()).prop_map(|ra| Inst::Prefetch { ra }),
+        (r.clone(), r.clone(), 0u16..40).prop_map(|(ra, rb, target)| Inst::Beq { ra, rb, target }),
+        (0u16..40).prop_map(|target| Inst::Jmp { target }),
+        Just(Inst::Halt),
+    ]
+}
+
+struct CountCtx(u64);
+impl EventCtx for CountCtx {
+    fn vaddr(&self) -> u64 {
+        0x4040
+    }
+    fn line_word(&self, _off: u8) -> u64 {
+        0x1234
+    }
+    fn global(&self, idx: u8) -> u64 {
+        idx as u64 * 1000
+    }
+    fn ewma_lookahead(&self, _range: u16) -> u64 {
+        8
+    }
+    fn prefetch(&mut self, _v: u64, _t: Option<u16>, _i: u64) {
+        self.0 += 1;
+    }
+}
+
+proptest! {
+    /// The interpreter never runs away, never panics, and its instruction
+    /// count is bounded by the budget on arbitrary (even nonsense) kernels.
+    #[test]
+    fn interpreter_is_total(insts in proptest::collection::vec(arb_inst(), 0..40)) {
+        let kernel = Kernel { name: "fuzz".into(), insts };
+        let mut ctx = CountCtx(0);
+        let out = run_kernel(&kernel, &mut ctx, 256);
+        prop_assert!(out.insts <= 256);
+        prop_assert_eq!(out.prefetches, ctx.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Core + memory: random dependency DAGs always drain
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    /// Any well-formed trace (deps point backwards) finishes, retires every
+    /// op exactly once, and committed stores reach the image.
+    #[test]
+    fn random_traces_always_finish(
+        ops in proptest::collection::vec((0u8..5, 0u64..1 << 14, 1u32..8), 1..150)
+    ) {
+        let mut img = MemoryImage::new();
+        let base = img.alloc(1 << 15, 4096);
+        let mut b = TraceBuilder::new();
+        let mut emitted = Vec::new();
+        let mut stored = std::collections::HashMap::new();
+        for (i, (kind, addr, dep_back)) in ops.iter().enumerate() {
+            let dep = if i > 0 {
+                Some(emitted[i.saturating_sub(*dep_back as usize).min(i - 1)])
+            } else {
+                None
+            };
+            let a = base + (addr & !7);
+            let id = match kind {
+                0 => b.load(a, 1, [dep, None]),
+                1 => {
+                    stored.insert(a, i as u64);
+                    b.store(a, i as u64, 2, [dep, None])
+                }
+                2 => b.int_op(1, [dep, None]),
+                3 => b.branch(3, i % 3 == 0, [dep, None]),
+                _ => b.swpf(a, 4, [dep, None]),
+            };
+            emitted.push(id);
+        }
+        let n = ops.len() as u64;
+        let trace = b.build();
+        let mut mem = MemorySystem::new(MemParams::paper(), img);
+        let mut core = Core::new(CoreParams::paper(), &trace);
+        let mut engine = NullEngine;
+        let mut now = 0u64;
+        while !core.finished() {
+            mem.tick(now, &mut engine);
+            core.tick(now, &mut mem);
+            now += 1;
+            prop_assert!(now < 2_000_000, "simulation wedged");
+        }
+        prop_assert_eq!(core.stats.insts_retired, n);
+        for (a, v) in stored {
+            // The trace's final store to `a` is the max index — we recorded
+            // last-write-wins into the map as we built it.
+            prop_assert_eq!(mem.image().read_u64(a), v);
+        }
+        let _ = AccessKind::Load;
+    }
+}
