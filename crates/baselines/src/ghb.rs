@@ -14,9 +14,7 @@
 //! scaled workload touches, so it behaves as unbounded history (the
 //! substitution is recorded in DESIGN.md).
 
-use etpp_mem::{
-    ConfigOp, DemandEvent, Line, PrefetchEngine, PrefetchRequest, TagId, LINE_SIZE,
-};
+use etpp_mem::{ConfigOp, DemandEvent, Line, PrefetchEngine, PrefetchRequest, TagId, LINE_SIZE};
 use std::collections::VecDeque;
 
 /// GHB configuration.
@@ -188,6 +186,10 @@ impl PrefetchEngine for GhbPrefetcher {
     }
 
     fn config(&mut self, _now: u64, _op: &ConfigOp) {}
+
+    fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
 }
 
 #[cfg(test)]

@@ -5,9 +5,7 @@
 //! `addr + stride * 1..=degree`. This captures dense sequential and strided
 //! traversals but, as the paper's evaluation shows, nothing data-dependent.
 
-use etpp_mem::{
-    ConfigOp, DemandEvent, Line, PrefetchEngine, PrefetchRequest, TagId, LINE_SIZE,
-};
+use etpp_mem::{ConfigOp, DemandEvent, Line, PrefetchEngine, PrefetchRequest, TagId, LINE_SIZE};
 use std::collections::VecDeque;
 
 /// Stride prefetcher parameters.
@@ -147,6 +145,10 @@ impl PrefetchEngine for StridePrefetcher {
     }
 
     fn config(&mut self, _now: u64, _op: &ConfigOp) {}
+
+    fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
 }
 
 #[cfg(test)]

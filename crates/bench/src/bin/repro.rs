@@ -1,29 +1,62 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--scale tiny|small|paper] [table1|table2|fig7|fig8|fig9a|fig9b|fig10|fig11|traffic|swpf|all]
+//! repro [--scale tiny|small|paper] [--jobs N] \
+//!       [table1|table2|fig7|fig8|fig9a|fig9b|fig10|fig11|traffic|swpf|all]
+//! repro --replay [--trace-dir DIR] [--jobs N] [--scale tiny|small|paper]
 //! ```
+//!
+//! `--replay` switches to the trace-replay fast path: each workload's
+//! demand stream is captured once from a cycle-level baseline run (cached
+//! on disk under `--trace-dir`, default `target/traces`) and then replayed
+//! against every prefetcher across `--jobs` worker threads. Replay
+//! reproduces relative speedup orderings at a fraction of the cost; see
+//! `etpp-trace` for the fidelity contract.
 //!
 //! Output is GitHub-flavoured Markdown on stdout, suitable for pasting into
 //! EXPERIMENTS.md.
 
-use etpp_sim::{ablations, experiments as ex};
+use etpp_sim::{ablations, experiments as ex, replay as rp};
 use etpp_sim::{report, PrefetchMode, SystemConfig};
 use etpp_workloads::{all_workloads, Scale};
+use std::path::PathBuf;
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Small;
     let mut what: Vec<String> = Vec::new();
+    let mut replay = false;
+    let mut trace_dir = PathBuf::from("target/traces");
+    let mut jobs = std::thread::available_parallelism().map_or(4, |n| n.get());
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--scale" {
             let v = it.next().expect("--scale needs a value");
             scale = etpp_bench::parse_scale(v).expect("scale: tiny|small|paper");
+        } else if a == "--replay" {
+            replay = true;
+        } else if a == "--trace-dir" {
+            trace_dir = PathBuf::from(it.next().expect("--trace-dir needs a path"));
+        } else if a == "--jobs" {
+            jobs = it
+                .next()
+                .expect("--jobs needs a count")
+                .parse()
+                .expect("--jobs: positive integer");
         } else {
             what.push(a.clone());
         }
+    }
+    if replay {
+        if !what.is_empty() {
+            eprintln!(
+                "warning: --replay runs the fig7/fig11 replay grids; ignoring: {}",
+                what.join(" ")
+            );
+        }
+        run_replay(scale, &trace_dir, jobs);
+        return;
     }
     if what.is_empty() || what.iter().any(|w| w == "all") {
         what = [
@@ -96,10 +129,16 @@ fn main() {
                     )
                 );
             }
-            "traffic" => println!("{}", report::traffic_table(&ex::extra_traffic(&cfg, &workloads))),
+            "traffic" => println!(
+                "{}",
+                report::traffic_table(&ex::extra_traffic(&cfg, &workloads))
+            ),
             "ablate" => {
                 let hj8 = workloads.iter().find(|w| w.name == "HJ-8").expect("built");
-                let intsort = workloads.iter().find(|w| w.name == "IntSort").expect("built");
+                let intsort = workloads
+                    .iter()
+                    .find(|w| w.name == "IntSort")
+                    .expect("built");
                 println!(
                     "{}",
                     ablations::table(
@@ -138,6 +177,131 @@ fn main() {
         }
         eprintln!("[{w}] done in {:?}", t.elapsed());
     }
+}
+
+fn scale_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Paper => "paper",
+    }
+}
+
+/// The trace-replay fast path: capture (or load) every workload's demand
+/// stream, then replay the Figure 7 and Figure 11 grids in parallel.
+fn run_replay(scale: Scale, trace_dir: &std::path::Path, jobs: usize) {
+    let cfg = SystemConfig::paper();
+    let label = scale_label(scale);
+    println!(
+        "# ETPP reproduction (trace replay) — scale: {scale:?}, jobs: {jobs}\n\n\
+         Speedups are relative to a no-prefetch *replay* baseline over the same\n\
+         captured stream; orderings are comparable with cycle-level results,\n\
+         absolute cycle counts are not.\n"
+    );
+
+    let t0 = Instant::now();
+    let workloads = ex::build_all(scale);
+    eprintln!(
+        "[build] {} workloads in {:?}",
+        workloads.len(),
+        t0.elapsed()
+    );
+
+    // Capture (or load from cache) every workload's stream, `jobs` at a time.
+    let t0 = Instant::now();
+    let queue: std::sync::Mutex<Vec<usize>> = std::sync::Mutex::new((0..workloads.len()).collect());
+    let captures: Vec<_> = {
+        let slots: Vec<std::sync::Mutex<Option<(etpp_trace::CapturedTrace, rp::CaptureSource)>>> =
+            (0..workloads.len())
+                .map(|_| std::sync::Mutex::new(None))
+                .collect();
+        std::thread::scope(|s| {
+            for _ in 0..jobs.max(1) {
+                s.spawn(|| loop {
+                    let Some(i) = queue.lock().expect("poisoned").pop() else {
+                        break;
+                    };
+                    let got = rp::load_or_capture(Some(trace_dir), &cfg, &workloads[i], label);
+                    *slots[i].lock().expect("poisoned") = Some(got);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("poisoned").expect("filled"))
+            .collect()
+    };
+    eprintln!("[capture] {} traces in {:?}", captures.len(), t0.elapsed());
+
+    println!("## Trace corpus\n");
+    println!("| Benchmark | Records | Accesses | Source | File |");
+    println!("|---|---|---|---|---|");
+    for (w, (t, src)) in workloads.iter().zip(&captures) {
+        let path = rp::trace_path(trace_dir, w, label);
+        let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "| {} | {} | {} | {:?} | {} ({:.1} MiB) |",
+            w.name,
+            t.records.len(),
+            t.access_count(),
+            src,
+            path.display(),
+            size as f64 / (1024.0 * 1024.0),
+        );
+    }
+    println!();
+
+    let traces: Vec<etpp_trace::CapturedTrace> = captures.into_iter().map(|(t, _)| t).collect();
+
+    let t0 = Instant::now();
+    let fig7 = rp::replay_grid(
+        &cfg,
+        &workloads,
+        &traces,
+        &[
+            PrefetchMode::Stride,
+            PrefetchMode::GhbRegular,
+            PrefetchMode::GhbLarge,
+            PrefetchMode::Pragma,
+            PrefetchMode::Converted,
+            PrefetchMode::Manual,
+        ],
+        jobs,
+    );
+    println!(
+        "{}",
+        report::speedup_table(
+            "Figure 7 (replay): speedup over no prefetching",
+            &fig7,
+            &[
+                PrefetchMode::Stride,
+                PrefetchMode::GhbRegular,
+                PrefetchMode::GhbLarge,
+                PrefetchMode::Pragma,
+                PrefetchMode::Converted,
+                PrefetchMode::Manual,
+            ],
+        )
+    );
+    eprintln!("[fig7-replay] done in {:?}", t0.elapsed());
+
+    let t0 = Instant::now();
+    let fig11 = rp::replay_grid(
+        &cfg,
+        &workloads,
+        &traces,
+        &[PrefetchMode::Blocked, PrefetchMode::Manual],
+        jobs,
+    );
+    println!(
+        "{}",
+        report::speedup_table(
+            "Figure 11 (replay): blocked vs event-triggered",
+            &fig11,
+            &[PrefetchMode::Blocked, PrefetchMode::Manual],
+        )
+    );
+    eprintln!("[fig11-replay] done in {:?}", t0.elapsed());
 }
 
 fn print_table1(cfg: &SystemConfig) {
@@ -186,7 +350,11 @@ fn print_table1(cfg: &SystemConfig) {
     );
     println!(
         "| DRAM | DDR3-1600 {}-{}-{}-{}, {} banks |",
-        cfg.mem.dram.t_cl, cfg.mem.dram.t_rcd, cfg.mem.dram.t_rp, cfg.mem.dram.t_ras, cfg.mem.dram.banks
+        cfg.mem.dram.t_cl,
+        cfg.mem.dram.t_rcd,
+        cfg.mem.dram.t_rp,
+        cfg.mem.dram.t_ras,
+        cfg.mem.dram.banks
     );
     println!(
         "| Prefetcher | {} PPUs @ {} MHz, {}-entry observation queue, {}-entry request queue |\n",

@@ -262,9 +262,7 @@ pub(crate) fn build_chain(
 /// # Errors
 /// [`ConvError::NothingToConvert`] if no prefetch converts; individual
 /// failures are skipped as in the paper.
-pub fn convert_software_prefetches(
-    l: &KernelLoop,
-) -> Result<crate::GeneratedSetup, ConvError> {
+pub fn convert_software_prefetches(l: &KernelLoop) -> Result<crate::GeneratedSetup, ConvError> {
     if l.prefetches.is_empty() {
         return Err(ConvError::NothingToConvert);
     }
@@ -282,7 +280,11 @@ pub fn convert_software_prefetches(
         return Err(last_err);
     }
     drop_prefix_chains(&mut chains);
-    Ok(crate::codegen::emit(l, &chains, crate::codegen::Distance::Fixed))
+    Ok(crate::codegen::emit(
+        l,
+        &chains,
+        crate::codegen::Distance::Fixed,
+    ))
 }
 
 /// Removes chains that are proper prefixes of longer chains: the longer
@@ -317,7 +319,11 @@ pub(crate) fn root_target(l: &KernelLoop, addr: ValueId) -> Result<ArrayId, Conv
                     return Ok(*arr);
                 }
                 // Follow the non-static side.
-                cur = if reduce_static(l, *b).is_some() { *a } else { *b };
+                cur = if reduce_static(l, *b).is_some() {
+                    *a
+                } else {
+                    *b
+                };
             }
             Expr::Load {
                 array, points_into, ..
@@ -358,7 +364,10 @@ mod tests {
         let la = l.load_index(a, ivd);
         let lb = l.load_index(b, la);
         let addr_c = l.index_addr(c, lb);
-        l.prefetches.push(SwPrefetch { addr: addr_c, dist: 16 });
+        l.prefetches.push(SwPrefetch {
+            addr: addr_c,
+            dist: 16,
+        });
         // Body: acc += C[B[A[x]]]
         let la0 = l.load_index(a, iv);
         let lb0 = l.load_index(b, la0);
@@ -385,7 +394,10 @@ mod tests {
         let mut l = KernelLoop::new("bad");
         let a = l.array(arr("A", 0x1000, 0x1000, 8, true));
         let iv = l.value(Expr::IndVar);
-        let call = l.value(Expr::Call { arg: iv, pure: false });
+        let call = l.value(Expr::Call {
+            arg: iv,
+            pure: false,
+        });
         let addr = l.index_addr(a, call);
         l.prefetches.push(SwPrefetch { addr, dist: 1 });
         assert_eq!(
@@ -442,7 +454,10 @@ mod tests {
         let addr = l.index_addr(tab, idx);
         let chain = build_chain(&l, addr, tab).unwrap();
         assert_eq!(chain.base, ran);
-        assert_eq!(chain.index_ops, vec![AddrOp::AddConst(24), AddrOp::AndConst(127)]);
+        assert_eq!(
+            chain.index_ops,
+            vec![AddrOp::AddConst(24), AddrOp::AndConst(127)]
+        );
         assert!(chain.levels[0].ops.contains(&AddrOp::Lcg(7)));
     }
 }

@@ -41,7 +41,11 @@ pub fn generate_from_pragma(l: &KernelLoop) -> Result<GeneratedSetup, ConvError>
         return Err(ConvError::NothingToConvert);
     }
     crate::convert::drop_prefix_chains(&mut chains);
-    Ok(crate::codegen::emit(l, &chains, crate::codegen::Distance::Ewma))
+    Ok(crate::codegen::emit(
+        l,
+        &chains,
+        crate::codegen::Distance::Ewma,
+    ))
 }
 
 fn addr_of_load(l: &KernelLoop, v: crate::ir::ValueId) -> crate::ir::ValueId {

@@ -111,7 +111,9 @@ impl EwmaBank {
         if iter == 0 {
             return self.max_lookahead;
         }
-        (self.scale * chain).div_ceil(iter).clamp(1, self.max_lookahead)
+        (self.scale * chain)
+            .div_ceil(iter)
+            .clamp(1, self.max_lookahead)
     }
 
     /// Discards all timing state (context switch, §5.3).

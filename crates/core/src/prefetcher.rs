@@ -9,9 +9,7 @@ use crate::ewma::EwmaBank;
 use crate::filter::{FilterEntry, FilterTable};
 use crate::ppu::Ppu;
 use etpp_isa::{run_kernel, EventCtx, Kernel, KernelId, Program};
-use etpp_mem::{
-    ConfigOp, DemandEvent, Line, PrefetchEngine, PrefetchRequest, TagId,
-};
+use etpp_mem::{ConfigOp, DemandEvent, Line, PrefetchEngine, PrefetchRequest, TagId};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -326,11 +324,19 @@ impl ProgrammablePrefetcher {
     /// event when it returns (it is a *chained* prefetch).
     fn is_chained(&self, vaddr: u64, tag: Option<u16>) -> bool {
         if let Some(t) = tag {
-            if self.tag_kernels.get(t as usize).copied().flatten().is_some() {
+            if self
+                .tag_kernels
+                .get(t as usize)
+                .copied()
+                .flatten()
+                .is_some()
+            {
                 return true;
             }
         }
-        self.filter.matches(vaddr).any(|(_, e)| e.on_prefetch.is_some())
+        self.filter
+            .matches(vaddr)
+            .any(|(_, e)| e.on_prefetch.is_some())
     }
 
     /// Executes `obs`'s kernel on `ppu_id` starting at `start`.
@@ -489,9 +495,7 @@ impl PrefetchEngine for ProgrammablePrefetcher {
         // filter ranges (an address in several ranges yields several events).
         let mut events: Vec<(KernelId, u64)> = Vec::new();
         if let Some(TagId(t)) = tag {
-            if let Some((kernel, chain_end)) =
-                self.tag_kernels.get(t as usize).copied().flatten()
-            {
+            if let Some((kernel, chain_end)) = self.tag_kernels.get(t as usize).copied().flatten() {
                 if chain_end && birth != 0 {
                     self.ewma.record_chain(now.saturating_sub(birth));
                 }
@@ -562,6 +566,14 @@ impl PrefetchEngine for ProgrammablePrefetcher {
             tag: r.tag,
             meta: r.meta,
         })
+    }
+
+    fn is_idle(&self) -> bool {
+        // Pending observations, scheduled releases or queued requests all
+        // need per-cycle ticks; a merely-busy PPU does not (its busy_until
+        // stamp only gates future dispatches).
+        !self.enabled
+            || (self.obs_q.is_empty() && self.req_q.is_empty() && self.releases.is_empty())
     }
 
     fn config(&mut self, _now: u64, op: &ConfigOp) {

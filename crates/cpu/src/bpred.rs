@@ -123,8 +123,8 @@ impl BranchPredictor {
         }
         ctr_update(&mut self.local_pht[lhist], taken);
         ctr_update(&mut self.global_pht[gi], taken);
-        self.local_history[li] = ((self.local_history[li] << 1) | taken as u16)
-            & ((1 << p.local_history_bits) - 1);
+        self.local_history[li] =
+            ((self.local_history[li] << 1) | taken as u16) & ((1 << p.local_history_bits) - 1);
         self.global_history = (self.global_history << 1) | taken as u64;
         if taken {
             self.btb[bi] = (pc, target);
@@ -193,7 +193,9 @@ mod tests {
         let mut x = 0x12345678u64;
         let mut wrong = 0;
         for _ in 0..4000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (x >> 62) & 1 == 1;
             if !bp.predict_and_update(0x600, taken, 0x300) {
                 wrong += 1;

@@ -98,6 +98,37 @@ pub struct CoreStats {
     pub active_cycles: u64,
 }
 
+/// A retired event captured for trace replay (see `etpp-trace`).
+///
+/// Loads that were satisfied entirely by store-to-load forwarding never
+/// reach the memory system and are not captured, so a replayed stream
+/// reproduces the demand traffic the hierarchy actually saw.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetiredEvent {
+    /// A retired load or store that accessed the memory system.
+    Access {
+        /// Retirement cycle.
+        cycle: u64,
+        /// Static program counter.
+        pc: u32,
+        /// Virtual address.
+        vaddr: u64,
+        /// Load or store.
+        kind: AccessKind,
+        /// Store data (stores only).
+        value: u64,
+        /// Access size in bytes.
+        size: u8,
+    },
+    /// A retired prefetcher-configuration instruction.
+    Config {
+        /// Retirement cycle.
+        cycle: u64,
+        /// The configuration operation.
+        op: ConfigOp,
+    },
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum State {
     Waiting,
@@ -111,12 +142,15 @@ struct Slot {
     state: State,
     wait_count: u8,
     in_iq: bool,
+    /// Load satisfied by store-to-load forwarding (excluded from capture).
+    forwarded: bool,
 }
 
 const FREE: Slot = Slot {
     state: State::Done,
     wait_count: 0,
     in_iq: false,
+    forwarded: false,
 };
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,6 +198,8 @@ pub struct Core<'t> {
     blocking_branch: Option<u32>,
 
     pending_configs: Vec<ConfigOp>,
+    /// Capture sink for retired events (`None` = capture disabled).
+    captured: Option<Vec<RetiredEvent>>,
     /// Statistics.
     pub stats: CoreStats,
 }
@@ -189,6 +225,7 @@ impl<'t> Core<'t> {
             fetch_stall_until: 0,
             blocking_branch: None,
             pending_configs: Vec::new(),
+            captured: None,
             stats: CoreStats::default(),
             params,
             trace,
@@ -206,6 +243,17 @@ impl<'t> Core<'t> {
     /// prefetch engine).
     pub fn take_configs(&mut self) -> Vec<ConfigOp> {
         std::mem::take(&mut self.pending_configs)
+    }
+
+    /// Starts capturing retired memory/config events for trace replay.
+    pub fn enable_capture(&mut self) {
+        self.captured
+            .get_or_insert_with(|| Vec::with_capacity(self.trace.len()));
+    }
+
+    /// Takes every event captured so far (retirement order).
+    pub fn take_captured(&mut self) -> Vec<RetiredEvent> {
+        self.captured.take().unwrap_or_default()
     }
 
     /// Branch predictor accuracy access for reporting.
@@ -251,7 +299,11 @@ impl<'t> Core<'t> {
                 e.state = SqState::Complete;
             }
         }
-        while self.sq.front().is_some_and(|e| e.state == SqState::Complete) {
+        while self
+            .sq
+            .front()
+            .is_some_and(|e| e.state == SqState::Complete)
+        {
             self.sq.pop_front();
         }
     }
@@ -304,7 +356,7 @@ impl<'t> Core<'t> {
             if self.head >= self.cursor || self.slots[slot].state != State::Done {
                 break;
             }
-            let op = &self.trace.ops[self.head as usize];
+            let op = self.trace.ops[self.head as usize];
             match op.class {
                 OpClass::Store => {
                     // Commit the data so prefetch kernels see current state,
@@ -317,10 +369,40 @@ impl<'t> Core<'t> {
                     {
                         e.state = SqState::PendingIssue;
                     }
+                    if let Some(cap) = self.captured.as_mut() {
+                        cap.push(RetiredEvent::Access {
+                            cycle: now,
+                            pc: op.pc,
+                            vaddr: op.addr,
+                            kind: AccessKind::Store,
+                            value: op.value,
+                            size: op.aux,
+                        });
+                    }
                 }
                 OpClass::Config => {
                     let cfg = self.trace.configs[op.value as usize].clone();
+                    if let Some(cap) = self.captured.as_mut() {
+                        cap.push(RetiredEvent::Config {
+                            cycle: now,
+                            op: cfg.clone(),
+                        });
+                    }
                     self.pending_configs.push(cfg);
+                }
+                OpClass::Load => {
+                    if let Some(cap) = self.captured.as_mut() {
+                        if !self.slots[slot].forwarded {
+                            cap.push(RetiredEvent::Access {
+                                cycle: now,
+                                pc: op.pc,
+                                vaddr: op.addr,
+                                kind: AccessKind::Load,
+                                value: 0,
+                                size: op.aux,
+                            });
+                        }
+                    }
                 }
                 _ => {}
             }
@@ -331,7 +413,6 @@ impl<'t> Core<'t> {
         if retired > 0 {
             self.stats.active_cycles += 1;
         }
-        let _ = now;
     }
 
     fn drain_store_buffer(&mut self, now: u64, mem: &mut MemorySystem) {
@@ -413,6 +494,7 @@ impl<'t> Core<'t> {
                             || st.state != SqState::WaitRetire;
                         let slot = self.slot_of(idx);
                         self.slots[slot].state = State::Executing;
+                        self.slots[slot].forwarded = true;
                         self.leave_iq(slot);
                         if st_done {
                             self.stats.store_forwards += 1;
@@ -490,6 +572,7 @@ impl<'t> Core<'t> {
                 state: State::Waiting,
                 wait_count: 0,
                 in_iq: needs_iq,
+                forwarded: false,
             };
             if needs_iq {
                 self.iq_count += 1;

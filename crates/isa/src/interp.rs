@@ -188,7 +188,11 @@ mod tests {
             self.vaddr
         }
         fn line_word(&self, off: u8) -> u64 {
-            u64::from_le_bytes(self.line[off as usize..off as usize + 8].try_into().unwrap())
+            u64::from_le_bytes(
+                self.line[off as usize..off as usize + 8]
+                    .try_into()
+                    .unwrap(),
+            )
         }
         fn global(&self, idx: u8) -> u64 {
             self.globals[idx as usize]

@@ -142,7 +142,10 @@ impl Dram {
             }
             Some(_) => {
                 self.stats.row_misses += 1;
-                (self.params.t_rp + self.params.t_rcd + self.params.t_cl, false)
+                (
+                    self.params.t_rp + self.params.t_rcd + self.params.t_cl,
+                    false,
+                )
             }
             None => {
                 self.stats.row_misses += 1;
@@ -173,7 +176,8 @@ impl Dram {
     /// Idle single-read latency in core cycles (closed row, empty bus).
     pub fn idle_read_latency(&self) -> u64 {
         let p = &self.params;
-        2 * p.controller_latency + (p.t_rcd + p.t_cl + p.burst_cycles) * p.core_cycles_per_dram_cycle
+        2 * p.controller_latency
+            + (p.t_rcd + p.t_cl + p.burst_cycles) * p.core_cycles_per_dram_cycle
     }
 }
 
@@ -192,7 +196,7 @@ mod tests {
     #[test]
     fn row_hit_is_faster_than_row_miss() {
         let mut d = Dram::new(DramParams::paper());
-        let first = d.access_read(0, 0) - 0;
+        let first = d.access_read(0, 0);
         // Same row, long after the first access completes.
         let t0 = 10_000;
         let hit = d.access_read(t0, 64) - t0;
@@ -211,7 +215,7 @@ mod tests {
         let mut d = Dram::new(DramParams::paper());
         let a = d.access_read(0, 0);
         let b = d.access_read(0, d.params().row_bytes); // next bank
-        // Bank-parallel: b completes well before 2x the single latency.
+                                                        // Bank-parallel: b completes well before 2x the single latency.
         assert!(b < a + d.idle_read_latency() / 2);
     }
 

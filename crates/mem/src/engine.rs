@@ -142,6 +142,15 @@ pub trait PrefetchEngine {
 
     /// Execute a configuration instruction from the main core.
     fn config(&mut self, now: u64, op: &ConfigOp);
+
+    /// Whether the engine has no internal work pending: nothing queued,
+    /// no PPU executing, no request waiting to be popped. Trace replay
+    /// (`etpp-trace`) fast-forwards the clock across idle stretches, so
+    /// engines that do per-cycle work must return `false` while any is
+    /// outstanding. The default suits stateless engines.
+    fn is_idle(&self) -> bool {
+        true
+    }
 }
 
 /// An engine that never prefetches (the "no prefetching" baseline).

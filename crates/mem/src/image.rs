@@ -243,8 +243,8 @@ mod tests {
         }
         let mut buf = [0u8; 64];
         m.read_line(a + 17, &mut buf);
-        for i in 0..64usize {
-            assert_eq!(buf[i], i as u8);
+        for (i, b) in buf.iter().enumerate() {
+            assert_eq!(*b, i as u8);
         }
     }
 

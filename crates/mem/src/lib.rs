@@ -59,8 +59,7 @@ pub use addr::{line_of, offset_in_line, page_of, LINE_SIZE, PAGE_SIZE};
 pub use cache::{Cache, CacheParams, Line};
 pub use dram::{Dram, DramParams};
 pub use engine::{
-    ConfigOp, DemandEvent, FilterFlags, NullEngine, PrefetchEngine, PrefetchRequest, RangeId,
-    TagId,
+    ConfigOp, DemandEvent, FilterFlags, NullEngine, PrefetchEngine, PrefetchRequest, RangeId, TagId,
 };
 pub use image::{MemoryImage, Region};
 pub use mshr::{MshrFile, MshrId};

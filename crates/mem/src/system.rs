@@ -125,7 +125,11 @@ enum EvKind {
     /// A prefetch-buffer line reached L1; fill and notify waiters.
     PfBufFill { line_addr: u64 },
     /// A prefetch found its line already in L1; deliver the fill event.
-    PfLocalHit { vaddr: u64, tag: Option<TagId>, meta: u64 },
+    PfLocalHit {
+        vaddr: u64,
+        tag: Option<TagId>,
+        meta: u64,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -228,6 +232,15 @@ impl MemorySystem {
     /// Number of free L1 MSHRs.
     pub fn l1_mshrs_free(&self) -> usize {
         self.l1_mshrs.free()
+    }
+
+    /// Whether a fetch of `vaddr`'s line is currently in flight (demand
+    /// MSHR or prefetch buffer). Trace replay uses this to model the store
+    /// buffer: the cycle core drains a store only after the same-line load
+    /// that preceded it has completed.
+    pub fn line_in_flight(&self, vaddr: u64) -> bool {
+        let line = line_of(vaddr);
+        self.l1_mshrs.find(line).is_some() || self.pf_buffer.contains_key(&line)
     }
 
     /// Attempts a demand access at cycle `now`.
@@ -468,7 +481,8 @@ impl MemorySystem {
         if let Some(mshr) = self.l1_mshrs.find(line) {
             // A demand miss is already fetching this line; ride along so the
             // engine still sees the fill (chains must continue).
-            self.l1_mshrs.merge(mshr, Waiter::Prefetch { vaddr, tag, meta });
+            self.l1_mshrs
+                .merge(mshr, Waiter::Prefetch { vaddr, tag, meta });
             return;
         }
         if let Some(entry) = self.pf_buffer.get_mut(&line) {
@@ -507,15 +521,11 @@ impl MemorySystem {
                     self.l2.stats.pf_lookup_misses += 1;
                 }
                 if hit {
-                    self.schedule(
-                        now + self.params.l2.hit_latency,
-                        EvKind::L1Fill { l1_mshr },
-                    );
+                    self.schedule(now + self.params.l2.hit_latency, EvKind::L1Fill { l1_mshr });
                 } else if let Some(l2_mshr) = self.l2_mshrs.find(line) {
                     self.l2_mshrs.merge(l2_mshr, Waiter::Demand(l1_mshr as u64));
-                } else if let Some(l2_mshr) = self
-                    .l2_mshrs
-                    .allocate(line, Waiter::Demand(l1_mshr as u64))
+                } else if let Some(l2_mshr) =
+                    self.l2_mshrs.allocate(line, Waiter::Demand(l1_mshr as u64))
                 {
                     let done = self
                         .dram
@@ -527,10 +537,7 @@ impl MemorySystem {
                 }
             }
             EvKind::PfL2Lookup { line_addr } => {
-                let hit = matches!(
-                    self.l2.lookup_demand(line_addr),
-                    LookupResult::Hit { .. }
-                );
+                let hit = matches!(self.l2.lookup_demand(line_addr), LookupResult::Hit { .. });
                 if hit {
                     self.l2.stats.pf_lookup_hits += 1;
                     self.schedule(
@@ -720,6 +727,17 @@ impl MemorySystem {
         self.events.peek().map(|Reverse(e)| e.at)
     }
 
+    /// Earliest pending demand completion, for idle fast-forwarding.
+    pub fn next_completion_at(&self) -> Option<u64> {
+        self.completions.iter().map(|c| c.at).min()
+    }
+
+    /// Consumes the hierarchy, returning the final memory image (used by
+    /// trace replay to validate post-run checksums).
+    pub fn into_image(self) -> MemoryImage {
+        self.image
+    }
+
     /// Whether any transfer is still in flight.
     pub fn busy(&self) -> bool {
         !self.events.is_empty()
@@ -895,15 +913,7 @@ mod tests {
     struct Queued(Vec<crate::engine::PrefetchRequest>);
     impl PrefetchEngine for Queued {
         fn on_demand(&mut self, _n: u64, _e: &DemandEvent) {}
-        fn on_prefetch_fill(
-            &mut self,
-            _n: u64,
-            _v: u64,
-            _l: &Line,
-            _t: Option<TagId>,
-            _m: u64,
-        ) {
-        }
+        fn on_prefetch_fill(&mut self, _n: u64, _v: u64, _l: &Line, _t: Option<TagId>, _m: u64) {}
         fn tick(&mut self, _n: u64) {}
         fn pop_request(&mut self, _n: u64) -> Option<crate::engine::PrefetchRequest> {
             self.0.pop()

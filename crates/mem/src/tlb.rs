@@ -88,7 +88,7 @@ pub struct TlbHierarchy {
 impl TlbHierarchy {
     /// Creates an empty TLB hierarchy.
     pub fn new(params: TlbParams) -> Self {
-        assert!(params.l2_entries % params.l2_ways == 0);
+        assert!(params.l2_entries.is_multiple_of(params.l2_ways));
         assert!((params.l2_entries / params.l2_ways).is_power_of_two());
         TlbHierarchy {
             l1: vec![TlbEntry::default(); params.l1_entries],
@@ -138,11 +138,7 @@ impl TlbHierarchy {
         }
 
         // Page-table walk: find a free walker slot.
-        match self
-            .walker_busy_until
-            .iter_mut()
-            .find(|slot| **slot <= now)
-        {
+        match self.walker_busy_until.iter_mut().find(|slot| **slot <= now) {
             Some(slot) => {
                 let latency = self.params.l2_latency + self.params.walk_latency;
                 *slot = now + self.params.walk_latency;

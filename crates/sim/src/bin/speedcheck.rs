@@ -1,10 +1,13 @@
 //! Developer diagnostic: simulation wall-clock speed and quick speedup
-//! sanity numbers for two representative benchmarks at small scale.
+//! sanity numbers for two representative benchmarks at small scale — now
+//! for both the cycle-level core and the trace-replay fast path, so the
+//! speedup from replay is measured, not asserted.
 //!
 //! ```text
 //! cargo run --release -p etpp-sim --bin speedcheck
 //! ```
 
+use etpp_sim::replay as rp;
 use etpp_sim::{run, PrefetchMode, SystemConfig};
 use etpp_workloads::{Scale, Workload};
 use std::time::Instant;
@@ -12,31 +15,87 @@ use std::time::Instant;
 fn main() {
     let cfg = SystemConfig::paper();
     for (name, w) in [
-        ("IntSort", Box::new(etpp_workloads::intsort::IntSort) as Box<dyn Workload>),
+        (
+            "IntSort",
+            Box::new(etpp_workloads::intsort::IntSort) as Box<dyn Workload>,
+        ),
         ("HJ-8", Box::new(etpp_workloads::hashjoin::Hj8)),
     ] {
         let t0 = Instant::now();
         let wl = w.build(Scale::Small);
-        eprintln!("{name}: build {:?} trace_ops={}", t0.elapsed(), wl.trace.len());
-        for mode in [PrefetchMode::None, PrefetchMode::Manual, PrefetchMode::Software] {
+        eprintln!(
+            "{name}: build {:?} trace_ops={}",
+            t0.elapsed(),
+            wl.trace.len()
+        );
+
+        // --- cycle-level core ---------------------------------------------
+        let mut cycle_wall = std::collections::HashMap::new();
+        for mode in [
+            PrefetchMode::None,
+            PrefetchMode::Manual,
+            PrefetchMode::Software,
+        ] {
             let t = Instant::now();
             match run(&cfg, mode, &wl) {
                 Ok(r) => {
+                    let wall = t.elapsed();
+                    cycle_wall.insert(mode, wall);
                     eprintln!(
-                        "  {:>10}: cycles={:>12} ipc={:.2} wall={:?} validated={} l1hit={:.3} late={} pfissued={} pfdrops={} redund={} util={:.2}",
-                        mode.label(), r.cycles, r.ipc(), t.elapsed(), r.validated,
+                        "  cycle {:>10}: cycles={:>12} ipc={:.2} wall={:?} validated={} l1hit={:.3} late={} pfissued={} pfdrops={} redund={} util={:.2}",
+                        mode.label(), r.cycles, r.ipc(), wall, r.validated,
                         r.mem.l1.read_hit_rate(), r.mem.l1.late_prefetch_merges,
                         r.mem.prefetches_issued, r.mem.prefetch_drops,
                         r.mem.prefetch_l1_redundant,
                         r.mem.l1.prefetch_utilisation(),
                     );
-                    eprintln!("             lookahead={}", r.final_lookahead);
+                    eprintln!("               lookahead={}", r.final_lookahead);
                     if let Some(pf) = &r.pf {
-                        eprintln!("             events={} insts={} emitted={} obsdrop={} reqdrop={}",
-                            pf.events_run, pf.insts_executed, pf.prefetches_emitted, pf.obs_dropped, pf.req_dropped);
+                        eprintln!(
+                            "               events={} insts={} emitted={} obsdrop={} reqdrop={}",
+                            pf.events_run,
+                            pf.insts_executed,
+                            pf.prefetches_emitted,
+                            pf.obs_dropped,
+                            pf.req_dropped
+                        );
                     }
                 }
-                Err(s) => eprintln!("  {:>10}: skipped ({s})", mode.label()),
+                Err(s) => eprintln!("  cycle {:>10}: skipped ({s})", mode.label()),
+            }
+        }
+
+        // --- trace replay -------------------------------------------------
+        let t = Instant::now();
+        let (trace, _) = rp::load_or_capture(None, &cfg, &wl, "small");
+        let accesses = trace.access_count();
+        eprintln!(
+            "  capture: {} records ({} accesses) in {:?}",
+            trace.records.len(),
+            accesses,
+            t.elapsed()
+        );
+        for mode in [PrefetchMode::None, PrefetchMode::Manual] {
+            let t = Instant::now();
+            match rp::replay_run(&cfg, mode, &wl, &trace.records) {
+                Ok(r) => {
+                    let wall = t.elapsed();
+                    let aps = accesses as f64 / wall.as_secs_f64();
+                    let speedup = cycle_wall
+                        .get(&mode)
+                        .map(|cw| cw.as_secs_f64() / wall.as_secs_f64());
+                    eprintln!(
+                        "  replay {:>9}: cycles={:>12} wall={:?} validated={} l1hit={:.3} accesses/s={:.2e} host-speedup={}",
+                        mode.label(),
+                        r.cycles,
+                        wall,
+                        r.validated,
+                        r.mem.l1.read_hit_rate(),
+                        aps,
+                        speedup.map_or("n/a".to_string(), |s| format!("{s:.1}x")),
+                    );
+                }
+                Err(s) => eprintln!("  replay {:>9}: skipped ({s})", mode.label()),
             }
         }
     }

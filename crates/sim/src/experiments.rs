@@ -38,7 +38,14 @@ pub fn build_all(scale: Scale) -> Vec<BuiltWorkload> {
     let mut v = out.into_inner().expect("poisoned");
     // Restore Table 2 order (threads finish out of order).
     let order = [
-        "G500-CSR", "G500-List", "HJ-2", "HJ-8", "PageRank", "RandAcc", "IntSort", "ConjGrad",
+        "G500-CSR",
+        "G500-List",
+        "HJ-2",
+        "HJ-8",
+        "PageRank",
+        "RandAcc",
+        "IntSort",
+        "ConjGrad",
     ];
     v.sort_by_key(|w| order.iter().position(|n| *n == w.name).unwrap_or(99));
     v
@@ -55,7 +62,10 @@ fn run_grid(
             .iter()
             .map(|w| s.spawn(move || run(cfg, PrefetchMode::None, w).expect("baseline").cycles))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("join")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
     });
 
     let cells = Mutex::new(Vec::new());
@@ -261,7 +271,11 @@ pub fn fig10(cfg: &SystemConfig, workloads: &[BuiltWorkload]) -> Vec<Fig10Row> {
 
 /// Figure 11: event-triggered vs blocked-on-intermediate-loads.
 pub fn fig11(cfg: &SystemConfig, workloads: &[BuiltWorkload]) -> Vec<SpeedupCell> {
-    run_grid(cfg, workloads, &[PrefetchMode::Blocked, PrefetchMode::Manual])
+    run_grid(
+        cfg,
+        workloads,
+        &[PrefetchMode::Blocked, PrefetchMode::Manual],
+    )
 }
 
 /// §7.2 "extra memory accesses": DRAM traffic with/without the prefetcher.

@@ -13,8 +13,10 @@
 pub mod ablations;
 pub mod config;
 pub mod experiments;
+pub mod replay;
 pub mod report;
 pub mod system;
 
 pub use config::{PrefetchMode, SystemConfig};
-pub use system::{run, RunResult};
+pub use replay::{load_or_capture, replay_grid, replay_run, ReplayRun};
+pub use system::{run, run_captured, RunResult};

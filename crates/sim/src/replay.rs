@@ -1,0 +1,332 @@
+//! The parallel trace-replay experiment runner.
+//!
+//! Capture once, replay everywhere: each workload's demand-access stream
+//! is recorded from one cycle-level baseline run (or loaded from a disk
+//! cache keyed by workload content hash) and then replayed — in parallel
+//! across a configurable number of worker threads — against every
+//! prefetcher configuration in the experiment grid. Replay skips the
+//! out-of-order core entirely, which makes sweeping prefetcher
+//! configurations an order of magnitude faster than full cycle simulation
+//! while preserving relative speedup orderings (see [`etpp_trace::replay`]
+//! for the fidelity contract).
+
+use crate::config::{PrefetchMode, SystemConfig};
+use crate::experiments::SpeedupCell;
+use crate::system::{make_engine, run_captured, Skip};
+use etpp_mem::MemStats;
+use etpp_trace::{CapturedTrace, ReplayParams, TraceReader, TraceRecord, TraceWriter};
+use etpp_workloads::{checksum_region, BuiltWorkload};
+use std::collections::VecDeque;
+use std::fs;
+use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Result of replaying one (workload, mode) cell.
+#[derive(Debug)]
+pub struct ReplayRun {
+    /// Benchmark name.
+    pub workload: &'static str,
+    /// Prefetching scheme replayed against the trace.
+    pub mode: PrefetchMode,
+    /// Replayed cycles (relative metric; see `etpp_trace::replay`).
+    pub cycles: u64,
+    /// Demand accesses replayed.
+    pub accesses: u64,
+    /// Memory-side statistics.
+    pub mem: MemStats,
+    /// Whether the post-replay image checksum matched the reference.
+    pub validated: bool,
+}
+
+/// Stable cache key for a workload's captured trace: hashes the micro-op
+/// trace content (not just the name), so regenerating a workload with
+/// different parameters invalidates the cached capture.
+pub fn workload_trace_key(wl: &BuiltWorkload, scale_label: &str) -> u64 {
+    use etpp_trace::format::{fnv1a, FNV_OFFSET};
+    let mut h = FNV_OFFSET;
+    h = fnv1a(wl.name.as_bytes(), h);
+    h = fnv1a(scale_label.as_bytes(), h);
+    h = fnv1a(&(etpp_trace::FORMAT_VERSION as u64).to_le_bytes(), h);
+    h = fnv1a(&(wl.trace.len() as u64).to_le_bytes(), h);
+    for op in &wl.trace.ops {
+        h = fnv1a(&op.pc.to_le_bytes(), h);
+        h = fnv1a(&[op.class as u8, op.aux], h);
+        h = fnv1a(&op.addr.to_le_bytes(), h);
+        h = fnv1a(&op.value.to_le_bytes(), h);
+    }
+    h
+}
+
+/// Path of the cached capture for `wl` inside `dir`.
+pub fn trace_path(dir: &Path, wl: &BuiltWorkload, scale_label: &str) -> PathBuf {
+    dir.join(format!(
+        "{}-{}-{:016x}.etpt",
+        wl.name.replace('/', "_"),
+        scale_label,
+        workload_trace_key(wl, scale_label)
+    ))
+}
+
+/// How a capture was obtained (surfaced in reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptureSource {
+    /// Loaded from the on-disk cache.
+    Cached,
+    /// Captured fresh from a cycle-level baseline run.
+    Captured,
+}
+
+/// Loads the cached capture for `wl`, or captures it from a cycle-level
+/// no-prefetch run (and stores it in `dir`, if given).
+///
+/// # Panics
+/// Panics if the baseline cycle-level run fails validation — a trace from
+/// a wrong run must never enter the cache.
+pub fn load_or_capture(
+    dir: Option<&Path>,
+    cfg: &SystemConfig,
+    wl: &BuiltWorkload,
+    scale_label: &str,
+) -> (CapturedTrace, CaptureSource) {
+    if let Some(dir) = dir {
+        let path = trace_path(dir, wl, scale_label);
+        if let Ok(f) = fs::File::open(&path) {
+            match TraceReader::new(BufReader::new(f)).and_then(|r| r.read_to_end()) {
+                Ok(t) => return (t, CaptureSource::Cached),
+                Err(e) => eprintln!("[trace] discarding bad cache {}: {e}", path.display()),
+            }
+        }
+    }
+    let (result, trace) =
+        run_captured(cfg, PrefetchMode::None, wl, scale_label).expect("baseline always runs");
+    assert!(
+        result.validated,
+        "{}: baseline capture run failed validation",
+        wl.name
+    );
+    if let Some(dir) = dir {
+        if let Err(e) = persist(dir, wl, scale_label, &trace) {
+            eprintln!("[trace] could not cache {}: {e}", wl.name);
+        }
+    }
+    (trace, CaptureSource::Captured)
+}
+
+fn persist(
+    dir: &Path,
+    wl: &BuiltWorkload,
+    scale_label: &str,
+    trace: &CapturedTrace,
+) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let path = trace_path(dir, wl, scale_label);
+    let tmp = path.with_extension("etpt.tmp");
+    let mut w = TraceWriter::new(BufWriter::new(fs::File::create(&tmp)?), &trace.meta)?;
+    for r in &trace.records {
+        w.record(r)?;
+    }
+    w.finish()?;
+    fs::rename(&tmp, &path)
+}
+
+/// Replays `records` under `mode`'s engine and validates the result.
+///
+/// # Errors
+/// [`Skip`] for modes that cannot attach to a replayed trace (Software)
+/// or have no program for this workload.
+pub fn replay_run(
+    cfg: &SystemConfig,
+    mode: PrefetchMode,
+    wl: &BuiltWorkload,
+    records: &[TraceRecord],
+) -> Result<ReplayRun, Skip> {
+    let mut engine = make_engine(cfg, mode, wl)?;
+    // An 8-deep issue window tracks the effective memory-level parallelism
+    // of the 40-entry-ROB core (dependent chains keep it well below the
+    // 16-entry LQ bound); empirically it reproduces the cycle-level
+    // speedup orderings best.
+    let params = ReplayParams {
+        window: 8,
+        ..ReplayParams::default()
+    };
+    let res = etpp_trace::replay(&params, cfg.mem, wl.image.clone(), records, engine.as_dyn());
+    let validated = checksum_region(&res.image, wl.check_region) == wl.expected;
+    Ok(ReplayRun {
+        workload: wl.name,
+        mode,
+        cycles: res.cycles,
+        accesses: res.accesses,
+        mem: res.mem,
+        validated,
+    })
+}
+
+/// One unit of grid work: replay workload `w` under `mode`.
+type Job = (usize, PrefetchMode);
+
+/// Replays the (workload × mode) grid across `jobs` worker threads,
+/// returning Figure 7-style speedup cells (replay-mode baseline = replay
+/// with no prefetcher, so speedups compare like with like).
+///
+/// `captures[i]` must hold the captured trace for `workloads[i]`.
+pub fn replay_grid(
+    cfg: &SystemConfig,
+    workloads: &[BuiltWorkload],
+    captures: &[CapturedTrace],
+    modes: &[PrefetchMode],
+    jobs: usize,
+) -> Vec<SpeedupCell> {
+    assert_eq!(workloads.len(), captures.len());
+    let jobs = jobs.max(1);
+
+    // Baselines first (one replay per workload, in parallel).
+    let baselines: Vec<u64> = {
+        let queue = Mutex::new((0..workloads.len()).collect::<VecDeque<_>>());
+        let out = Mutex::new(vec![0u64; workloads.len()]);
+        std::thread::scope(|s| {
+            for _ in 0..jobs.min(workloads.len().max(1)) {
+                s.spawn(|| loop {
+                    let Some(i) = queue.lock().expect("poisoned").pop_front() else {
+                        break;
+                    };
+                    let r =
+                        replay_run(cfg, PrefetchMode::None, &workloads[i], &captures[i].records)
+                            .expect("baseline replay always runs");
+                    assert!(
+                        r.validated,
+                        "{}: baseline replay corrupted image",
+                        r.workload
+                    );
+                    out.lock().expect("poisoned")[i] = r.cycles;
+                });
+            }
+        });
+        out.into_inner().expect("poisoned")
+    };
+
+    let queue: Mutex<VecDeque<Job>> = Mutex::new(
+        (0..workloads.len())
+            .flat_map(|i| modes.iter().map(move |&m| (i, m)))
+            .collect(),
+    );
+    let cells = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let Some((i, mode)) = queue.lock().expect("poisoned").pop_front() else {
+                    break;
+                };
+                let w = &workloads[i];
+                let cell = match replay_run(cfg, mode, w, &captures[i].records) {
+                    Ok(r) => SpeedupCell {
+                        workload: w.name,
+                        mode,
+                        speedup: Some(baselines[i] as f64 / r.cycles.max(1) as f64),
+                        result: None,
+                    },
+                    Err(_) => SpeedupCell {
+                        workload: w.name,
+                        mode,
+                        speedup: None,
+                        result: None,
+                    },
+                };
+                cells.lock().expect("poisoned").push(cell);
+            });
+        }
+    });
+    let mut v = cells.into_inner().expect("poisoned");
+    v.sort_by_key(|c| {
+        (
+            workloads.iter().position(|w| w.name == c.workload),
+            modes.iter().position(|m| *m == c.mode),
+        )
+    });
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etpp_workloads::{Scale, Workload};
+
+    #[test]
+    fn capture_then_replay_validates_and_prefetch_helps() {
+        let wl = etpp_workloads::intsort::IntSort.build(Scale::Tiny);
+        let cfg = SystemConfig::paper();
+        let (trace, src) = load_or_capture(None, &cfg, &wl, "tiny");
+        assert_eq!(src, CaptureSource::Captured);
+        assert!(trace.access_count() > 0);
+
+        let base = replay_run(&cfg, PrefetchMode::None, &wl, &trace.records).unwrap();
+        assert!(base.validated, "replay must reproduce the reference output");
+        let manual = replay_run(&cfg, PrefetchMode::Manual, &wl, &trace.records).unwrap();
+        assert!(manual.validated);
+        assert!(
+            manual.cycles < base.cycles,
+            "manual prefetching must speed replay up: {} vs {}",
+            manual.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn software_mode_is_skipped_in_replay() {
+        let wl = etpp_workloads::intsort::IntSort.build(Scale::Tiny);
+        let cfg = SystemConfig::paper();
+        let (trace, _) = load_or_capture(None, &cfg, &wl, "tiny");
+        assert!(replay_run(&cfg, PrefetchMode::Software, &wl, &trace.records).is_err());
+    }
+
+    #[test]
+    fn disk_cache_round_trips_and_hits() {
+        let wl = etpp_workloads::randacc::RandAcc.build(Scale::Tiny);
+        let cfg = SystemConfig::paper();
+        let dir = std::env::temp_dir().join(format!(
+            "etpp-trace-test-{}-{:016x}",
+            std::process::id(),
+            workload_trace_key(&wl, "tiny")
+        ));
+        let (first, src1) = load_or_capture(Some(&dir), &cfg, &wl, "tiny");
+        assert_eq!(src1, CaptureSource::Captured);
+        let (second, src2) = load_or_capture(Some(&dir), &cfg, &wl, "tiny");
+        assert_eq!(src2, CaptureSource::Cached);
+        assert_eq!(first.records, second.records);
+        assert_eq!(
+            etpp_trace::content_hash(&first.records),
+            etpp_trace::content_hash(&second.records)
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn grid_shards_across_workers() {
+        let cfg = SystemConfig::paper();
+        let workloads: Vec<BuiltWorkload> = vec![
+            etpp_workloads::intsort::IntSort.build(Scale::Tiny),
+            etpp_workloads::randacc::RandAcc.build(Scale::Tiny),
+        ];
+        let captures: Vec<CapturedTrace> = workloads
+            .iter()
+            .map(|w| load_or_capture(None, &cfg, w, "tiny").0)
+            .collect();
+        let cells = replay_grid(
+            &cfg,
+            &workloads,
+            &captures,
+            &[PrefetchMode::Stride, PrefetchMode::Manual],
+            4,
+        );
+        assert_eq!(cells.len(), 4);
+        let manual_intsort = cells
+            .iter()
+            .find(|c| c.workload == "IntSort" && c.mode == PrefetchMode::Manual)
+            .and_then(|c| c.speedup)
+            .expect("cell present");
+        assert!(
+            manual_intsort > 1.0,
+            "manual should beat baseline in replay: {manual_intsort:.2}"
+        );
+    }
+}

@@ -1,9 +1,7 @@
 //! Plain-text rendering of experiment results in the paper's layout.
 
 use crate::config::PrefetchMode;
-use crate::experiments::{
-    Fig10Row, Fig8Row, Fig9aRow, SpeedupCell, SwpfOverheadRow, TrafficRow,
-};
+use crate::experiments::{Fig10Row, Fig8Row, Fig9aRow, SpeedupCell, SwpfOverheadRow, TrafficRow};
 
 fn fmt_speedup(s: Option<f64>) -> String {
     match s {
@@ -202,11 +200,7 @@ mod tests {
                 result: None,
             },
         ];
-        let t = speedup_table(
-            "T",
-            &cells,
-            &[PrefetchMode::Software, PrefetchMode::Manual],
-        );
+        let t = speedup_table("T", &cells, &[PrefetchMode::Software, PrefetchMode::Manual]);
         assert!(t.contains(" 3.00 |"));
         assert!(t.contains("    - |"), "missing bar rendered as dash:\n{t}");
     }

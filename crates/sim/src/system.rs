@@ -8,7 +8,7 @@
 use crate::config::{PrefetchMode, SystemConfig};
 use etpp_baselines::{GhbParams, GhbPrefetcher, StrideParams, StridePrefetcher};
 use etpp_core::{PfEngineStats, PrefetcherParams, ProgrammablePrefetcher};
-use etpp_cpu::{Core, CoreStats, Trace};
+use etpp_cpu::{Core, CoreStats, RetiredEvent, Trace};
 use etpp_mem::{MemStats, MemorySystem, NullEngine, PrefetchEngine};
 use etpp_workloads::{checksum_region, BuiltWorkload, PrefetchSetup};
 
@@ -63,7 +63,7 @@ impl std::fmt::Display for Skip {
     }
 }
 
-enum Engine {
+pub(crate) enum Engine {
     Null(NullEngine),
     Stride(StridePrefetcher),
     Ghb(Box<GhbPrefetcher>),
@@ -71,13 +71,60 @@ enum Engine {
 }
 
 impl Engine {
-    fn as_dyn(&mut self) -> &mut dyn PrefetchEngine {
+    pub(crate) fn as_dyn(&mut self) -> &mut dyn PrefetchEngine {
         match self {
             Engine::Null(e) => e,
             Engine::Stride(e) => e,
             Engine::Ghb(e) => e.as_mut(),
             Engine::Prog(e) => e.as_mut(),
         }
+    }
+
+    pub(crate) fn pf_stats(&self) -> Option<PfEngineStats> {
+        match self {
+            Engine::Prog(p) => Some(p.stats()),
+            _ => None,
+        }
+    }
+}
+
+/// Builds the prefetch engine for `mode` without choosing a trace — shared
+/// between the cycle-level path and trace replay. `Software` has no engine
+/// (its prefetches live in the instruction stream) and is rejected here;
+/// the cycle-level path special-cases it.
+pub(crate) fn make_engine(
+    cfg: &SystemConfig,
+    mode: PrefetchMode,
+    wl: &BuiltWorkload,
+) -> Result<Engine, Skip> {
+    match mode {
+        PrefetchMode::None => Ok(Engine::Null(NullEngine)),
+        PrefetchMode::Stride => Ok(Engine::Stride(StridePrefetcher::new(StrideParams::paper()))),
+        PrefetchMode::GhbRegular => Ok(Engine::Ghb(Box::new(GhbPrefetcher::new(
+            GhbParams::regular(),
+        )))),
+        PrefetchMode::GhbLarge => Ok(Engine::Ghb(Box::new(
+            GhbPrefetcher::new(GhbParams::large()),
+        ))),
+        PrefetchMode::Software => Err(Skip::NotExpressible(
+            "software prefetches are instructions, not an engine",
+        )),
+        PrefetchMode::Manual => match &wl.manual {
+            Some(s) => Ok(Engine::Prog(Box::new(programmable(cfg.pf, s, false)))),
+            None => Err(Skip::NoProgram("manual")),
+        },
+        PrefetchMode::Blocked => match &wl.manual {
+            Some(s) => Ok(Engine::Prog(Box::new(programmable(cfg.pf, s, true)))),
+            None => Err(Skip::NoProgram("manual")),
+        },
+        PrefetchMode::Converted => match &wl.converted {
+            Some(s) => Ok(Engine::Prog(Box::new(programmable(cfg.pf, s, false)))),
+            None => Err(Skip::NoProgram("converted")),
+        },
+        PrefetchMode::Pragma => match &wl.pragma {
+            Some(s) => Ok(Engine::Prog(Box::new(programmable(cfg.pf, s, false)))),
+            None => Err(Skip::NoProgram("pragma")),
+        },
     }
 }
 
@@ -107,41 +154,12 @@ fn select<'w>(
     mode: PrefetchMode,
     wl: &'w BuiltWorkload,
 ) -> Result<(&'w Trace, Engine), Skip> {
-    let plain = &wl.trace;
     match mode {
-        PrefetchMode::None => Ok((plain, Engine::Null(NullEngine))),
-        PrefetchMode::Stride => Ok((
-            plain,
-            Engine::Stride(StridePrefetcher::new(StrideParams::paper())),
-        )),
-        PrefetchMode::GhbRegular => Ok((
-            plain,
-            Engine::Ghb(Box::new(GhbPrefetcher::new(GhbParams::regular()))),
-        )),
-        PrefetchMode::GhbLarge => Ok((
-            plain,
-            Engine::Ghb(Box::new(GhbPrefetcher::new(GhbParams::large()))),
-        )),
         PrefetchMode::Software => match &wl.sw_trace {
             Some(t) => Ok((t, Engine::Null(NullEngine))),
             None => Err(Skip::NotExpressible(wl.notes)),
         },
-        PrefetchMode::Manual => match &wl.manual {
-            Some(s) => Ok((plain, Engine::Prog(Box::new(programmable(cfg.pf, s, false))))),
-            None => Err(Skip::NoProgram("manual")),
-        },
-        PrefetchMode::Blocked => match &wl.manual {
-            Some(s) => Ok((plain, Engine::Prog(Box::new(programmable(cfg.pf, s, true))))),
-            None => Err(Skip::NoProgram("manual")),
-        },
-        PrefetchMode::Converted => match &wl.converted {
-            Some(s) => Ok((plain, Engine::Prog(Box::new(programmable(cfg.pf, s, false))))),
-            None => Err(Skip::NoProgram("converted")),
-        },
-        PrefetchMode::Pragma => match &wl.pragma {
-            Some(s) => Ok((plain, Engine::Prog(Box::new(programmable(cfg.pf, s, false))))),
-            None => Err(Skip::NoProgram("pragma")),
-        },
+        _ => Ok((&wl.trace, make_engine(cfg, mode, wl)?)),
     }
 }
 
@@ -154,9 +172,53 @@ fn select<'w>(
 /// Panics if the simulation exceeds `cfg.max_cycles` (deadlock guard) or
 /// the trace accesses unmapped memory (workload generator bug).
 pub fn run(cfg: &SystemConfig, mode: PrefetchMode, wl: &BuiltWorkload) -> Result<RunResult, Skip> {
+    Ok(run_inner(cfg, mode, wl, false)?.0)
+}
+
+/// Simulates `wl` under `mode` while recording the retired demand-access
+/// and configuration stream for later [`etpp_trace`] replay.
+///
+/// `scale_label` is stored in the trace metadata (a [`BuiltWorkload`] does
+/// not remember the scale it was built at).
+///
+/// # Errors
+/// [`Skip`] when the mode is impossible for this workload.
+pub fn run_captured(
+    cfg: &SystemConfig,
+    mode: PrefetchMode,
+    wl: &BuiltWorkload,
+    scale_label: &str,
+) -> Result<(RunResult, etpp_trace::CapturedTrace), Skip> {
+    let (result, events) = run_inner(cfg, mode, wl, true)?;
+    let mut cap = etpp_trace::CaptureBuffer::new(etpp_trace::TraceMeta::new(wl.name, scale_label));
+    for ev in events {
+        match ev {
+            RetiredEvent::Access {
+                cycle,
+                pc,
+                vaddr,
+                kind,
+                value,
+                size,
+            } => cap.access(cycle, pc, vaddr, kind, value, size),
+            RetiredEvent::Config { cycle, op } => cap.config(cycle, &op),
+        }
+    }
+    Ok((result, cap.finish()))
+}
+
+fn run_inner(
+    cfg: &SystemConfig,
+    mode: PrefetchMode,
+    wl: &BuiltWorkload,
+    capture: bool,
+) -> Result<(RunResult, Vec<RetiredEvent>), Skip> {
     let (trace, mut engine) = select(cfg, mode, wl)?;
     let mut mem = MemorySystem::new(cfg.mem, wl.image.clone());
     let mut core = Core::new(cfg.core, trace);
+    if capture {
+        core.enable_capture();
+    }
 
     let mut now: u64 = 0;
     while !core.finished() {
@@ -177,26 +239,31 @@ pub fn run(cfg: &SystemConfig, mode: PrefetchMode, wl: &BuiltWorkload) -> Result
     }
 
     let validated = checksum_region(mem.image(), wl.check_region) == wl.expected;
-    let pf = match &engine {
-        Engine::Prog(p) => Some(p.stats()),
-        _ => None,
-    };
+    let pf = engine.pf_stats();
     let final_lookahead = match &engine {
         Engine::Prog(p) => p.lookahead(0),
         _ => 0,
     };
-    Ok(RunResult {
-        workload: wl.name,
-        mode,
-        cycles: now,
-        core: core.stats,
-        mem: mem.stats(),
-        pf,
-        dyn_insts: core.stats.insts_retired,
-        mispredict_rate: core.bpred().mispredict_rate(),
-        validated,
-        final_lookahead,
-    })
+    let events = if capture {
+        core.take_captured()
+    } else {
+        Vec::new()
+    };
+    Ok((
+        RunResult {
+            workload: wl.name,
+            mode,
+            cycles: now,
+            core: core.stats,
+            mem: mem.stats(),
+            pf,
+            dyn_insts: core.stats.insts_retired,
+            mispredict_rate: core.bpred().mispredict_rate(),
+            validated,
+            final_lookahead,
+        },
+        events,
+    ))
 }
 
 #[cfg(test)]

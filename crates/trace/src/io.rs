@@ -1,0 +1,363 @@
+//! Streaming trace file IO.
+//!
+//! [`TraceWriter`] encodes records as they arrive — nothing is buffered
+//! beyond one record — so multi-gigabyte captures stream straight to disk.
+//! [`TraceReader`] is an iterator over records and verifies the footer's
+//! record count and content hash when the stream ends, so truncated or
+//! corrupted trace files fail loudly rather than replaying garbage.
+
+use crate::format::{
+    fnv1a, ByteCursor, CapturedTrace, Decoder, Encoder, FormatError, TraceMeta, TraceRecord,
+    FNV_OFFSET, FORMAT_VERSION, MAGIC, TAG_END,
+};
+use std::io::{self, Read, Write};
+
+/// Errors produced while reading a trace stream.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// Structurally invalid stream.
+    Format(FormatError),
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace io error: {e}"),
+            TraceIoError::Format(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<FormatError> for TraceIoError {
+    fn from(e: FormatError) -> Self {
+        TraceIoError::Format(e)
+    }
+}
+
+fn fmt_err<T>(msg: impl Into<String>) -> Result<T, TraceIoError> {
+    Err(TraceIoError::Format(FormatError(msg.into())))
+}
+
+/// Streaming writer for the versioned trace format.
+pub struct TraceWriter<W: Write> {
+    out: W,
+    enc: Encoder,
+    buf: Vec<u8>,
+    hash: u64,
+    count: u64,
+    finished: bool,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Writes the header and returns a writer ready for records.
+    pub fn new(mut out: W, meta: &TraceMeta) -> io::Result<Self> {
+        out.write_all(&MAGIC)?;
+        out.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        write_str(&mut out, &meta.workload)?;
+        write_str(&mut out, &meta.scale)?;
+        Ok(TraceWriter {
+            out,
+            enc: Encoder::new(),
+            buf: Vec::with_capacity(32),
+            hash: FNV_OFFSET,
+            count: 0,
+            finished: false,
+        })
+    }
+
+    /// Appends one record.
+    pub fn record(&mut self, r: &TraceRecord) -> io::Result<()> {
+        debug_assert!(!self.finished, "record() after finish()");
+        self.buf.clear();
+        self.enc.encode(r, &mut self.buf);
+        self.hash = fnv1a(&self.buf, self.hash);
+        self.count += 1;
+        self.out.write_all(&self.buf)
+    }
+
+    /// Number of records written so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Writes the footer (end marker, count, content hash) and returns the
+    /// underlying writer plus the content hash.
+    pub fn finish(mut self) -> io::Result<(W, u64)> {
+        self.finished = true;
+        self.out.write_all(&[TAG_END])?;
+        self.buf.clear();
+        crate::format::write_varint(&mut self.buf, self.count);
+        let buf = std::mem::take(&mut self.buf);
+        self.out.write_all(&buf)?;
+        self.out.write_all(&self.hash.to_le_bytes())?;
+        self.out.flush()?;
+        Ok((self.out, self.hash))
+    }
+}
+
+fn write_str<W: Write>(out: &mut W, s: &str) -> io::Result<()> {
+    let bytes = s.as_bytes();
+    assert!(bytes.len() <= u16::MAX as usize, "metadata string too long");
+    out.write_all(&(bytes.len() as u16).to_le_bytes())?;
+    out.write_all(bytes)
+}
+
+fn read_str<R: Read>(src: &mut R) -> Result<String, TraceIoError> {
+    let mut len = [0u8; 2];
+    src.read_exact(&mut len)?;
+    let mut bytes = vec![0u8; u16::from_le_bytes(len) as usize];
+    src.read_exact(&mut bytes)?;
+    match String::from_utf8(bytes) {
+        Ok(s) => Ok(s),
+        Err(_) => fmt_err("metadata string is not utf-8"),
+    }
+}
+
+/// Streaming reader: parses the header eagerly, then iterates records.
+///
+/// The reader slurps the remaining stream into memory in 64 KiB chunks as
+/// needed; records decode lazily from the buffer. (Traces compress to a
+/// few bytes per access, so even paper-scale captures fit comfortably.)
+pub struct TraceReader<R: Read> {
+    src: R,
+    meta: TraceMeta,
+    bytes: Vec<u8>,
+    pos: usize,
+    dec: Decoder,
+    hash: u64,
+    count: u64,
+    done: bool,
+    src_exhausted: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Parses the header; fails on bad magic or unsupported version.
+    pub fn new(mut src: R) -> Result<Self, TraceIoError> {
+        let mut magic = [0u8; 4];
+        src.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return fmt_err("bad magic (not an ETPT trace)");
+        }
+        let mut ver = [0u8; 2];
+        src.read_exact(&mut ver)?;
+        let version = u16::from_le_bytes(ver);
+        if version != FORMAT_VERSION {
+            return fmt_err(format!(
+                "unsupported trace version {version} (this build reads {FORMAT_VERSION})"
+            ));
+        }
+        let workload = read_str(&mut src)?;
+        let scale = read_str(&mut src)?;
+        Ok(TraceReader {
+            src,
+            meta: TraceMeta { workload, scale },
+            bytes: Vec::new(),
+            pos: 0,
+            dec: Decoder::new(),
+            hash: FNV_OFFSET,
+            count: 0,
+            done: false,
+            src_exhausted: false,
+        })
+    }
+
+    /// Header metadata.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Reads every remaining record, verifying the footer.
+    pub fn read_to_end(mut self) -> Result<CapturedTrace, TraceIoError> {
+        let mut records = Vec::new();
+        for r in self.by_ref() {
+            records.push(r?);
+        }
+        Ok(CapturedTrace {
+            meta: self.meta,
+            records,
+        })
+    }
+
+    /// Ensures at least `n` unconsumed bytes are buffered (or the source is
+    /// exhausted).
+    fn fill(&mut self, n: usize) -> io::Result<()> {
+        while !self.src_exhausted && self.bytes.len() - self.pos < n {
+            let mut chunk = [0u8; 65536];
+            let got = self.src.read(&mut chunk)?;
+            if got == 0 {
+                self.src_exhausted = true;
+            } else {
+                self.bytes.extend_from_slice(&chunk[..got]);
+            }
+        }
+        Ok(())
+    }
+
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceIoError> {
+        if self.done {
+            return Ok(None);
+        }
+        // A record is at most ~40 bytes; buffer generously.
+        self.fill(64)?;
+        if self.pos >= self.bytes.len() {
+            return fmt_err("truncated trace: missing end marker");
+        }
+        let tag = self.bytes[self.pos];
+        if tag == TAG_END {
+            self.pos += 1;
+            self.done = true;
+            self.verify_footer()?;
+            return Ok(None);
+        }
+        let start = self.pos + 1;
+        let mut cur = ByteCursor {
+            bytes: &self.bytes,
+            pos: start,
+        };
+        let rec = self.dec.decode(tag, &mut cur)?;
+        let end = cur.pos;
+        self.hash = fnv1a(&self.bytes[self.pos..end], self.hash);
+        self.pos = end;
+        self.count += 1;
+        // Drop consumed bytes occasionally so memory stays bounded.
+        if self.pos > 1 << 20 {
+            self.bytes.drain(..self.pos);
+            self.pos = 0;
+        }
+        Ok(Some(rec))
+    }
+
+    fn verify_footer(&mut self) -> Result<(), TraceIoError> {
+        self.fill(20)?;
+        let mut cur = ByteCursor {
+            bytes: &self.bytes,
+            pos: self.pos,
+        };
+        let count = cur.varint()?;
+        let pos = cur.pos;
+        if self.bytes.len() < pos + 8 {
+            return fmt_err("truncated trace footer");
+        }
+        let hash = u64::from_le_bytes(self.bytes[pos..pos + 8].try_into().expect("8 bytes"));
+        if count != self.count {
+            return fmt_err(format!(
+                "record count mismatch: footer {count}, stream {}",
+                self.count
+            ));
+        }
+        if hash != self.hash {
+            return fmt_err("content hash mismatch: trace corrupted");
+        }
+        self.pos = pos + 8;
+        Ok(())
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<TraceRecord, TraceIoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.next_record() {
+            Ok(Some(r)) => Some(Ok(r)),
+            Ok(None) => None,
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etpp_mem::{AccessKind, ConfigOp};
+
+    fn sample_records() -> Vec<TraceRecord> {
+        let mut v = Vec::new();
+        v.push(TraceRecord::Config {
+            cycle: 0,
+            op: ConfigOp::SetGlobal { idx: 1, value: 42 },
+        });
+        for i in 0..100u64 {
+            v.push(TraceRecord::Access {
+                cycle: 5 + i * 7,
+                pc: 0x40 + (i as u32 % 3) * 4,
+                vaddr: 0x1_0000 + i * 64,
+                kind: if i % 5 == 0 {
+                    AccessKind::Store
+                } else {
+                    AccessKind::Load
+                },
+                value: if i % 5 == 0 { i * 3 } else { 0 },
+                size: if i % 5 == 0 { 8 } else { 0 },
+            });
+        }
+        v
+    }
+
+    #[test]
+    fn roundtrip_with_meta_and_footer() {
+        let records = sample_records();
+        let meta = TraceMeta::new("HJ-8", "tiny");
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf, &meta).unwrap();
+        for r in &records {
+            w.record(r).unwrap();
+        }
+        let (_, hash) = w.finish().unwrap();
+        assert_eq!(hash, crate::format::content_hash(&records));
+
+        let r = TraceReader::new(buf.as_slice()).unwrap();
+        assert_eq!(r.meta().workload, "HJ-8");
+        let back = r.read_to_end().unwrap();
+        assert_eq!(back.records, records);
+        assert_eq!(back.meta, meta);
+    }
+
+    #[test]
+    fn corrupted_byte_is_detected() {
+        let records = sample_records();
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf, &TraceMeta::new("x", "tiny")).unwrap();
+        for r in &records {
+            w.record(r).unwrap();
+        }
+        w.finish().unwrap();
+        // Flip a byte in the middle of the record stream.
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x55;
+        let res = TraceReader::new(buf.as_slice()).and_then(|r| r.read_to_end());
+        assert!(res.is_err(), "corruption must not round-trip silently");
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let records = sample_records();
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf, &TraceMeta::new("x", "tiny")).unwrap();
+        for r in &records {
+            w.record(r).unwrap();
+        }
+        w.finish().unwrap();
+        buf.truncate(buf.len() - 4);
+        let res = TraceReader::new(buf.as_slice()).and_then(|r| r.read_to_end());
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let res = TraceReader::new(&b"NOPE\x01\x00"[..]);
+        assert!(res.is_err());
+    }
+}

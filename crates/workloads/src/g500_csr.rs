@@ -91,7 +91,10 @@ impl Workload for G500Csr {
         let mut post = image;
         reference(&mut post, &l);
         let expected = checksum_region(&post, l.visited);
-        debug_assert_eq!(post.read_u64(l.queue.base + 8 * (order.len() as u64 - 1)), *order.last().unwrap());
+        debug_assert_eq!(
+            post.read_u64(l.queue.base + 8 * (order.len() as u64 - 1)),
+            *order.last().unwrap()
+        );
 
         BuiltWorkload {
             name: self.name(),
@@ -128,12 +131,7 @@ fn reference(image: &mut MemoryImage, l: &Layout) {
     }
 }
 
-fn build_trace(
-    image: &mut MemoryImage,
-    l: &Layout,
-    _csr: &Csr,
-    _root: u64,
-) -> etpp_cpu::Trace {
+fn build_trace(image: &mut MemoryImage, l: &Layout, _csr: &Csr, _root: u64) -> etpp_cpu::Trace {
     let mut b = TraceBuilder::new();
     let mut head = 0u64;
     let mut tail = 1u64;

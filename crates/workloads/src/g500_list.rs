@@ -316,7 +316,7 @@ mod tests {
         let (order, _) = crate::graph::bfs_reference(&csr, root);
 
         let w = G500List.build(Scale::Tiny);
-        let mut post = w.image.clone();
+        let post = w.image.clone();
         let l = Layout {
             vertices: Region {
                 base: 0x1_0000,

@@ -109,7 +109,13 @@ impl Workload for Hj2 {
         let pristine = image.clone();
 
         let (conv, prag) = crate::loop_ir::run_passes(&crate::loop_ir::hashjoin(
-            l.keys, l.buckets, 16, None, HASH_MUL, l.log_buckets, SWPF_DIST,
+            l.keys,
+            l.buckets,
+            16,
+            None,
+            HASH_MUL,
+            l.log_buckets,
+            SWPF_DIST,
         ));
         let trace = hj2_trace(&mut image.clone(), &l, false);
         let sw_trace = hj2_trace(&mut image.clone(), &l, true);
@@ -339,7 +345,13 @@ impl Workload for Hj8 {
         let pristine = image.clone();
 
         let (conv, prag) = crate::loop_ir::run_passes(&crate::loop_ir::hashjoin(
-            l.keys, l.buckets, 8, Some((l.nodes, 4)), HASH_MUL, l.log_buckets, SWPF_DIST,
+            l.keys,
+            l.buckets,
+            8,
+            Some((l.nodes, 4)),
+            HASH_MUL,
+            l.log_buckets,
+            SWPF_DIST,
         ));
         let trace = hj8_trace(&mut image.clone(), &l, false);
         let sw_trace = hj8_trace(&mut image.clone(), &l, true);

@@ -206,7 +206,10 @@ pub fn g500_csr(
     let ivd = l.value(Expr::Add(iv, d));
     let u = l.load_index(q, ivd);
     let rs_addr = l.index_addr(rs, u);
-    l.prefetches.push(SwPrefetch { addr: rs_addr, dist });
+    l.prefetches.push(SwPrefetch {
+        addr: rs_addr,
+        dist,
+    });
     let start = l.value(Expr::Load {
         addr: rs_addr,
         array: rs,

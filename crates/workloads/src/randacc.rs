@@ -87,9 +87,8 @@ impl Workload for RandAcc {
         }
         let pristine = image.clone();
 
-        let (conv, prag) = crate::loop_ir::run_passes(&crate::loop_ir::randacc(
-            l.ran, l.table, l.log_table, DIST,
-        ));
+        let (conv, prag) =
+            crate::loop_ir::run_passes(&crate::loop_ir::randacc(l.ran, l.table, l.log_table, DIST));
         let trace = build_trace(&mut image.clone(), &l, false);
         let sw_trace = build_trace(&mut image.clone(), &l, true);
         let mut post = image;
@@ -151,7 +150,11 @@ fn build_trace(image: &mut MemoryImage, l: &Layout, swpf: bool) -> etpp_cpu::Tra
                 } else {
                     (image.read_u64(l.ran.base + 8 * (jd - BATCH)), true)
                 };
-                let v2 = if extra_lcg { lcg(addr_known) } else { addr_known };
+                let v2 = if extra_lcg {
+                    lcg(addr_known)
+                } else {
+                    addr_known
+                };
                 let src = l.ran.base + 8 * (jd % BATCH);
                 let ld2 = b.load(src, PC_RAN_PF, [None, None]);
                 let mut dep = b.int_op(1, [Some(ld2), None]);

@@ -87,8 +87,14 @@ fn main() {
 
     let mut engine = ProgrammablePrefetcher::new(PrefetcherParams::paper(), prog.build());
     for op in [
-        ConfigOp::SetGlobal { idx: 1, value: b.base },
-        ConfigOp::SetGlobal { idx: 2, value: c.base },
+        ConfigOp::SetGlobal {
+            idx: 1,
+            value: b.base,
+        },
+        ConfigOp::SetGlobal {
+            idx: 2,
+            value: c.base,
+        },
         ConfigOp::SetRange {
             id: RangeId(0),
             lo: a.base,
@@ -141,11 +147,7 @@ fn main() {
     );
 }
 
-fn simulate(
-    trace: &etpp::cpu::Trace,
-    image: MemoryImage,
-    engine: &mut dyn PrefetchEngine,
-) -> u64 {
+fn simulate(trace: &etpp::cpu::Trace, image: MemoryImage, engine: &mut dyn PrefetchEngine) -> u64 {
     let mut mem = MemorySystem::new(MemParams::paper(), image);
     let mut core = Core::new(CoreParams::paper(), trace);
     let mut now = 0u64;

@@ -22,7 +22,9 @@ fn main() {
     ];
 
     for name in ["G500-CSR", "G500-List"] {
-        let wl = workload_by_name(name).expect("graph benchmark").build(Scale::Tiny);
+        let wl = workload_by_name(name)
+            .expect("graph benchmark")
+            .build(Scale::Tiny);
         let base = run(&cfg, PrefetchMode::None, &wl).expect("baseline");
         println!(
             "{name}: {} trace ops, baseline {} cycles (L1 hit {:.2}, L2 hit {:.2})",

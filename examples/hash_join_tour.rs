@@ -17,7 +17,9 @@ fn main() {
     let cfg = SystemConfig::paper();
 
     for name in ["HJ-2", "HJ-8"] {
-        let wl = workload_by_name(name).expect("join benchmark").build(Scale::Tiny);
+        let wl = workload_by_name(name)
+            .expect("join benchmark")
+            .build(Scale::Tiny);
         let base = run(&cfg, PrefetchMode::None, &wl).expect("baseline");
         println!(
             "{name} ({}): baseline {} cycles",

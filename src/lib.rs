@@ -20,6 +20,7 @@
 //! | [`baselines`] | `etpp-baselines` | stride (RPT) and Markov GHB prefetchers |
 //! | [`workloads`] | `etpp-workloads` | the eight Table 2 benchmarks |
 //! | [`sim`] | `etpp-sim` | full-system wiring + experiment drivers |
+//! | [`trace`] | `etpp-trace` | demand-trace capture/replay fast path |
 //!
 //! # Example
 //!
@@ -45,4 +46,5 @@ pub use etpp_cpu as cpu;
 pub use etpp_isa as isa;
 pub use etpp_mem as mem;
 pub use etpp_sim as sim;
+pub use etpp_trace as trace;
 pub use etpp_workloads as workloads;

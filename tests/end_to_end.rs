@@ -36,9 +36,7 @@ fn all_workloads_validate_under_all_modes() {
                     assert!(
                         matches!(
                             mode,
-                            PrefetchMode::Software
-                                | PrefetchMode::Converted
-                                | PrefetchMode::Pragma
+                            PrefetchMode::Software | PrefetchMode::Converted | PrefetchMode::Pragma
                         ),
                         "{} unexpectedly skipped {:?}",
                         wl.name,

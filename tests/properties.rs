@@ -2,9 +2,7 @@
 
 use etpp::cpu::{Core, CoreParams, TraceBuilder};
 use etpp::isa::{run_kernel, EventCtx, Inst, Kernel};
-use etpp::mem::{
-    AccessKind, Cache, CacheParams, MemParams, MemoryImage, MemorySystem, NullEngine,
-};
+use etpp::mem::{AccessKind, Cache, CacheParams, MemParams, MemoryImage, MemorySystem, NullEngine};
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,96 @@
+//! Consistency between the cycle-level core and trace replay: over the
+//! same demand stream, the memory hierarchy must behave the same way.
+
+use etpp::sim::{replay as rp, run, run_captured, PrefetchMode, SystemConfig};
+use etpp::workloads::{workload_by_name, Scale};
+
+/// Replaying RandAcc's captured stream with no prefetcher must reproduce
+/// the cycle-level run's L1 hit/miss profile: the access stream is
+/// identical, so the only differences are issue-timing artefacts (MSHR
+/// merge races), which stay within a small tolerance.
+#[test]
+fn randacc_replay_matches_cycle_sim_hit_miss_counts() {
+    let wl = workload_by_name("RandAcc").unwrap().build(Scale::Tiny);
+    let cfg = SystemConfig::paper();
+
+    let (cycle, trace) = run_captured(&cfg, PrefetchMode::None, &wl, "tiny").unwrap();
+    assert!(cycle.validated);
+
+    let replay = rp::replay_run(&cfg, PrefetchMode::None, &wl, &trace.records).unwrap();
+    assert!(
+        replay.validated,
+        "replay must reproduce the reference output"
+    );
+
+    // Same accesses reach the hierarchy.
+    let cycle_reads = cycle.mem.l1.read_hits + cycle.mem.l1.read_misses;
+    let replay_reads = replay.mem.l1.read_hits + replay.mem.l1.read_misses;
+    let cycle_writes = cycle.mem.l1.write_hits + cycle.mem.l1.write_misses;
+    let replay_writes = replay.mem.l1.write_hits + replay.mem.l1.write_misses;
+    assert_eq!(
+        cycle_reads, replay_reads,
+        "read counts must match exactly (same captured stream)"
+    );
+    assert_eq!(cycle_writes, replay_writes, "write counts must match");
+    assert_eq!(
+        replay.accesses,
+        trace.access_count(),
+        "every captured access is replayed"
+    );
+
+    // Hit/miss split within 2% of total accesses (issue-order races only).
+    let tol = (cycle_reads as f64 * 0.02).max(8.0) as u64;
+    let diff = cycle.mem.l1.read_misses.abs_diff(replay.mem.l1.read_misses);
+    assert!(
+        diff <= tol,
+        "replay read-miss count drifted: cycle {} vs replay {} (tolerance {tol})",
+        cycle.mem.l1.read_misses,
+        replay.mem.l1.read_misses
+    );
+    let wdiff = cycle
+        .mem
+        .l1
+        .write_misses
+        .abs_diff(replay.mem.l1.write_misses);
+    assert!(
+        wdiff <= tol,
+        "replay write-miss count drifted: cycle {} vs replay {}",
+        cycle.mem.l1.write_misses,
+        replay.mem.l1.write_misses
+    );
+}
+
+/// The replay fast path must agree with full cycle simulation on the
+/// paper's headline ordering — programmable prefetching beats the
+/// baselines — for several workloads.
+#[test]
+fn replay_preserves_cycle_sim_orderings() {
+    let cfg = SystemConfig::paper();
+    for name in ["IntSort", "HJ-2", "G500-CSR"] {
+        let wl = workload_by_name(name).unwrap().build(Scale::Tiny);
+        let (_, trace) = run_captured(&cfg, PrefetchMode::None, &wl, "tiny").unwrap();
+
+        let cycles_of = |mode| {
+            rp::replay_run(&cfg, mode, &wl, &trace.records)
+                .unwrap()
+                .cycles as f64
+        };
+        let base_r = cycles_of(PrefetchMode::None);
+        let manual_r = base_r / cycles_of(PrefetchMode::Manual);
+        let ghb_r = base_r / cycles_of(PrefetchMode::GhbRegular);
+
+        let base_c = run(&cfg, PrefetchMode::None, &wl).unwrap().cycles as f64;
+        let manual_c = base_c / run(&cfg, PrefetchMode::Manual, &wl).unwrap().cycles as f64;
+        let ghb_c = base_c / run(&cfg, PrefetchMode::GhbRegular, &wl).unwrap().cycles as f64;
+
+        assert!(
+            manual_c > ghb_c && manual_r > ghb_r,
+            "{name}: manual must beat GHB-regular in both paths \
+             (cycle {manual_c:.2} vs {ghb_c:.2}; replay {manual_r:.2} vs {ghb_r:.2})"
+        );
+        assert!(
+            manual_r > 1.05,
+            "{name}: replay must show a manual speedup, got {manual_r:.2}"
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Offline shim for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this repository has no crates.io access, so
+//! this crate provides the small API subset our benches use: timed
+//! `bench_function` / `benchmark_group` runs with median-of-samples
+//! reporting. It is intentionally minimal — no outlier analysis, no HTML
+//! reports — but it keeps `cargo bench` runnable and the benches compiling
+//! under `cargo test`. Swap in the real crate by editing the workspace
+//! `[workspace.dependencies]` entry when networked.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver handed to each `criterion_group!` function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Starts a named group of benchmarks sharing settings.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks (shim: shared sample size + name prefix).
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark within this group.
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    // Warm-up sample, then timed samples.
+    f(&mut b);
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        b.elapsed = Duration::ZERO;
+        b.iters = 0;
+        f(&mut b);
+        if b.iters > 0 {
+            per_iter.push(b.elapsed.as_secs_f64() / b.iters as f64);
+        }
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = per_iter.get(per_iter.len() / 2).copied().unwrap_or(0.0);
+    println!("{id:<48} median {:>12.3} µs/iter", median * 1e6);
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, accumulating one sample. The shim uses a fixed small
+    /// iteration count rather than criterion's adaptive targeting.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        const ITERS: u64 = 3;
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            black_box(f());
+        }
+        self.elapsed += t0.elapsed();
+        self.iters += ITERS;
+    }
+}
+
+/// Declares a group of benchmark functions (shim: builds a runner fn).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point (shim: plain `main`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`; only benchmark
+            // when invoked by `cargo bench` (which passes `--bench`).
+            let args: Vec<String> = std::env::args().collect();
+            if args.iter().any(|a| a == "--test") {
+                println!("bench shim: compile-only under cargo test");
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
