@@ -146,8 +146,10 @@ impl PrefetchEngine for StridePrefetcher {
 
     fn config(&mut self, _now: u64, _op: &ConfigOp) {}
 
-    fn is_idle(&self) -> bool {
-        self.queue.is_empty()
+    fn next_event_at(&self, now: u64) -> Option<u64> {
+        // Purely reactive: the only pending work is queued requests,
+        // which the memory system pops one per cycle.
+        (!self.queue.is_empty()).then_some(now + 1)
     }
 }
 

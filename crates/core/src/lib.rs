@@ -60,5 +60,5 @@ pub use ewma::{Ewma, EwmaBank};
 pub use filter::{FilterEntry, FilterTable};
 pub use ppu::{Ppu, PpuState};
 pub use prefetcher::{
-    PfEngineStats, PrefetchProgramBuilder, PrefetcherParams, ProgrammablePrefetcher,
+    PfCounters, PfEngineStats, PrefetchProgramBuilder, PrefetcherParams, ProgrammablePrefetcher,
 };

@@ -117,7 +117,34 @@ impl PrefetchProgramBuilder {
     }
 }
 
-/// Statistics exported by the engine.
+/// Scalar event counters, updated on the hot path. Allocation-free and
+/// cheap to read mid-run via [`ProgrammablePrefetcher::counters`];
+/// per-PPU tallies live on the [`Ppu`]s themselves and are only gathered
+/// into a [`PfEngineStats`] snapshot at reporting boundaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PfCounters {
+    /// Events dispatched to PPUs.
+    pub events_run: u64,
+    /// Events terminated early (trap / instruction budget).
+    pub events_terminated: u64,
+    /// Total PPU instructions executed.
+    pub insts_executed: u64,
+    /// Prefetch requests emitted by kernels.
+    pub prefetches_emitted: u64,
+    /// Observations enqueued.
+    pub obs_enqueued: u64,
+    /// Observations dropped on queue overflow.
+    pub obs_dropped: u64,
+    /// Requests dropped on queue overflow.
+    pub req_dropped: u64,
+    /// Blocked PPUs force-released by timeout.
+    pub blocked_timeouts: u64,
+}
+
+/// Statistics exported by the engine — a reporting-boundary snapshot
+/// assembled by [`ProgrammablePrefetcher::stats`]. Building one
+/// allocates the per-PPU vectors, so take it once per run, never inside
+/// a simulation loop (use [`ProgrammablePrefetcher::counters`] there).
 #[derive(Debug, Clone, Default)]
 pub struct PfEngineStats {
     /// Events dispatched to PPUs.
@@ -144,6 +171,10 @@ pub struct PfEngineStats {
 
 #[derive(Debug, Clone)]
 struct Observation {
+    /// Cycle the observation entered the queue. An observation can
+    /// never dispatch before this — it floors the scheduling horizon
+    /// when idle PPUs carry stale (past) `busy_until` stamps.
+    at: u64,
     vaddr: u64,
     kernel: KernelId,
     line: Option<Line>,
@@ -190,12 +221,14 @@ struct ReleaseAt {
 }
 
 /// Kernel execution context: a snapshot of observation + global state.
+/// Emissions land in a scratch buffer owned by the engine so dispatch
+/// does not allocate per event.
 struct KernelCtx<'a> {
     vaddr: u64,
     line: Option<&'a Line>,
     globals: &'a [u64],
     ewma: &'a EwmaBank,
-    emissions: Vec<Emission>,
+    emissions: &'a mut Vec<Emission>,
 }
 
 impl EventCtx for KernelCtx<'_> {
@@ -241,7 +274,17 @@ pub struct ProgrammablePrefetcher {
     releases: BinaryHeap<Reverse<ReleaseAt>>,
     ppus: Vec<Ppu>,
     seq: u64,
-    stats: PfEngineStats,
+    stats: PfCounters,
+    /// Scratch: filter hits collected in `on_demand`/`on_prefetch_fill`.
+    scratch_hits: Vec<(usize, FilterEntry)>,
+    /// Scratch: (kernel, birth) events gathered per prefetch fill.
+    scratch_events: Vec<(KernelId, u64)>,
+    /// Scratch: kernel emissions collected per dispatch.
+    scratch_emissions: Vec<Emission>,
+    /// Debug builds count scratch-buffer reallocations so tests can
+    /// assert the hot path is allocation-free once warm.
+    #[cfg(debug_assertions)]
+    scratch_regrows: u64,
 }
 
 impl ProgrammablePrefetcher {
@@ -263,11 +306,12 @@ impl ProgrammablePrefetcher {
             releases: BinaryHeap::new(),
             ppus: (0..params.num_ppus).map(Ppu::new).collect(),
             seq: 0,
-            stats: PfEngineStats {
-                per_ppu_busy: vec![0; params.num_ppus],
-                per_ppu_events: vec![0; params.num_ppus],
-                ..Default::default()
-            },
+            stats: PfCounters::default(),
+            scratch_hits: Vec::with_capacity(params.max_ranges),
+            scratch_events: Vec::with_capacity(params.max_ranges + 1),
+            scratch_emissions: Vec::with_capacity(16),
+            #[cfg(debug_assertions)]
+            scratch_regrows: 0,
             params,
             program,
         }
@@ -283,12 +327,37 @@ impl ProgrammablePrefetcher {
         self.ewma.lookahead(range)
     }
 
-    /// Snapshot of statistics (per-PPU tallies refreshed).
+    /// Scalar event counters — allocation-free, safe to poll inside a
+    /// simulation loop.
+    pub fn counters(&self) -> &PfCounters {
+        &self.stats
+    }
+
+    /// Full statistics snapshot including per-PPU tallies. Allocates the
+    /// per-PPU vectors: take it once at a reporting boundary (end of a
+    /// run), never per cycle — use [`Self::counters`] in loops.
     pub fn stats(&self) -> PfEngineStats {
-        let mut s = self.stats.clone();
-        s.per_ppu_busy = self.ppus.iter().map(|p| p.busy_cycles).collect();
-        s.per_ppu_events = self.ppus.iter().map(|p| p.events_run).collect();
-        s
+        PfEngineStats {
+            events_run: self.stats.events_run,
+            events_terminated: self.stats.events_terminated,
+            insts_executed: self.stats.insts_executed,
+            prefetches_emitted: self.stats.prefetches_emitted,
+            obs_enqueued: self.stats.obs_enqueued,
+            obs_dropped: self.stats.obs_dropped,
+            req_dropped: self.stats.req_dropped,
+            blocked_timeouts: self.stats.blocked_timeouts,
+            per_ppu_busy: self.ppus.iter().map(|p| p.busy_cycles).collect(),
+            per_ppu_events: self.ppus.iter().map(|p| p.events_run).collect(),
+        }
+    }
+
+    /// Debug builds only: how many times a hot-path scratch buffer had
+    /// to reallocate. After a warm-up pass this must stay flat — the
+    /// event path (`on_demand`, `on_prefetch_fill`, `dispatch`) is
+    /// allocation-free in steady state.
+    #[cfg(debug_assertions)]
+    pub fn scratch_regrows(&self) -> u64 {
+        self.scratch_regrows
     }
 
     /// Simulates a context switch (§5.3): transient state — queues, PPU
@@ -341,16 +410,19 @@ impl ProgrammablePrefetcher {
 
     /// Executes `obs`'s kernel on `ppu_id` starting at `start`.
     fn dispatch(&mut self, start: u64, obs: &Observation, ppu_id: usize) {
+        let mut emissions = std::mem::take(&mut self.scratch_emissions);
+        emissions.clear();
+        #[cfg(debug_assertions)]
+        let cap_before = emissions.capacity();
         let kernel = self.program.kernel(obs.kernel);
         let mut ctx = KernelCtx {
             vaddr: obs.vaddr,
             line: obs.line.as_ref(),
             globals: &self.globals,
             ewma: &self.ewma,
-            emissions: Vec::new(),
+            emissions: &mut emissions,
         };
         let out = run_kernel(kernel, &mut ctx, self.params.max_event_insts);
-        let emissions = ctx.emissions;
 
         self.stats.events_run += 1;
         self.stats.insts_executed += out.insts;
@@ -390,6 +462,11 @@ impl ProgrammablePrefetcher {
             let until = self.ppus[ppu_id].busy_until();
             self.ppus[ppu_id].block(until, chained);
         }
+        #[cfg(debug_assertions)]
+        if emissions.capacity() != cap_before {
+            self.scratch_regrows += 1;
+        }
+        self.scratch_emissions = emissions;
     }
 
     fn drain_releases(&mut self, now: u64) {
@@ -419,10 +496,18 @@ impl ProgrammablePrefetcher {
         }
     }
 
-    fn schedule(&mut self, now: u64) {
+    /// Dispatches queued observations to free PPUs at `now`. During
+    /// batched *catch-up* steps (`gate_arrivals`, replaying times before
+    /// the current tick) an observation that had not been enqueued yet
+    /// must not dispatch — FIFO order means the front carries the oldest
+    /// stamp, so gating the front blocks nothing that could legally run.
+    /// The final step at the tick's own time dispatches everything
+    /// present, exactly as a unit tick would.
+    fn schedule(&mut self, now: u64, gate_arrivals: bool) {
         loop {
-            if self.obs_q.is_empty() {
-                return;
+            match self.obs_q.front() {
+                Some(obs) if !gate_arrivals || obs.at <= now => {}
+                _ => return,
             }
             let Some(ppu_id) = self.ppus.iter().position(|p| p.is_free(now)) else {
                 return;
@@ -445,6 +530,74 @@ impl ProgrammablePrefetcher {
             }
         }
     }
+
+    /// One batched scheduling step at time `t` — exactly what a unit
+    /// tick does: expire blocked-mode timeouts, move due emissions into
+    /// the request queue, dispatch waiting observations to free PPUs.
+    /// `catch_up` marks steps replaying skipped time, where
+    /// not-yet-enqueued observations must stay parked.
+    fn step_at(&mut self, t: u64, catch_up: bool) {
+        self.check_blocked_timeouts(t);
+        self.drain_releases(t);
+        self.schedule(t, catch_up);
+    }
+
+    /// Earliest internal event strictly before `bound`: a release
+    /// falling due, a busy PPU freeing up while observations wait, or a
+    /// blocked PPU's timeout expiring. Request-queue drain is *not* an
+    /// internal event — pops come from the memory system, which polls
+    /// every cycle while [`PrefetchEngine::next_event_at`] reports one.
+    fn next_internal_step(&self, bound: u64) -> Option<u64> {
+        let mut next = u64::MAX;
+        if let Some(Reverse(r)) = self.releases.peek() {
+            next = next.min(r.at);
+        }
+        if let Some(front) = self.obs_q.front() {
+            let mut free_at = u64::MAX;
+            for p in &self.ppus {
+                if p.blocked_outstanding() == 0 {
+                    free_at = free_at.min(p.busy_until());
+                }
+            }
+            if free_at != u64::MAX {
+                // A PPU idle since before the observation arrived frees
+                // "at" the observation's own enqueue cycle — never
+                // earlier, or the dispatch would time-travel.
+                next = next.min(free_at.max(front.at));
+            }
+        }
+        if self.params.blocked_mode {
+            for p in &self.ppus {
+                if p.blocked_outstanding() > 0 {
+                    next = next.min(p.block_started() + self.params.blocked_timeout + 1);
+                }
+            }
+        }
+        (next < bound).then_some(next)
+    }
+
+    /// Advances the engine to cycle `now`, processing every internal
+    /// event in the skipped span in time order. Equivalent to calling
+    /// [`PrefetchEngine::tick`] once per cycle from the last call up to
+    /// `now`: at cycles with no due release, no freeable PPU with a
+    /// waiting observation, and no expiring timeout, a unit tick is a
+    /// no-op, so only the event times need visiting.
+    pub fn advance_to(&mut self, now: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut guard = 0u64;
+        while let Some(t) = self.next_internal_step(now) {
+            self.step_at(t, true);
+            debug_assert!(
+                self.next_internal_step(now).is_none_or(|n| n > t),
+                "engine event horizon must advance"
+            );
+            debug_assert!(guard < 1 << 32, "advance_to stuck at t={t}");
+            guard += 1;
+        }
+        self.step_at(now, false);
+    }
 }
 
 impl PrefetchEngine for ProgrammablePrefetcher {
@@ -452,17 +605,19 @@ impl PrefetchEngine for ProgrammablePrefetcher {
         if !self.enabled || ev.is_write {
             return;
         }
-        let mut hits: Vec<(usize, FilterEntry)> = Vec::new();
-        for (i, e) in self.filter.matches(ev.vaddr) {
-            hits.push((i, *e));
-        }
-        for (i, e) in hits {
+        let mut hits = std::mem::take(&mut self.scratch_hits);
+        hits.clear();
+        #[cfg(debug_assertions)]
+        let cap_before = hits.capacity();
+        hits.extend(self.filter.matches(ev.vaddr).map(|(i, e)| (i, *e)));
+        for &(i, e) in &hits {
             if e.flags.ewma_iteration {
                 self.ewma.record_iteration(i, now);
             }
             if let Some(kernel) = e.on_load {
                 let birth = if e.flags.ewma_chain_start { now } else { 0 };
                 self.enqueue_obs(Observation {
+                    at: now,
                     vaddr: ev.vaddr,
                     kernel,
                     line: None,
@@ -470,6 +625,11 @@ impl PrefetchEngine for ProgrammablePrefetcher {
                 });
             }
         }
+        #[cfg(debug_assertions)]
+        if hits.capacity() != cap_before {
+            self.scratch_regrows += 1;
+        }
+        self.scratch_hits = hits;
     }
 
     fn on_prefetch_fill(
@@ -493,7 +653,10 @@ impl PrefetchEngine for ProgrammablePrefetcher {
 
         // Collect events triggered by this fill: tag binding first, then
         // filter ranges (an address in several ranges yields several events).
-        let mut events: Vec<(KernelId, u64)> = Vec::new();
+        let mut events = std::mem::take(&mut self.scratch_events);
+        events.clear();
+        #[cfg(debug_assertions)]
+        let ev_cap_before = events.capacity();
         if let Some(TagId(t)) = tag {
             if let Some((kernel, chain_end)) = self.tag_kernels.get(t as usize).copied().flatten() {
                 if chain_end && birth != 0 {
@@ -503,11 +666,12 @@ impl PrefetchEngine for ProgrammablePrefetcher {
                 events.push((kernel, next_birth));
             }
         }
-        let mut range_hits: Vec<(usize, FilterEntry)> = Vec::new();
-        for (i, e) in self.filter.matches(vaddr) {
-            range_hits.push((i, *e));
-        }
-        for (_i, e) in range_hits {
+        let mut range_hits = std::mem::take(&mut self.scratch_hits);
+        range_hits.clear();
+        #[cfg(debug_assertions)]
+        let hit_cap_before = range_hits.capacity();
+        range_hits.extend(self.filter.matches(vaddr).map(|(i, e)| (i, *e)));
+        for &(_i, e) in &range_hits {
             if e.flags.ewma_chain_end && birth != 0 {
                 self.ewma.record_chain(now.saturating_sub(birth));
             }
@@ -516,6 +680,11 @@ impl PrefetchEngine for ProgrammablePrefetcher {
                 events.push((kernel, next_birth));
             }
         }
+        #[cfg(debug_assertions)]
+        if range_hits.capacity() != hit_cap_before {
+            self.scratch_regrows += 1;
+        }
+        self.scratch_hits = range_hits;
 
         match blocked_ppu {
             Some(p) if p < self.ppus.len() => {
@@ -524,9 +693,10 @@ impl PrefetchEngine for ProgrammablePrefetcher {
                 if self.ppus[p].blocked_outstanding() > 0 {
                     self.ppus[p].unblock_one(now);
                 }
-                for (kernel, next_birth) in events {
+                for &(kernel, next_birth) in &events {
                     let start = now.max(self.ppus[p].busy_until());
                     let obs = Observation {
+                        at: now,
                         vaddr,
                         kernel,
                         line: Some(*line),
@@ -536,8 +706,9 @@ impl PrefetchEngine for ProgrammablePrefetcher {
                 }
             }
             _ => {
-                for (kernel, next_birth) in events {
+                for &(kernel, next_birth) in &events {
                     self.enqueue_obs(Observation {
+                        at: now,
                         vaddr,
                         kernel,
                         line: Some(*line),
@@ -546,15 +717,19 @@ impl PrefetchEngine for ProgrammablePrefetcher {
                 }
             }
         }
+        #[cfg(debug_assertions)]
+        if events.capacity() != ev_cap_before {
+            self.scratch_regrows += 1;
+        }
+        self.scratch_events = events;
     }
 
     fn tick(&mut self, now: u64) {
-        if !self.enabled {
-            return;
-        }
-        self.check_blocked_timeouts(now);
-        self.drain_releases(now);
-        self.schedule(now);
+        // `advance_to` degenerates to the classic
+        // timeouts → drain → schedule phases when called every cycle,
+        // and replays any skipped span's internal events in time order
+        // when the caller jumped ahead by the event horizon.
+        self.advance_to(now);
     }
 
     fn pop_request(&mut self, _now: u64) -> Option<PrefetchRequest> {
@@ -568,12 +743,21 @@ impl PrefetchEngine for ProgrammablePrefetcher {
         })
     }
 
-    fn is_idle(&self) -> bool {
-        // Pending observations, scheduled releases or queued requests all
-        // need per-cycle ticks; a merely-busy PPU does not (its busy_until
-        // stamp only gates future dispatches).
-        !self.enabled
-            || (self.obs_q.is_empty() && self.req_q.is_empty() && self.releases.is_empty())
+    fn next_event_at(&self, now: u64) -> Option<u64> {
+        if !self.enabled {
+            return None;
+        }
+        // Queued requests drain through per-cycle pops by the memory
+        // system, so they pin the horizon to the very next cycle.
+        let mut next = if self.req_q.is_empty() {
+            u64::MAX
+        } else {
+            now + 1
+        };
+        if let Some(t) = self.next_internal_step(u64::MAX) {
+            next = next.min(t.max(now + 1));
+        }
+        (next != u64::MAX).then_some(next)
     }
 
     fn config(&mut self, _now: u64, op: &ConfigOp) {
@@ -720,6 +904,28 @@ mod tests {
         // 4 overhead + 3 insts at 1GHz vs 3.2GHz: ~23 core cycles.
         assert!(at >= 20, "PPU time must elapse, got {at}");
         assert_eq!(pf.stats().events_run, 1);
+    }
+
+    #[test]
+    fn late_demand_does_not_dispatch_in_the_past() {
+        // Regression: with every PPU idle since cycle 0 (stale
+        // `busy_until` stamps), an observation arriving at cycle 1000
+        // must still pay full PPU latency from cycle 1000 — batched
+        // catch-up stepping must not dispatch it "in the past" and make
+        // its request poppable the same cycle the demand arrived.
+        let (mut pf, a, _, _) = fig4_engine(false);
+        pf.on_demand(1000, &demand_read(a + 8));
+        pf.tick(1000);
+        assert!(
+            pf.pop_request(1000).is_none(),
+            "request must not be ready the cycle its demand arrived"
+        );
+        let (at, req) = run_until_request(&mut pf, 1001);
+        assert_eq!(req.vaddr, a + 8 + 128);
+        assert!(
+            at >= 1020,
+            "PPU latency counts from the enqueue cycle, got {at}"
+        );
     }
 
     #[test]

@@ -7,9 +7,13 @@
 //! * forwards snooped demand accesses ([`PrefetchEngine::on_demand`]),
 //! * forwards prefetched data arriving at L1, with the actual 64-byte line
 //!   contents and any request tag ([`PrefetchEngine::on_prefetch_fill`]),
-//! * gives the engine a cycle callback ([`PrefetchEngine::tick`]), and
+//! * gives the engine a cycle callback ([`PrefetchEngine::tick`]),
 //! * pops prefetch requests whenever the L1 has a free MSHR
-//!   ([`PrefetchEngine::pop_request`]), per §4.6 of the paper.
+//!   ([`PrefetchEngine::pop_request`]), per §4.6 of the paper, and
+//! * asks for the engine's *event horizon*
+//!   ([`PrefetchEngine::next_event_at`]) so tick/pop calls — and, on the
+//!   trace-replay fast path, whole stretches of simulated time — can be
+//!   skipped while the engine provably has nothing to do.
 //!
 //! Configuration instructions executed by the main core (address-bounds
 //! registration, global registers, tag bindings — §4.2/§5) arrive through
@@ -143,13 +147,25 @@ pub trait PrefetchEngine {
     /// Execute a configuration instruction from the main core.
     fn config(&mut self, now: u64, op: &ConfigOp);
 
-    /// Whether the engine has no internal work pending: nothing queued,
-    /// no PPU executing, no request waiting to be popped. Trace replay
-    /// (`etpp-trace`) fast-forwards the clock across idle stretches, so
-    /// engines that do per-cycle work must return `false` while any is
-    /// outstanding. The default suits stateless engines.
-    fn is_idle(&self) -> bool {
-        true
+    /// The engine's *event horizon*: the earliest cycle strictly after
+    /// `now` at which it can make progress without external stimulus —
+    /// a queued request becoming poppable, a scheduled emission falling
+    /// due, a busy PPU freeing up for a waiting observation, a blocked
+    /// PPU timing out. `None` means the engine is quiescent until the
+    /// next `on_demand` / `on_prefetch_fill` / `config` call.
+    ///
+    /// This is the scheduling contract: callers ([`MemorySystem::tick`]
+    /// and trace replay) may skip every cycle strictly before the
+    /// returned horizon — the engine guarantees that ticking it at those
+    /// cycles would have been a no-op and `pop_request` would have
+    /// returned `None`. Engines with pending pops must therefore return
+    /// `Some(now + 1)` while their request queue is non-empty. The
+    /// default suits stateless engines that only react to stimuli.
+    ///
+    /// [`MemorySystem::tick`]: crate::MemorySystem::tick
+    fn next_event_at(&self, now: u64) -> Option<u64> {
+        let _ = now;
+        None
     }
 }
 

@@ -1,0 +1,82 @@
+//! A fast non-cryptographic hasher for the simulator's address-keyed
+//! maps.
+//!
+//! The memory image, prefetch buffer and replay bookkeeping all key
+//! `HashMap`s by page or line addresses — millions of lookups per
+//! simulated second. The standard library's SipHash is DoS-resistant
+//! but needlessly slow for trusted `u64` keys; this Fibonacci-mix
+//! hasher (the same multiplier the GHB index table uses) cuts the
+//! per-lookup cost to a multiply and a shift. Host-side only: hash
+//! choice never affects simulated timing or statistics.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher for integer keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastHasher(u64);
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        let mut h = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 29;
+        self.0 = h;
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by the address-keyed maps): fold
+        // 8-byte chunks through the integer path.
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`]-backed maps.
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` keyed by addresses (or other trusted integers).
+pub type FastHashMap<K, V> = std::collections::HashMap<K, V, FastBuildHasher>;
+
+/// A `HashSet` of addresses (or other trusted integers).
+pub type FastHashSet<K> = std::collections::HashSet<K, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FastHashMap<u64, u64> = FastHashMap::default();
+        for i in 0..10_000u64 {
+            m.insert(i * 4096, i);
+        }
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(&(i * 4096)), Some(&i));
+        }
+        assert_eq!(m.get(&1), None);
+    }
+
+    #[test]
+    fn distinct_keys_rarely_collide() {
+        use std::hash::BuildHasher;
+        let b = FastBuildHasher::default();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..100_000u64 {
+            seen.insert(b.hash_one(i * 64));
+        }
+        assert_eq!(seen.len(), 100_000, "64-bit hashes of distinct keys");
+    }
+}

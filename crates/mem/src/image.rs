@@ -12,7 +12,7 @@
 //!    stay current for the prefetcher.
 
 use crate::addr::{page_of, LINE_SIZE, PAGE_SIZE};
-use std::collections::HashMap;
+use crate::fasthash::FastHashMap;
 
 /// A contiguous virtual allocation returned by [`MemoryImage::alloc`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,7 +45,7 @@ impl Region {
 /// per-run resets (tens of MiB).
 #[derive(Debug, Clone, Default)]
 pub struct MemoryImage {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    pages: FastHashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
     /// Next free virtual address for `alloc`.
     brk: u64,
 }
@@ -58,7 +58,7 @@ impl MemoryImage {
     /// Creates an empty image with the allocator at the arena base.
     pub fn new() -> Self {
         MemoryImage {
-            pages: HashMap::new(),
+            pages: FastHashMap::default(),
             brk: ARENA_BASE,
         }
     }

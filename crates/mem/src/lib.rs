@@ -49,6 +49,7 @@ pub mod addr;
 pub mod cache;
 pub mod dram;
 pub mod engine;
+pub mod fasthash;
 pub mod image;
 pub mod mshr;
 pub mod stats;
@@ -61,6 +62,7 @@ pub use dram::{Dram, DramParams};
 pub use engine::{
     ConfigOp, DemandEvent, FilterFlags, NullEngine, PrefetchEngine, PrefetchRequest, RangeId, TagId,
 };
+pub use fasthash::{FastBuildHasher, FastHashMap, FastHashSet};
 pub use image::{MemoryImage, Region};
 pub use mshr::{MshrFile, MshrId};
 pub use stats::{CacheStats, DramStats, MemStats, TlbStats};

@@ -95,7 +95,7 @@ pub struct TlbStats {
 }
 
 /// Aggregate snapshot of every memory-side counter, taken at end of run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// L1 data cache counters.
     pub l1: CacheStats,

@@ -24,12 +24,13 @@ use crate::addr::line_of;
 use crate::cache::{Cache, CacheParams, Line, LookupResult};
 use crate::dram::{Dram, DramParams};
 use crate::engine::{DemandEvent, PrefetchEngine, TagId};
+use crate::fasthash::FastHashMap;
 use crate::image::MemoryImage;
 use crate::mshr::{MshrFile, MshrId, Waiter};
 use crate::stats::MemStats;
 use crate::tlb::{TlbHierarchy, TlbParams, Translation};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// Token identifying an in-flight demand access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -130,6 +131,12 @@ enum EvKind {
         tag: Option<TagId>,
         meta: u64,
     },
+    /// Drain the L2-MSHR waiter queue into freed MSHRs. Scheduled (at
+    /// most once at a time) when a DRAM return releases an L2 MSHR
+    /// while lookups are parked — the event-driven replacement for the
+    /// old retry-every-4-cycles polling, which dominated the event heap
+    /// under DRAM backlog (15M of 18M events on a Small IntSort sweep).
+    L2RetryWake,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -178,15 +185,31 @@ pub struct MemorySystem {
     dram: Dram,
     tlb: TlbHierarchy,
     events: BinaryHeap<Reverse<Ev>>,
-    pf_buffer: HashMap<u64, PfBufEntry>,
+    pf_buffer: FastHashMap<u64, PfBufEntry>,
+    /// Lookups parked because every L2 MSHR was held: woken in FIFO
+    /// order by `L2RetryWake` instead of polling on the event heap.
+    l2_waiters: std::collections::VecDeque<EvKind>,
+    /// Whether an `L2RetryWake` is already on the heap.
+    l2_wake_scheduled: bool,
     next_seq: u64,
     next_access: u64,
     completions: Vec<Completion>,
+    /// Cached `min(completions[..].at)` (`u64::MAX` when empty), so the
+    /// per-iteration fast-forward horizon needs no scan.
+    completions_min: u64,
     demand_events: Vec<DemandEvent>,
     pf_fills: Vec<PfFill>,
     prefetch_drops: u64,
     prefetch_l1_redundant: u64,
     prefetches_issued: u64,
+    /// Cycle at which the attached engine next needs its tick/pop calls
+    /// (the engine's event horizon, cached from the last engine round).
+    /// `u64::MAX` = quiescent until the next delivery wakes it.
+    engine_wake: u64,
+    /// When `false`, the engine is called every tick regardless of its
+    /// horizon — the pre-batching reference behaviour, used by the
+    /// event-horizon equivalence tests.
+    engine_batching: bool,
 }
 
 impl MemorySystem {
@@ -200,15 +223,20 @@ impl MemorySystem {
             dram: Dram::new(params.dram),
             tlb: TlbHierarchy::new(params.tlb),
             events: BinaryHeap::new(),
-            pf_buffer: HashMap::new(),
+            pf_buffer: FastHashMap::default(),
+            l2_waiters: std::collections::VecDeque::new(),
+            l2_wake_scheduled: false,
             next_seq: 0,
             next_access: 0,
             completions: Vec::new(),
+            completions_min: u64::MAX,
             demand_events: Vec::new(),
             pf_fills: Vec::new(),
             prefetch_drops: 0,
             prefetch_l1_redundant: 0,
             prefetches_issued: 0,
+            engine_wake: 0,
+            engine_batching: true,
             params,
             image,
         }
@@ -312,7 +340,7 @@ impl MemorySystem {
             if is_write {
                 self.l1.mark_dirty(line);
             }
-            self.completions.push(Completion {
+            self.push_completion(Completion {
                 id,
                 at: now + self.params.l1.hit_latency + tlb_latency,
                 l1_hit: true,
@@ -407,28 +435,54 @@ impl MemorySystem {
         Ok(())
     }
 
+    #[inline]
+    fn push_completion(&mut self, c: Completion) {
+        self.completions_min = self.completions_min.min(c.at);
+        self.completions.push(c);
+    }
+
     /// Drains demand accesses whose completion time has been reached.
     pub fn take_completions_due(&mut self, now: u64) -> Vec<Completion> {
         let mut due = Vec::new();
+        self.drain_completions_due(now, &mut due);
+        due
+    }
+
+    /// Like [`Self::take_completions_due`], but appends into a
+    /// caller-owned buffer so per-cycle drivers avoid the allocation.
+    pub fn drain_completions_due(&mut self, now: u64, due: &mut Vec<Completion>) {
+        if now < self.completions_min {
+            return;
+        }
+        let mut min = u64::MAX;
         let mut i = 0;
         while i < self.completions.len() {
             if self.completions[i].at <= now {
                 due.push(self.completions.swap_remove(i));
             } else {
+                min = min.min(self.completions[i].at);
                 i += 1;
             }
         }
-        due
+        self.completions_min = min;
     }
 
     /// Drains all completions regardless of time (tests only).
     pub fn take_completions(&mut self) -> Vec<Completion> {
+        self.completions_min = u64::MAX;
         std::mem::take(&mut self.completions)
     }
 
     /// Advances the hierarchy to cycle `now`: processes due transfers, then
     /// feeds the engine (fills first, then snooped demand events, then its
     /// tick), then issues engine prefetch requests into free MSHRs.
+    ///
+    /// The engine round is *batched by event horizon*: it only runs when
+    /// there is something to deliver or the engine's own
+    /// [`PrefetchEngine::next_event_at`] says it has pending work. At
+    /// every skipped cycle the engine's contract guarantees tick would
+    /// be a no-op and `pop_request` would return `None`, so the skip is
+    /// behaviour-preserving (enforced by the equivalence test suite).
     pub fn tick(&mut self, now: u64, engine: &mut dyn PrefetchEngine) {
         while let Some(Reverse(ev)) = self.events.peek() {
             if ev.at > now {
@@ -438,12 +492,27 @@ impl MemorySystem {
             self.process(ev, engine);
         }
 
-        for f in std::mem::take(&mut self.pf_fills) {
+        if self.engine_batching
+            && now < self.engine_wake
+            && self.pf_fills.is_empty()
+            && self.demand_events.is_empty()
+        {
+            return;
+        }
+
+        // Deliver by draining in place (the engine cannot reach back
+        // into these queues), keeping each buffer's capacity instead of
+        // reallocating it on every delivery round.
+        let mut fills = std::mem::take(&mut self.pf_fills);
+        for f in fills.drain(..) {
             engine.on_prefetch_fill(now, f.vaddr, &f.line, f.tag, f.meta);
         }
-        for d in std::mem::take(&mut self.demand_events) {
+        self.pf_fills = fills;
+        let mut demands = std::mem::take(&mut self.demand_events);
+        for d in demands.drain(..) {
             engine.on_demand(now, &d);
         }
+        self.demand_events = demands;
         engine.tick(now);
 
         for _ in 0..self.params.pf_issue_per_cycle {
@@ -455,6 +524,8 @@ impl MemorySystem {
             };
             self.inject_prefetch(now, req.vaddr, req.tag, req.meta);
         }
+
+        self.engine_wake = engine.next_event_at(now).unwrap_or(u64::MAX);
     }
 
     fn inject_prefetch(&mut self, now: u64, vaddr: u64, tag: Option<TagId>, meta: u64) {
@@ -532,8 +603,10 @@ impl MemorySystem {
                         .access_read(now + self.params.l2.hit_latency, line);
                     self.schedule(done, EvKind::DramDone { l2_mshr: l2_mshr.0 });
                 } else {
-                    // L2 MSHRs exhausted: retry the lookup shortly.
-                    self.schedule(now + 4, EvKind::L2Lookup { l1_mshr, demand });
+                    // L2 MSHRs exhausted: park until a DRAM return
+                    // frees one (no polling).
+                    self.l2_waiters
+                        .push_back(EvKind::L2Lookup { l1_mshr, demand });
                 }
             }
             EvKind::PfL2Lookup { line_addr } => {
@@ -568,11 +641,17 @@ impl MemorySystem {
                             .access_read(now + self.params.l2.hit_latency, line_addr);
                         self.schedule(done, EvKind::DramDone { l2_mshr: l2_mshr.0 });
                     } else {
-                        self.schedule(now + 4, EvKind::PfL2Lookup { line_addr });
+                        self.l2_waiters.push_back(EvKind::PfL2Lookup { line_addr });
                     }
                 }
             }
             EvKind::DramDone { l2_mshr } => {
+                if !self.l2_waiters.is_empty() && !self.l2_wake_scheduled {
+                    // The release below frees an MSHR: wake parked
+                    // lookups next cycle (one wake drains greedily).
+                    self.l2_wake_scheduled = true;
+                    self.schedule(now + 1, EvKind::L2RetryWake);
+                }
                 let line = self.l2_mshrs.line_addr(MshrId(l2_mshr));
                 if let Some(evicted) = self.l2.fill(line, false, false) {
                     if evicted.dirty {
@@ -620,7 +699,7 @@ impl MemorySystem {
                 for w in self.l1_mshrs.release(id) {
                     match w {
                         Waiter::Demand(token) => {
-                            self.completions.push(Completion {
+                            self.push_completion(Completion {
                                 id: AccessId(token),
                                 at: now + 1,
                                 l1_hit: false,
@@ -665,7 +744,7 @@ impl MemorySystem {
                 for w in entry.waiters {
                     match w {
                         Waiter::Demand(token) => {
-                            self.completions.push(Completion {
+                            self.push_completion(Completion {
                                 id: AccessId(token),
                                 at: now + 1,
                                 l1_hit: false,
@@ -700,6 +779,23 @@ impl MemorySystem {
                     meta,
                 });
             }
+            EvKind::L2RetryWake => {
+                self.l2_wake_scheduled = false;
+                // Re-run parked lookups while MSHRs are free. A lookup
+                // that hits (or merges) consumes no MSHR, so the drain
+                // is greedy; anything still parked when MSHRs run out
+                // again is woken by the next DRAM return.
+                while !self.l2_waiters.is_empty() && self.l2_mshrs.free() > 0 {
+                    let kind = self.l2_waiters.pop_front().expect("checked non-empty");
+                    self.next_seq += 1;
+                    let ev = Ev {
+                        at: now,
+                        seq: self.next_seq,
+                        kind,
+                    };
+                    self.process(ev, _engine);
+                }
+            }
         }
     }
 
@@ -727,9 +823,45 @@ impl MemorySystem {
         self.events.peek().map(|Reverse(e)| e.at)
     }
 
+    /// The attached engine's cached event horizon: the earliest cycle
+    /// at which the engine needs its tick/pop round. Valid until the
+    /// engine is mutated behind the system's back (call
+    /// [`MemorySystem::wake_engine`] after doing that). `None` =
+    /// quiescent until the next delivery.
+    pub fn engine_next_at(&self) -> Option<u64> {
+        (self.engine_wake != u64::MAX).then_some(self.engine_wake)
+    }
+
+    /// Whether snooped demand events or prefetch fills are waiting to be
+    /// delivered to the engine at the next tick. Fast-forwarding callers
+    /// must not skip past that delivery cycle: the engine reacts to it
+    /// (enqueuing observations or requests) exactly one cycle after the
+    /// access, as it would under per-cycle ticking.
+    pub fn deliveries_pending(&self) -> bool {
+        !self.demand_events.is_empty() || !self.pf_fills.is_empty()
+    }
+
+    /// Invalidates the cached engine horizon. Must be called after the
+    /// engine is mutated outside [`MemorySystem::tick`] — e.g. when the
+    /// core executes a configuration instruction directly — so the next
+    /// tick re-runs the engine round unconditionally.
+    pub fn wake_engine(&mut self) {
+        self.engine_wake = 0;
+    }
+
+    /// Disables engine-horizon batching: the engine round runs on every
+    /// tick, as before the event-horizon scheduler. Reference behaviour
+    /// for the equivalence tests; measurably slower.
+    pub fn set_engine_batching(&mut self, on: bool) {
+        self.engine_batching = on;
+        if !on {
+            self.engine_wake = 0;
+        }
+    }
+
     /// Earliest pending demand completion, for idle fast-forwarding.
     pub fn next_completion_at(&self) -> Option<u64> {
-        self.completions.iter().map(|c| c.at).min()
+        (self.completions_min != u64::MAX).then_some(self.completions_min)
     }
 
     /// Consumes the hierarchy, returning the final memory image (used by
@@ -919,6 +1051,9 @@ mod tests {
             self.0.pop()
         }
         fn config(&mut self, _n: u64, _o: &crate::engine::ConfigOp) {}
+        fn next_event_at(&self, now: u64) -> Option<u64> {
+            (!self.0.is_empty()).then_some(now + 1)
+        }
     }
 
     #[test]
@@ -1054,6 +1189,9 @@ mod tests {
                 self.queued.pop()
             }
             fn config(&mut self, _n: u64, _o: &crate::engine::ConfigOp) {}
+            fn next_event_at(&self, now: u64) -> Option<u64> {
+                (!self.queued.is_empty()).then_some(now + 1)
+            }
         }
         let (mut mem, base) = setup();
         // Element index 5 holds value 5 (see setup()).

@@ -81,6 +81,10 @@ pub struct TlbHierarchy {
     l2: Vec<TlbEntry>,
     walker_busy_until: Vec<u64>,
     stamp: u64,
+    /// Host-side shortcut: index of the most recently hit L1 entry,
+    /// probed before the fully-associative scan. Purely an access-path
+    /// optimisation — hit/miss outcomes and LRU state are unchanged.
+    mru: usize,
     /// Hit/miss/walk statistics.
     pub stats: TlbStats,
 }
@@ -95,6 +99,7 @@ impl TlbHierarchy {
             l2: vec![TlbEntry::default(); params.l2_entries],
             walker_busy_until: vec![0; params.walkers],
             stamp: 1,
+            mru: 0,
             params,
             stats: TlbStats::default(),
         }
@@ -112,9 +117,19 @@ impl TlbHierarchy {
         self.stamp += 1;
         let stamp = self.stamp;
 
-        // L1: fully associative.
-        if let Some(e) = self.l1.iter_mut().find(|e| e.valid && e.page == page) {
-            e.lru = stamp;
+        // L1: fully associative; probe the last-hit entry first (pages
+        // repeat run-to-run, so this skips the scan almost always).
+        {
+            let m = &mut self.l1[self.mru];
+            if m.valid && m.page == page {
+                m.lru = stamp;
+                self.stats.l1_hits += 1;
+                return Translation::Ready { latency: 0 };
+            }
+        }
+        if let Some(i) = self.l1.iter().position(|e| e.valid && e.page == page) {
+            self.l1[i].lru = stamp;
+            self.mru = i;
             self.stats.l1_hits += 1;
             return Translation::Ready { latency: 0 };
         }
@@ -155,15 +170,22 @@ impl TlbHierarchy {
     }
 
     fn fill_l1(&mut self, page: u64, stamp: u64) {
-        let victim = match self.l1.iter_mut().find(|e| !e.valid) {
-            Some(v) => v,
-            None => self.l1.iter_mut().min_by_key(|e| e.lru).expect("l1 tlb"),
+        let idx = match self.l1.iter().position(|e| !e.valid) {
+            Some(i) => i,
+            None => self
+                .l1
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .map(|(i, _)| i)
+                .expect("l1 tlb"),
         };
-        *victim = TlbEntry {
+        self.l1[idx] = TlbEntry {
             page,
             valid: true,
             lru: stamp,
         };
+        self.mru = idx;
     }
 
     fn fill_l2(&mut self, page: u64, stamp: u64) {

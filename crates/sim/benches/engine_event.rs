@@ -1,0 +1,142 @@
+//! Microbenches for the programmable engine's event path: dispatch
+//! throughput (demand event → kernel → emitted request) and the cost of
+//! the event-horizon query that the batched schedulers lean on.
+//!
+//! ```text
+//! cargo bench -p etpp-sim --bench engine_event
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use etpp_core::{PrefetchProgramBuilder, PrefetcherParams, ProgrammablePrefetcher};
+use etpp_isa::KernelBuilder;
+use etpp_mem::{ConfigOp, DemandEvent, FilterFlags, PrefetchEngine, RangeId};
+
+const ARRAY_A: u64 = 0x1000;
+const ARRAY_B: u64 = 0x8000;
+
+/// Figure 4-style engine: a demand load in A prefetches a look-ahead
+/// element whose fill chains into B.
+fn chain_engine() -> ProgrammablePrefetcher {
+    let mut prog = PrefetchProgramBuilder::new();
+    let on_a_load = prog.add_kernel(
+        KernelBuilder::new("on_A_load")
+            .ld_vaddr(0)
+            .addi(0, 0, 128)
+            .prefetch(0)
+            .halt()
+            .build(),
+    );
+    let on_a_pf = prog.add_kernel(
+        KernelBuilder::new("on_A_prefetch")
+            .ld_vaddr(1)
+            .ld_data(0, 1)
+            .shli(0, 0, 3)
+            .ld_global(2, 1)
+            .add(0, 0, 2)
+            .prefetch(0)
+            .halt()
+            .build(),
+    );
+    let mut pf = ProgrammablePrefetcher::new(PrefetcherParams::paper(), prog.build());
+    pf.config(
+        0,
+        &ConfigOp::SetGlobal {
+            idx: 1,
+            value: ARRAY_B,
+        },
+    );
+    pf.config(
+        0,
+        &ConfigOp::SetRange {
+            id: RangeId(0),
+            lo: ARRAY_A,
+            hi: ARRAY_A + 0x1000,
+            on_load: Some(on_a_load.0),
+            on_prefetch: Some(on_a_pf.0),
+            flags: FilterFlags::default(),
+        },
+    );
+    pf
+}
+
+fn demand(at: u64, vaddr: u64) -> DemandEvent {
+    DemandEvent {
+        at,
+        vaddr,
+        pc: 0x40,
+        is_write: false,
+        l1_hit: false,
+    }
+}
+
+/// Full event round-trips: observe a demand load, advance by the event
+/// horizon until the emitted request pops. Measures dispatch + release
+/// scheduling + horizon stepping — the replay fast path's inner loop.
+fn bench_event_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_event");
+    g.bench_function("demand_to_request", |b| {
+        let mut pf = chain_engine();
+        let mut now = 0u64;
+        b.iter(|| {
+            pf.on_demand(now, &demand(now, ARRAY_A + ((now % 0x1000) & !7)));
+            let popped = loop {
+                pf.tick(now);
+                if let Some(r) = pf.pop_request(now) {
+                    break r;
+                }
+                now = pf
+                    .next_event_at(now)
+                    .expect("pending emission keeps the horizon finite");
+            };
+            now += 1;
+            black_box(popped.vaddr)
+        });
+    });
+    g.bench_function("burst_12_events", |b| {
+        // One observation per PPU, dispatched in a single batched step.
+        let mut pf = chain_engine();
+        let mut now = 0u64;
+        b.iter(|| {
+            for i in 0..12u64 {
+                pf.on_demand(now, &demand(now, ARRAY_A + ((i * 64) % 0x1000)));
+            }
+            pf.tick(now);
+            let mut drained = 0u64;
+            loop {
+                while pf.pop_request(now).is_some() {
+                    drained += 1;
+                }
+                if drained >= 12 {
+                    break;
+                }
+                now = pf.next_event_at(now).expect("emissions pending");
+                pf.tick(now);
+            }
+            now += 1;
+            black_box(drained)
+        });
+    });
+    g.finish();
+}
+
+/// The horizon query runs on every visited cycle of both consumers; it
+/// must stay trivially cheap (a heap peek plus a PPU scan).
+fn bench_next_event_at(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_horizon");
+    g.bench_function("next_event_at_busy", |b| {
+        let mut pf = chain_engine();
+        for i in 0..12u64 {
+            pf.on_demand(0, &demand(0, ARRAY_A + i * 64));
+        }
+        pf.tick(0);
+        b.iter(|| black_box(pf.next_event_at(black_box(1))));
+    });
+    g.bench_function("next_event_at_quiescent", |b| {
+        let pf = chain_engine();
+        b.iter(|| black_box(pf.next_event_at(black_box(1))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_dispatch, bench_next_event_at);
+criterion_main!(benches);

@@ -1,19 +1,158 @@
-//! Developer diagnostic: simulation wall-clock speed and quick speedup
-//! sanity numbers for two representative benchmarks at small scale — now
-//! for both the cycle-level core and the trace-replay fast path, so the
-//! speedup from replay is measured, not asserted.
+//! Developer diagnostic: simulation wall-clock speed for the cycle-level
+//! core and the trace-replay fast path across engine modes, with a
+//! machine-readable `BENCH_speedcheck.json` so the perf trajectory is
+//! tracked across PRs.
 //!
 //! ```text
-//! cargo run --release -p etpp-sim --bin speedcheck
+//! cargo run --release -p etpp-sim --bin speedcheck            # Small scale
+//! cargo run --release -p etpp-sim --bin speedcheck -- --smoke # Tiny, CI
+//! cargo run --release -p etpp-sim --bin speedcheck -- --json out.json
 //! ```
+//!
+//! The headline metric is replay *host speedup* (cycle-sim wall time /
+//! replay wall time) per mode: PR 2's event-horizon scheduler is meant
+//! to bring programmable-mode replay within reach of the baselines'
+//! fast-forward throughput instead of ticking per cycle.
 
 use etpp_sim::replay as rp;
 use etpp_sim::{run, PrefetchMode, SystemConfig};
 use etpp_workloads::{Scale, Workload};
+use std::fmt::Write as _;
 use std::time::Instant;
 
+/// Stable machine-readable key for a mode (JSON field material).
+fn mode_key(mode: PrefetchMode) -> &'static str {
+    match mode {
+        PrefetchMode::None => "none",
+        PrefetchMode::Stride => "stride",
+        PrefetchMode::GhbRegular => "ghb_regular",
+        PrefetchMode::GhbLarge => "ghb_large",
+        PrefetchMode::Software => "software",
+        PrefetchMode::Pragma => "pragma",
+        PrefetchMode::Converted => "converted",
+        PrefetchMode::Manual => "manual",
+        PrefetchMode::Blocked => "blocked",
+    }
+}
+
+#[derive(Debug)]
+struct CycleRow {
+    mode: PrefetchMode,
+    cycles: u64,
+    wall_s: f64,
+    validated: bool,
+}
+
+#[derive(Debug)]
+struct ReplayRow {
+    mode: PrefetchMode,
+    cycles: u64,
+    host_iters: u64,
+    wall_s: f64,
+    accesses_per_s: f64,
+    host_speedup: Option<f64>,
+    validated: bool,
+}
+
+impl ReplayRow {
+    /// Event-horizon fast-forward factor: simulated cycles per visited
+    /// host iteration. Deterministic (unlike wall time), so the CI gate
+    /// keys on it.
+    fn ff(&self) -> f64 {
+        self.cycles as f64 / self.host_iters.max(1) as f64
+    }
+}
+
+#[derive(Debug)]
+struct WorkloadReport {
+    name: &'static str,
+    trace_accesses: u64,
+    cycle: Vec<CycleRow>,
+    replay: Vec<ReplayRow>,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render_json(scale: &str, modes: &[PrefetchMode], reports: &[WorkloadReport]) -> String {
+    let mut j = String::new();
+    j.push_str("{\n  \"schema\": 1,\n  \"tool\": \"speedcheck\",\n");
+    let _ = writeln!(j, "  \"scale\": \"{}\",", json_escape(scale));
+    let mode_list = modes
+        .iter()
+        .map(|m| format!("\"{}\"", mode_key(*m)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(j, "  \"modes\": [{mode_list}],");
+    j.push_str("  \"workloads\": [\n");
+    for (wi, w) in reports.iter().enumerate() {
+        let _ = writeln!(j, "    {{\n      \"name\": \"{}\",", json_escape(w.name));
+        let _ = writeln!(j, "      \"trace_accesses\": {},", w.trace_accesses);
+        j.push_str("      \"cycle\": [\n");
+        for (i, r) in w.cycle.iter().enumerate() {
+            let _ = write!(
+                j,
+                "        {{\"mode\": \"{}\", \"cycles\": {}, \"wall_s\": {:.6}, \"validated\": {}}}",
+                mode_key(r.mode),
+                r.cycles,
+                r.wall_s,
+                r.validated
+            );
+            j.push_str(if i + 1 < w.cycle.len() { ",\n" } else { "\n" });
+        }
+        j.push_str("      ],\n      \"replay\": [\n");
+        for (i, r) in w.replay.iter().enumerate() {
+            let speedup = r
+                .host_speedup
+                .map_or("null".to_string(), |s| format!("{s:.3}"));
+            let _ = write!(
+                j,
+                "        {{\"mode\": \"{}\", \"cycles\": {}, \"host_iters\": {}, \
+                 \"fast_forward\": {:.3}, \"wall_s\": {:.6}, \"accesses_per_s\": {:.1}, \
+                 \"host_speedup\": {}, \"validated\": {}}}",
+                mode_key(r.mode),
+                r.cycles,
+                r.host_iters,
+                r.ff(),
+                r.wall_s,
+                r.accesses_per_s,
+                speedup,
+                r.validated
+            );
+            j.push_str(if i + 1 < w.replay.len() { ",\n" } else { "\n" });
+        }
+        j.push_str("      ]\n    }");
+        j.push_str(if wi + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ]\n}\n");
+    j
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_speedcheck.json".to_string());
+
+    let (scale, scale_label) = if smoke {
+        (Scale::Tiny, "tiny")
+    } else {
+        (Scale::Small, "small")
+    };
+    let modes = [
+        PrefetchMode::None,
+        PrefetchMode::Stride,
+        PrefetchMode::GhbRegular,
+        PrefetchMode::Manual,
+    ];
+
     let cfg = SystemConfig::paper();
+    let mut reports = Vec::new();
     for (name, w) in [
         (
             "IntSort",
@@ -22,7 +161,7 @@ fn main() {
         ("HJ-8", Box::new(etpp_workloads::hashjoin::Hj8)),
     ] {
         let t0 = Instant::now();
-        let wl = w.build(Scale::Small);
+        let wl = w.build(scale);
         eprintln!(
             "{name}: build {:?} trace_ops={}",
             t0.elapsed(),
@@ -30,44 +169,35 @@ fn main() {
         );
 
         // --- cycle-level core ---------------------------------------------
-        let mut cycle_wall = std::collections::HashMap::new();
-        for mode in [
-            PrefetchMode::None,
-            PrefetchMode::Manual,
-            PrefetchMode::Software,
-        ] {
+        let mut cycle_rows: Vec<CycleRow> = Vec::new();
+        for mode in modes {
             let t = Instant::now();
             match run(&cfg, mode, &wl) {
                 Ok(r) => {
-                    let wall = t.elapsed();
-                    cycle_wall.insert(mode, wall);
+                    let wall = t.elapsed().as_secs_f64();
                     eprintln!(
-                        "  cycle {:>10}: cycles={:>12} ipc={:.2} wall={:?} validated={} l1hit={:.3} late={} pfissued={} pfdrops={} redund={} util={:.2}",
-                        mode.label(), r.cycles, r.ipc(), wall, r.validated,
-                        r.mem.l1.read_hit_rate(), r.mem.l1.late_prefetch_merges,
-                        r.mem.prefetches_issued, r.mem.prefetch_drops,
-                        r.mem.prefetch_l1_redundant,
-                        r.mem.l1.prefetch_utilisation(),
+                        "  cycle {:>13}: cycles={:>12} ipc={:.2} wall={:.3}s validated={} l1hit={:.3}",
+                        mode.label(),
+                        r.cycles,
+                        r.ipc(),
+                        wall,
+                        r.validated,
+                        r.mem.l1.read_hit_rate(),
                     );
-                    eprintln!("               lookahead={}", r.final_lookahead);
-                    if let Some(pf) = &r.pf {
-                        eprintln!(
-                            "               events={} insts={} emitted={} obsdrop={} reqdrop={}",
-                            pf.events_run,
-                            pf.insts_executed,
-                            pf.prefetches_emitted,
-                            pf.obs_dropped,
-                            pf.req_dropped
-                        );
-                    }
+                    cycle_rows.push(CycleRow {
+                        mode,
+                        cycles: r.cycles,
+                        wall_s: wall,
+                        validated: r.validated,
+                    });
                 }
-                Err(s) => eprintln!("  cycle {:>10}: skipped ({s})", mode.label()),
+                Err(s) => eprintln!("  cycle {:>13}: skipped ({s})", mode.label()),
             }
         }
 
         // --- trace replay -------------------------------------------------
         let t = Instant::now();
-        let (trace, _) = rp::load_or_capture(None, &cfg, &wl, "small");
+        let (trace, _) = rp::load_or_capture(None, &cfg, &wl, scale_label);
         let accesses = trace.access_count();
         eprintln!(
             "  capture: {} records ({} accesses) in {:?}",
@@ -75,28 +205,102 @@ fn main() {
             accesses,
             t.elapsed()
         );
-        for mode in [PrefetchMode::None, PrefetchMode::Manual] {
+        let mut replay_rows: Vec<ReplayRow> = Vec::new();
+        for mode in modes {
             let t = Instant::now();
             match rp::replay_run(&cfg, mode, &wl, &trace.records) {
                 Ok(r) => {
-                    let wall = t.elapsed();
-                    let aps = accesses as f64 / wall.as_secs_f64();
-                    let speedup = cycle_wall
-                        .get(&mode)
-                        .map(|cw| cw.as_secs_f64() / wall.as_secs_f64());
+                    let wall = t.elapsed().as_secs_f64();
+                    let aps = accesses as f64 / wall;
+                    let host_speedup = cycle_rows
+                        .iter()
+                        .find(|c| c.mode == mode)
+                        .map(|c| c.wall_s / wall);
                     eprintln!(
-                        "  replay {:>9}: cycles={:>12} wall={:?} validated={} l1hit={:.3} accesses/s={:.2e} host-speedup={}",
+                        "  replay {:>12}: cycles={:>12} wall={:.3}s validated={} l1hit={:.3} accesses/s={:.2e} ff={:.1}x host-speedup={}",
                         mode.label(),
                         r.cycles,
                         wall,
                         r.validated,
                         r.mem.l1.read_hit_rate(),
                         aps,
-                        speedup.map_or("n/a".to_string(), |s| format!("{s:.1}x")),
+                        r.cycles as f64 / r.host_iters.max(1) as f64,
+                        host_speedup.map_or("n/a".to_string(), |s| format!("{s:.1}x")),
                     );
+                    replay_rows.push(ReplayRow {
+                        mode,
+                        cycles: r.cycles,
+                        host_iters: r.host_iters,
+                        wall_s: wall,
+                        accesses_per_s: aps,
+                        host_speedup,
+                        validated: r.validated,
+                    });
                 }
-                Err(s) => eprintln!("  replay {:>9}: skipped ({s})", mode.label()),
+                Err(s) => eprintln!("  replay {:>12}: skipped ({s})", mode.label()),
             }
         }
+        reports.push(WorkloadReport {
+            name: wl.name,
+            trace_accesses: accesses,
+            cycle: cycle_rows,
+            replay: replay_rows,
+        });
+    }
+
+    let json = render_json(scale_label, &modes, &reports);
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => eprintln!("wrote {json_path}"),
+        Err(e) => {
+            eprintln!("could not write {json_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // Smoke gate for CI: every run must validate, programmable-mode
+    // replay must exist (a silently skipped run must not pass the gate
+    // it was meant to feed), and its *deterministic* fast-forward
+    // factor must show the event-horizon scheduler actually skipping
+    // cycles. Wall-clock host speedup is reported but not gated — two
+    // tens-of-milliseconds timings on a loaded CI runner are noise.
+    const MIN_PROG_FF: f64 = 1.2;
+    let mut ok = true;
+    for w in &reports {
+        for r in &w.cycle {
+            ok &= r.validated;
+        }
+        let mut prog_rows = 0usize;
+        for r in &w.replay {
+            ok &= r.validated;
+            if r.mode.is_programmable() {
+                prog_rows += 1;
+                if r.ff() < MIN_PROG_FF {
+                    eprintln!(
+                        "FAIL {}: programmable replay fast-forward {:.2}x < {MIN_PROG_FF}x \
+                         (event-horizon scheduler not skipping cycles)",
+                        w.name,
+                        r.ff()
+                    );
+                    ok = false;
+                }
+                if let Some(s) = r.host_speedup {
+                    if s < 1.0 {
+                        eprintln!(
+                            "note {}: programmable replay wall-clock below cycle sim \
+                             ({s:.2}x) — informational, not gated",
+                            w.name
+                        );
+                    }
+                }
+            }
+        }
+        if prog_rows == 0 {
+            eprintln!("FAIL {}: programmable-mode replay never ran", w.name);
+            ok = false;
+        }
+    }
+    if !ok {
+        eprintln!("speedcheck: validation or fast-forward gate failed");
+        std::process::exit(1);
     }
 }

@@ -19,4 +19,4 @@ pub mod system;
 
 pub use config::{PrefetchMode, SystemConfig};
 pub use replay::{load_or_capture, replay_grid, replay_run, ReplayRun};
-pub use system::{run, run_captured, RunResult};
+pub use system::{make_engine, run, run_captured, Engine, RunResult, Skip};

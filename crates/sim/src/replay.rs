@@ -31,6 +31,9 @@ pub struct ReplayRun {
     pub mode: PrefetchMode,
     /// Replayed cycles (relative metric; see `etpp_trace::replay`).
     pub cycles: u64,
+    /// Host loop iterations (visited cycles); `cycles / host_iters` is
+    /// the event-horizon fast-forward factor.
+    pub host_iters: u64,
     /// Demand accesses replayed.
     pub accesses: u64,
     /// Memory-side statistics.
@@ -156,6 +159,7 @@ pub fn replay_run(
         workload: wl.name,
         mode,
         cycles: res.cycles,
+        host_iters: res.host_iters,
         accesses: res.accesses,
         mem: res.mem,
         validated,

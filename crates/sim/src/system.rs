@@ -63,15 +63,22 @@ impl std::fmt::Display for Skip {
     }
 }
 
-pub(crate) enum Engine {
+/// A mode's prefetch engine, concretely typed so callers can reach
+/// engine-specific statistics after a run.
+pub enum Engine {
+    /// No prefetching.
     Null(NullEngine),
+    /// Reference-prediction-table stride baseline.
     Stride(StridePrefetcher),
+    /// Markov global-history-buffer baseline.
     Ghb(Box<GhbPrefetcher>),
+    /// The paper's programmable prefetcher.
     Prog(Box<ProgrammablePrefetcher>),
 }
 
 impl Engine {
-    pub(crate) fn as_dyn(&mut self) -> &mut dyn PrefetchEngine {
+    /// The engine as the trait object the memory system drives.
+    pub fn as_dyn(&mut self) -> &mut dyn PrefetchEngine {
         match self {
             Engine::Null(e) => e,
             Engine::Stride(e) => e,
@@ -80,7 +87,9 @@ impl Engine {
         }
     }
 
-    pub(crate) fn pf_stats(&self) -> Option<PfEngineStats> {
+    /// Programmable-prefetcher statistics snapshot (reporting boundary
+    /// only — allocates the per-PPU vectors).
+    pub fn pf_stats(&self) -> Option<PfEngineStats> {
         match self {
             Engine::Prog(p) => Some(p.stats()),
             _ => None,
@@ -89,10 +98,13 @@ impl Engine {
 }
 
 /// Builds the prefetch engine for `mode` without choosing a trace — shared
-/// between the cycle-level path and trace replay. `Software` has no engine
-/// (its prefetches live in the instruction stream) and is rejected here;
-/// the cycle-level path special-cases it.
-pub(crate) fn make_engine(
+/// between the cycle-level path, trace replay and the equivalence tests.
+/// `Software` has no engine (its prefetches live in the instruction
+/// stream) and is rejected here; the cycle-level path special-cases it.
+///
+/// # Errors
+/// [`Skip`] when the mode needs a prefetch program the workload lacks.
+pub fn make_engine(
     cfg: &SystemConfig,
     mode: PrefetchMode,
     wl: &BuiltWorkload,
@@ -225,8 +237,13 @@ fn run_inner(
         mem.tick(now, engine.as_dyn());
         core.tick(now, &mut mem);
         let configs = core.take_configs();
-        for op in configs {
-            engine.as_dyn().config(now, &op);
+        if !configs.is_empty() {
+            for op in &configs {
+                engine.as_dyn().config(now, op);
+            }
+            // Configs mutate the engine behind the memory system's
+            // back; invalidate its cached event horizon.
+            mem.wake_engine();
         }
         now += 1;
         assert!(

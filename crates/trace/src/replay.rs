@@ -16,11 +16,18 @@
 //! stream. Relative speedups between prefetchers are preserved; absolute
 //! cycle counts are not comparable with the cycle-level core's.
 //!
-//! When the attached engine reports itself idle
-//! ([`PrefetchEngine::is_idle`]) and nothing can issue, the clock jumps
-//! straight to the next memory-system event instead of ticking through
-//! dead cycles — this is where the order-of-magnitude speedup over the
-//! cycle-level core comes from.
+//! The clock never ticks through dead cycles: each iteration jumps
+//! straight to the earliest *event horizon* across the memory system
+//! (pending transfer or completion), the prefetch engine
+//! ([`PrefetchEngine::next_event_at`] — a due emission, a PPU freeing
+//! up, a queued request awaiting its pop), the issue window, and the
+//! store buffer. Engines that once forced per-cycle ticking whenever
+//! they held any state (the old `is_idle` gate) now fast-forward
+//! through PPU execution and release delays too, which is where the
+//! order-of-magnitude host speedup on programmable modes comes from.
+//! Setting [`ReplayParams::per_cycle_reference`] restores the unit-tick
+//! loop; the equivalence tests pin both paths to identical cycle
+//! counts, statistics and request streams.
 
 use crate::format::TraceRecord;
 use etpp_mem::{
@@ -50,6 +57,11 @@ pub struct ReplayParams {
     pub gap_cap: u64,
     /// Runaway guard.
     pub max_cycles: u64,
+    /// Disable all event-horizon batching: advance the clock one cycle
+    /// at a time and run the engine round every tick, exactly as the
+    /// pre-batching simulator did. Slow; exists so the equivalence
+    /// tests can pin the fast path against a unit-tick reference.
+    pub per_cycle_reference: bool,
 }
 
 impl Default for ReplayParams {
@@ -60,6 +72,7 @@ impl Default for ReplayParams {
             store_buffer: 32,
             gap_cap: 0,
             max_cycles: 20_000_000_000,
+            per_cycle_reference: false,
         }
     }
 }
@@ -69,6 +82,10 @@ impl Default for ReplayParams {
 pub struct ReplayResult {
     /// Replayed cycles (re-simulated; see module docs).
     pub cycles: u64,
+    /// Host loop iterations — simulated cycles actually *visited*. The
+    /// ratio `cycles / host_iters` is the event-horizon fast-forward
+    /// factor; per-cycle reference runs have `host_iters == cycles + 1`.
+    pub host_iters: u64,
     /// Demand accesses issued.
     pub accesses: u64,
     /// Configuration records applied to the engine.
@@ -101,12 +118,16 @@ pub fn replay(
     engine: &mut dyn PrefetchEngine,
 ) -> ReplayResult {
     let mut mem = MemorySystem::new(mem_params, image);
+    if params.per_cycle_reference {
+        mem.set_engine_batching(false);
+    }
     let mut now: u64 = 0;
     let mut inflight: usize = 0;
     let mut next_issue_at: u64 = 0;
     let mut prev_rec_cycle: Option<u64> = None;
     let mut accesses: u64 = 0;
     let mut configs: u64 = 0;
+    let mut host_iters: u64 = 0;
     let mut i = 0usize;
     // Store buffer: data is committed when the record is reached (as the
     // cycle core commits at retire), but the cache access drains later —
@@ -114,11 +135,15 @@ pub fn replay(
     // fetched. This keeps load-modify-store pairs from counting spurious
     // write misses while never blocking the load window behind a store.
     let mut store_q: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
-    let mut stores_in_mem: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut stores_in_mem: etpp_mem::FastHashSet<u64> = etpp_mem::FastHashSet::default();
+    let mut due: Vec<etpp_mem::Completion> = Vec::new();
 
     loop {
+        host_iters += 1;
         mem.tick(now, engine);
-        for c in mem.take_completions_due(now) {
+        due.clear();
+        mem.drain_completions_due(now, &mut due);
+        for c in &due {
             if !stores_in_mem.remove(&c.id.0) {
                 inflight -= 1;
             }
@@ -147,6 +172,9 @@ pub fn replay(
             match &records[i] {
                 TraceRecord::Config { op, .. } => {
                     engine.config(now, op);
+                    // The config may have armed the engine (or re-enabled
+                    // it with queued state); drop the cached horizon.
+                    mem.wake_engine();
                     configs += 1;
                     i += 1;
                 }
@@ -234,9 +262,14 @@ pub fn replay(
             break;
         }
 
-        // Advance time. When the engine is idle and nothing was rejected,
-        // jump to the next moment anything can happen.
-        if engine.is_idle() && !structural_stall {
+        // Advance time: jump to the next moment anything can happen —
+        // a memory-system transfer or completion, the engine's event
+        // horizon (due emission, PPU freeing up, queued request), an
+        // issue slot, or a drainable store. Structural stalls retry
+        // next cycle, as the LSQ would.
+        if params.per_cycle_reference || structural_stall {
+            now += 1;
+        } else {
             let mut next = u64::MAX;
             if let Some(t) = mem.next_event_at() {
                 next = next.min(t);
@@ -244,10 +277,32 @@ pub fn replay(
             if let Some(t) = mem.next_completion_at() {
                 next = next.min(t);
             }
-            if i < records.len()
-                && (inflight < params.window || store_q.len() < params.store_buffer)
-            {
-                next = next.min(next_issue_at);
+            if let Some(t) = mem.engine_next_at() {
+                next = next.min(t);
+            }
+            if mem.deliveries_pending() {
+                // Snooped accesses reach the engine at the next tick;
+                // skipping past it would delay its reaction.
+                next = next.min(now + 1);
+            }
+            if i < records.len() {
+                // Only a record that can actually issue pins the issue
+                // horizon: the phase above leaves `i` at an access (it
+                // applies configs inline), so ask whether *that* access
+                // has capacity — a load needs a window slot, a store a
+                // buffer slot. A blocked head record wakes with the
+                // completion/fill event that frees its resource, which
+                // is already in `next`.
+                let can_issue = match &records[i] {
+                    TraceRecord::Config { .. } => true,
+                    TraceRecord::Access { kind, .. } => match kind {
+                        AccessKind::Load => inflight < params.window,
+                        AccessKind::Store => store_q.len() < params.store_buffer,
+                    },
+                };
+                if can_issue {
+                    next = next.min(next_issue_at);
+                }
             }
             if let Some(&v) = store_q.front() {
                 // A drainable store goes next cycle; one still waiting on
@@ -261,8 +316,6 @@ pub fn replay(
             } else {
                 next.max(now + 1)
             };
-        } else {
-            now += 1;
         }
         assert!(
             now < params.max_cycles,
@@ -275,6 +328,7 @@ pub fn replay(
     let image = mem.into_image();
     ReplayResult {
         cycles: now,
+        host_iters,
         accesses,
         configs,
         mem: stats,

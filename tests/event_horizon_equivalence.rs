@@ -1,0 +1,209 @@
+//! Event-horizon scheduler equivalence (PR 2's correctness contract).
+//!
+//! The batched fast path — engine-horizon fast-forwarding in trace
+//! replay plus engine-round skipping inside `MemorySystem::tick` — must
+//! be *bit-identical* to a per-cycle unit-tick reference loop: same
+//! replayed cycle counts, same memory statistics, same prefetch request
+//! stream (cycle, address, tag, metadata), same engine counters, same
+//! post-run image checksum. Any divergence means the horizon contract
+//! ([`PrefetchEngine::next_event_at`]) under-reported pending work.
+
+use etpp::mem::{ConfigOp, DemandEvent, Line, MemoryImage, PrefetchEngine, PrefetchRequest, TagId};
+use etpp::sim::{load_or_capture, make_engine, Engine, PrefetchMode, SystemConfig};
+use etpp::trace::{replay, ReplayParams, ReplayResult, TraceRecord};
+use etpp::workloads::{checksum_region, workload_by_name, BuiltWorkload, Scale};
+
+/// Forwards to an inner engine, logging every popped request with its
+/// issue cycle so two runs' request streams compare exactly.
+struct Recording<'a> {
+    inner: &'a mut dyn PrefetchEngine,
+    log: Vec<(u64, u64, Option<TagId>, u64)>,
+}
+
+impl PrefetchEngine for Recording<'_> {
+    fn on_demand(&mut self, now: u64, ev: &DemandEvent) {
+        self.inner.on_demand(now, ev);
+    }
+    fn on_prefetch_fill(
+        &mut self,
+        now: u64,
+        vaddr: u64,
+        line: &Line,
+        tag: Option<TagId>,
+        meta: u64,
+    ) {
+        self.inner.on_prefetch_fill(now, vaddr, line, tag, meta);
+    }
+    fn tick(&mut self, now: u64) {
+        self.inner.tick(now);
+    }
+    fn pop_request(&mut self, now: u64) -> Option<PrefetchRequest> {
+        let r = self.inner.pop_request(now);
+        if let Some(req) = r {
+            self.log.push((now, req.vaddr, req.tag, req.meta));
+        }
+        r
+    }
+    fn config(&mut self, now: u64, op: &ConfigOp) {
+        self.inner.config(now, op);
+    }
+    fn next_event_at(&self, now: u64) -> Option<u64> {
+        self.inner.next_event_at(now)
+    }
+}
+
+struct Outcome {
+    result: ReplayResult,
+    requests: Vec<(u64, u64, Option<TagId>, u64)>,
+    engine: Engine,
+}
+
+fn replay_with(
+    cfg: &SystemConfig,
+    mode: PrefetchMode,
+    wl: &BuiltWorkload,
+    image: MemoryImage,
+    records: &[TraceRecord],
+    per_cycle_reference: bool,
+) -> Outcome {
+    let mut engine = make_engine(cfg, mode, wl).expect("engine modes only");
+    let params = ReplayParams {
+        window: 8,
+        per_cycle_reference,
+        ..ReplayParams::default()
+    };
+    let mut rec = Recording {
+        inner: engine.as_dyn(),
+        log: Vec::new(),
+    };
+    let result = replay(&params, cfg.mem, image, records, &mut rec);
+    let requests = rec.log;
+    Outcome {
+        result,
+        requests,
+        engine,
+    }
+}
+
+fn assert_equivalent(mode: PrefetchMode, wl_name: &str) {
+    let wl = workload_by_name(wl_name).unwrap().build(Scale::Tiny);
+    let cfg = SystemConfig::paper();
+    let (trace, _) = load_or_capture(None, &cfg, &wl, "tiny");
+
+    let fast = replay_with(&cfg, mode, &wl, wl.image.clone(), &trace.records, false);
+    let reference = replay_with(&cfg, mode, &wl, wl.image.clone(), &trace.records, true);
+
+    assert_eq!(
+        fast.result.cycles, reference.result.cycles,
+        "{wl_name}/{mode:?}: replayed cycle counts must be identical"
+    );
+    assert_eq!(
+        fast.result.accesses, reference.result.accesses,
+        "{wl_name}/{mode:?}: access counts must match"
+    );
+    assert_eq!(
+        fast.result.mem, reference.result.mem,
+        "{wl_name}/{mode:?}: memory statistics must be bit-identical"
+    );
+    assert_eq!(
+        fast.requests.len(),
+        reference.requests.len(),
+        "{wl_name}/{mode:?}: prefetch request counts must match"
+    );
+    for (i, (f, r)) in fast.requests.iter().zip(&reference.requests).enumerate() {
+        assert_eq!(
+            f, r,
+            "{wl_name}/{mode:?}: request #{i} diverged (cycle, vaddr, tag, meta)"
+        );
+    }
+    if let (Engine::Prog(fp), Engine::Prog(rp)) = (&fast.engine, &reference.engine) {
+        assert_eq!(
+            fp.counters(),
+            rp.counters(),
+            "{wl_name}/{mode:?}: engine counters must match"
+        );
+    }
+    let fsum = checksum_region(&fast.result.image, wl.check_region);
+    assert_eq!(
+        fsum,
+        checksum_region(&reference.result.image, wl.check_region),
+        "{wl_name}/{mode:?}: post-replay image checksums must match"
+    );
+    assert_eq!(
+        fsum, wl.expected,
+        "{wl_name}/{mode:?}: replay must reproduce the reference output"
+    );
+}
+
+#[test]
+fn null_engine_is_horizon_equivalent() {
+    assert_equivalent(PrefetchMode::None, "IntSort");
+}
+
+#[test]
+fn stride_is_horizon_equivalent() {
+    assert_equivalent(PrefetchMode::Stride, "IntSort");
+}
+
+#[test]
+fn ghb_is_horizon_equivalent() {
+    assert_equivalent(PrefetchMode::GhbRegular, "RandAcc");
+}
+
+#[test]
+fn programmable_is_horizon_equivalent_on_mixed_workloads() {
+    // HJ-8 mixes strided probes, hash indirection and linked-list walks
+    // (tagged chained prefetches); IntSort mixes dense histogramming
+    // with indirect scatter stores.
+    assert_equivalent(PrefetchMode::Manual, "IntSort");
+    assert_equivalent(PrefetchMode::Manual, "HJ-8");
+}
+
+#[test]
+fn blocked_mode_is_horizon_equivalent() {
+    // Blocked mode exercises the timeout-as-scheduled-event path and
+    // blocked-PPU horizon accounting.
+    assert_equivalent(PrefetchMode::Blocked, "HJ-8");
+}
+
+/// The programmable engine's hot path must be allocation-free in steady
+/// state: after a warm-up pass over the trace, a second pass through the
+/// same engine must not regrow any scratch buffer.
+#[test]
+#[cfg(debug_assertions)]
+fn programmable_hot_path_is_allocation_free_when_warm() {
+    let wl = workload_by_name("HJ-8").unwrap().build(Scale::Tiny);
+    let cfg = SystemConfig::paper();
+    let (trace, _) = load_or_capture(None, &cfg, &wl, "tiny");
+    let mut engine = make_engine(&cfg, PrefetchMode::Manual, &wl).unwrap();
+    let params = ReplayParams {
+        window: 8,
+        ..ReplayParams::default()
+    };
+    replay(
+        &params,
+        cfg.mem,
+        wl.image.clone(),
+        &trace.records,
+        engine.as_dyn(),
+    );
+    let Engine::Prog(p) = &engine else {
+        panic!("manual mode is programmable")
+    };
+    let warm = p.scratch_regrows();
+    replay(
+        &params,
+        cfg.mem,
+        wl.image.clone(),
+        &trace.records,
+        engine.as_dyn(),
+    );
+    let Engine::Prog(p) = &engine else {
+        panic!("manual mode is programmable")
+    };
+    assert_eq!(
+        p.scratch_regrows(),
+        warm,
+        "scratch buffers must not reallocate once warm"
+    );
+}
