@@ -145,7 +145,7 @@ pub struct PfCounters {
 /// assembled by [`ProgrammablePrefetcher::stats`]. Building one
 /// allocates the per-PPU vectors, so take it once per run, never inside
 /// a simulation loop (use [`ProgrammablePrefetcher::counters`] there).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PfEngineStats {
     /// Events dispatched to PPUs.
     pub events_run: u64,

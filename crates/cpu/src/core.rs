@@ -22,7 +22,7 @@
 
 use crate::bpred::{BranchPredictor, BranchPredictorParams};
 use crate::trace::{OpClass, Trace};
-use etpp_mem::{AccessKind, ConfigOp, MemorySystem, Rejection};
+use etpp_mem::{AccessKind, Completion, ConfigOp, MemorySystem, Rejection};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
@@ -76,7 +76,7 @@ impl Default for CoreParams {
 }
 
 /// Execution statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreStats {
     /// Micro-ops retired.
     pub insts_retired: u64,
@@ -200,6 +200,9 @@ pub struct Core<'t> {
     pending_configs: Vec<ConfigOp>,
     /// Capture sink for retired events (`None` = capture disabled).
     captured: Option<Vec<RetiredEvent>>,
+    /// Scratch buffer for draining due memory completions without a
+    /// per-cycle allocation.
+    completions_scratch: Vec<Completion>,
     /// Statistics.
     pub stats: CoreStats,
 }
@@ -226,6 +229,7 @@ impl<'t> Core<'t> {
             blocking_branch: None,
             pending_configs: Vec::new(),
             captured: None,
+            completions_scratch: Vec::new(),
             stats: CoreStats::default(),
             params,
             trace,
@@ -286,8 +290,82 @@ impl<'t> Core<'t> {
         self.dispatch(now);
     }
 
+    /// The core's *event horizon*: the earliest cycle strictly after
+    /// `now` at which [`Core::tick`] can do anything at all. Drivers
+    /// fold this with [`MemorySystem::next_horizon`] and jump the clock
+    /// straight to the minimum; ticking the core at any skipped cycle
+    /// is guaranteed to be a no-op (state *and* statistics — enforced
+    /// bit-for-bit by `tests/event_horizon_equivalence.rs`).
+    ///
+    /// The horizon is `now + 1` whenever the core can make progress on
+    /// the very next cycle — an op can retire, issue, dispatch, or a
+    /// store writeback is pending (including structural-stall retries,
+    /// which must revisit every cycle so retry statistics stay exact).
+    /// Otherwise it is the min of the front-end stall end, the next
+    /// functional-unit completion (which also resolves a blocking
+    /// branch), and the completion of the oldest in-flight miss the
+    /// ROB/LSQ is waiting on. `u64::MAX` means the core cannot proceed
+    /// without a memory completion that is not currently scheduled —
+    /// i.e. a deadlock if the memory system is also quiescent.
+    pub fn next_event_at(&self, now: u64, mem: &MemorySystem) -> u64 {
+        // Issue-stage progress next cycle. A load queue at capacity
+        // blocks the (oldest-first) memory queue without touching any
+        // counter, so that one case may fast-forward to the completion
+        // that frees an LQ slot; every other non-empty ready queue —
+        // including loads retrying MSHR-full rejections, which count
+        // `load_retries` per visited cycle — pins the horizon.
+        if !self.ready_int.is_empty() || !self.ready_fp.is_empty() || !self.ready_muldiv.is_empty()
+        {
+            return now + 1;
+        }
+        if let Some(&idx) = self.ready_mem.front() {
+            let lq_blocked = self.trace.ops[idx as usize].class == OpClass::Load
+                && self.lq_inflight >= self.params.lq_entries;
+            if !lq_blocked {
+                return now + 1;
+            }
+        }
+        // A store writeback pending issue drains (or retries) next cycle.
+        if self.sq.iter().any(|e| e.state == SqState::PendingIssue) {
+            return now + 1;
+        }
+        // The head of the ROB is done: retirement proceeds next cycle.
+        if self.head < self.cursor && self.slots[self.slot_of(self.head)].state == State::Done {
+            return now + 1;
+        }
+        let mut next = u64::MAX;
+        // Dispatch can proceed once the front end unstalls, provided the
+        // back-end resources it needs are free. When they are not, the
+        // event that frees them (retire, issue, completion) is covered
+        // by the arms above/below.
+        if self.blocking_branch.is_none() && (self.cursor as usize) < self.trace.len() {
+            let rob_free = ((self.cursor - self.head) as usize) < self.params.rob_entries;
+            let op = &self.trace.ops[self.cursor as usize];
+            let needs_iq = op.class != OpClass::Config;
+            let iq_free = !needs_iq || self.iq_count < self.params.iq_entries;
+            let sq_free = op.class != OpClass::Store || self.sq.len() < self.params.sq_entries;
+            if rob_free && iq_free && sq_free {
+                next = next.min(self.fetch_stall_until.max(now + 1));
+            }
+        }
+        // Next functional-unit completion (also resolves the blocking
+        // branch and wakes dependents).
+        if let Some(&Reverse((at, _))) = self.exec_done.peek() {
+            next = next.min(at.max(now + 1));
+        }
+        // Completion of an in-flight miss (wakes loads, releases LQ
+        // slots, drains store writebacks, frees store-queue entries).
+        if let Some(at) = mem.next_completion_at() {
+            next = next.min(at.max(now + 1));
+        }
+        next
+    }
+
     fn absorb_completions(&mut self, now: u64, mem: &mut MemorySystem) {
-        for c in mem.take_completions_due(now) {
+        let mut due = std::mem::take(&mut self.completions_scratch);
+        due.clear();
+        mem.drain_completions_due(now, &mut due);
+        for c in due.drain(..) {
             if let Some(idx) = self.inflight_loads.remove(&c.id.0) {
                 self.lq_inflight -= 1;
                 self.mark_done(idx);
@@ -299,6 +377,7 @@ impl<'t> Core<'t> {
                 e.state = SqState::Complete;
             }
         }
+        self.completions_scratch = due;
         while self
             .sq
             .front()
@@ -639,8 +718,32 @@ mod tests {
     use crate::trace::TraceBuilder;
     use etpp_mem::{MemParams, MemoryImage, NullEngine};
 
+    /// Horizon-aware driver loop (the shape `etpp_sim::run` uses): the
+    /// clock jumps to the min of the core and memory horizons instead of
+    /// ticking every cycle.
     fn run(trace: &Trace, image: MemoryImage) -> (u64, CoreStats) {
         let mut mem = MemorySystem::new(MemParams::paper(), image);
+        let mut core = Core::new(CoreParams::paper(), trace);
+        let mut engine = NullEngine;
+        let mut now = 0u64;
+        while !core.finished() {
+            mem.tick(now, &mut engine);
+            core.tick(now, &mut mem);
+            if core.finished() {
+                now += 1;
+                break;
+            }
+            let horizon = core.next_event_at(now, &mem);
+            now = mem.advance_to(now, horizon, &mut engine).max(now + 1);
+            assert!(now < 10_000_000, "runaway simulation");
+        }
+        (now, core.stats)
+    }
+
+    /// Per-cycle unit-tick reference loop.
+    fn run_per_cycle(trace: &Trace, image: MemoryImage) -> (u64, CoreStats) {
+        let mut mem = MemorySystem::new(MemParams::paper(), image);
+        mem.set_engine_batching(false);
         let mut core = Core::new(CoreParams::paper(), trace);
         let mut engine = NullEngine;
         let mut now = 0u64;
@@ -844,5 +947,38 @@ mod tests {
             pf_cycles * 13 < plain_cycles * 10,
             "software prefetch should speed up strided misses: {pf_cycles} vs {plain_cycles}"
         );
+    }
+
+    #[test]
+    fn horizon_loop_matches_per_cycle_reference() {
+        // A mixed trace exercising every horizon source: dependent and
+        // independent loads (DRAM stalls, MSHR pressure), stores with
+        // forwarding, unpredictable branches (fetch stalls), software
+        // prefetches and multi-cycle FP/mul ops.
+        let (image, base) = image_with_array(1 << 14);
+        let mut b = TraceBuilder::new();
+        let mut x = 0x2545f4914f6cdd1du64;
+        let mut prev = None;
+        for i in 0..600u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = base + (x % (1 << 14)) / 8 * 8;
+            let ld = b.load(a, 1, [if i % 3 == 0 { prev } else { None }, None]);
+            if i % 5 == 0 {
+                b.store(a ^ 64, x, 1, [Some(ld), None]);
+            }
+            if i % 7 == 0 {
+                b.swpf(base + (x >> 20) % (1 << 14), 2, [None, None]);
+            }
+            let w = b.int_op(((x >> 8) % 3 + 1) as u8, [Some(ld), None]);
+            b.branch(0x80, (x >> 33) & 1 == 1, [Some(w), None]);
+            prev = Some(ld);
+        }
+        let t = b.build();
+        let (fast_cycles, fast_stats) = run(&t, image.clone());
+        let (ref_cycles, ref_stats) = run_per_cycle(&t, image);
+        assert_eq!(fast_cycles, ref_cycles, "cycle counts must be identical");
+        assert_eq!(fast_stats, ref_stats, "core statistics must be identical");
     }
 }

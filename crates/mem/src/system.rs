@@ -823,6 +823,83 @@ impl MemorySystem {
         self.events.peek().map(|Reverse(e)| e.at)
     }
 
+    /// The hierarchy's *top-level event horizon*: the earliest cycle at
+    /// which anything inside it can change — a scheduled transfer (DRAM
+    /// return, cache fill, MSHR wake), a demand completion falling due,
+    /// the attached engine's cached horizon, or a pending engine
+    /// delivery (which lands at the very next tick). `None` means the
+    /// hierarchy is quiescent until the next demand access or config.
+    ///
+    /// Drivers fold this with the core's horizon
+    /// (`etpp_cpu::Core::next_event_at`) and jump the clock to the min;
+    /// skipping every cycle strictly before it is behaviour-preserving.
+    pub fn next_horizon(&self, now: u64) -> Option<u64> {
+        let mut next = u64::MAX;
+        if let Some(Reverse(e)) = self.events.peek() {
+            next = next.min(e.at);
+        }
+        next = next.min(self.completions_min);
+        if self.engine_batching {
+            next = next.min(self.engine_wake);
+        } else {
+            next = next.min(now + 1);
+        }
+        if self.deliveries_pending() {
+            next = next.min(now + 1);
+        }
+        (next != u64::MAX).then(|| next.max(now + 1))
+    }
+
+    /// Advances the hierarchy from `now` up to (at most) cycle `to`,
+    /// running every intermediate engine round and internal transfer at
+    /// its exact cycle — precisely as per-cycle [`MemorySystem::tick`]
+    /// calls would — without handing control back to the caller.
+    /// Prefetch pops are *bulk-injected*: a backlogged engine drains
+    /// `pf_issue_per_cycle` requests at each intermediate cycle with
+    /// correct per-cycle timestamps, so driver-level fast-forward jumps
+    /// are no longer capped to one visited cycle per pop.
+    ///
+    /// Returns the next cycle the caller must visit: `to`, or earlier
+    /// if a demand completion fell due first (the core must absorb it
+    /// the moment it lands), or `last + 1` once the hierarchy goes
+    /// fully quiescent with no bound in sight (`to == u64::MAX`). The
+    /// caller's precondition is that *it* has nothing to do before `to`
+    /// and has already ticked cycle `now`.
+    pub fn advance_to(&mut self, now: u64, to: u64, engine: &mut dyn PrefetchEngine) -> u64 {
+        let mut t = now;
+        loop {
+            // A demand completion hands control straight back: the core
+            // absorbs it at exactly the cycle it falls due.
+            let stop = to.min(self.completions_min);
+            let mut next = u64::MAX;
+            if let Some(Reverse(e)) = self.events.peek() {
+                next = next.min(e.at);
+            }
+            if self.engine_batching {
+                next = next.min(self.engine_wake);
+            } else {
+                next = next.min(t + 1);
+            }
+            if self.deliveries_pending() {
+                next = next.min(t + 1);
+            }
+            if next == u64::MAX {
+                // Fully quiescent: nothing mem-side before `stop`.
+                return if stop == u64::MAX {
+                    (t + 1).max(now + 1)
+                } else {
+                    stop.max(now + 1)
+                };
+            }
+            let next = next.max(t + 1);
+            if next >= stop {
+                return stop.max(now + 1);
+            }
+            t = next;
+            self.tick(t, engine);
+        }
+    }
+
     /// The attached engine's cached event horizon: the earliest cycle
     /// at which the engine needs its tick/pop round. Valid until the
     /// engine is mutated behind the system's back (call

@@ -1,0 +1,45 @@
+//! Cycle-level core throughput benches: the horizon-aware driver
+//! (`Core::next_event_at` + `MemorySystem::advance_to`) against the
+//! per-cycle unit-tick reference, for a baseline and a programmable
+//! engine. The headline of PR 3 — the reference simulations that anchor
+//! the paper's speedup claims used to tick every stall cycle.
+//!
+//! ```text
+//! cargo bench -p etpp-sim --bench cycle_throughput
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use etpp_sim::{run, PrefetchMode, SystemConfig};
+use etpp_workloads::{BuiltWorkload, Scale, Workload};
+
+fn bench_mode(c: &mut Criterion, wl: &BuiltWorkload, mode: PrefetchMode, label: &str) {
+    let mut g = c.benchmark_group(label);
+    g.sample_size(10);
+    for (name, cfg) in [
+        ("horizon", SystemConfig::paper()),
+        ("per_cycle_ref", SystemConfig::paper_per_cycle()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let r = run(&cfg, mode, wl).expect("mode expressible");
+                assert!(r.validated, "{label}/{name} must validate");
+                black_box(r.cycles)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_cycle(c: &mut Criterion) {
+    // HJ-8's dependent hash/list walks produce the highest stall density
+    // (>99% of visited cycles were pure stall before fast-forwarding);
+    // IntSort is the dense, MSHR-saturating counterpoint.
+    let hj8 = etpp_workloads::hashjoin::Hj8.build(Scale::Tiny);
+    bench_mode(c, &hj8, PrefetchMode::None, "cycle_hj8_none");
+    bench_mode(c, &hj8, PrefetchMode::Manual, "cycle_hj8_manual");
+    let intsort = etpp_workloads::intsort::IntSort.build(Scale::Tiny);
+    bench_mode(c, &intsort, PrefetchMode::None, "cycle_intsort_none");
+}
+
+criterion_group!(benches, bench_cycle);
+criterion_main!(benches);

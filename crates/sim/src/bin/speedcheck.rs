@@ -1,18 +1,27 @@
 //! Developer diagnostic: simulation wall-clock speed for the cycle-level
 //! core and the trace-replay fast path across engine modes, with a
-//! machine-readable `BENCH_speedcheck.json` so the perf trajectory is
-//! tracked across PRs.
+//! machine-readable `BENCH_speedcheck.json` (schema 2) so the perf
+//! trajectory is tracked across PRs.
 //!
 //! ```text
 //! cargo run --release -p etpp-sim --bin speedcheck            # Small scale
 //! cargo run --release -p etpp-sim --bin speedcheck -- --smoke # Tiny, CI
 //! cargo run --release -p etpp-sim --bin speedcheck -- --json out.json
+//! cargo run --release -p etpp-sim --bin speedcheck -- --compare prev.json
 //! ```
 //!
-//! The headline metric is replay *host speedup* (cycle-sim wall time /
-//! replay wall time) per mode: PR 2's event-horizon scheduler is meant
-//! to bring programmable-mode replay within reach of the baselines'
-//! fast-forward throughput instead of ticking per cycle.
+//! Both paths report `accesses_per_s` (host throughput over the demand
+//! stream) and the deterministic event-horizon *fast-forward factor*
+//! (simulated cycles per visited host iteration) — PR 2 brought
+//! programmable-mode replay within reach of the baselines; PR 3's
+//! horizon-aware cycle core stopped the reference simulations from
+//! ticking through >99%-stall spans one cycle at a time.
+//!
+//! `--compare prev.json` gates the current report against a previous
+//! run's (e.g. the last CI artifact): any (workload, path, mode) cell
+//! whose `accesses_per_s` dropped by more than 20% fails the check.
+//! Cells missing from either side (schema drift, skipped modes) are
+//! ignored.
 
 use etpp_sim::replay as rp;
 use etpp_sim::{run, PrefetchMode, SystemConfig};
@@ -39,7 +48,9 @@ fn mode_key(mode: PrefetchMode) -> &'static str {
 struct CycleRow {
     mode: PrefetchMode,
     cycles: u64,
+    host_iters: u64,
     wall_s: f64,
+    accesses_per_s: f64,
     validated: bool,
 }
 
@@ -54,12 +65,22 @@ struct ReplayRow {
     validated: bool,
 }
 
-impl ReplayRow {
-    /// Event-horizon fast-forward factor: simulated cycles per visited
-    /// host iteration. Deterministic (unlike wall time), so the CI gate
-    /// keys on it.
+/// Event-horizon fast-forward factor: simulated cycles per visited host
+/// iteration. Deterministic (unlike wall time), so the CI gates key on
+/// it.
+fn ff(cycles: u64, host_iters: u64) -> f64 {
+    cycles as f64 / host_iters.max(1) as f64
+}
+
+impl CycleRow {
     fn ff(&self) -> f64 {
-        self.cycles as f64 / self.host_iters.max(1) as f64
+        ff(self.cycles, self.host_iters)
+    }
+}
+
+impl ReplayRow {
+    fn ff(&self) -> f64 {
+        ff(self.cycles, self.host_iters)
     }
 }
 
@@ -77,7 +98,7 @@ fn json_escape(s: &str) -> String {
 
 fn render_json(scale: &str, modes: &[PrefetchMode], reports: &[WorkloadReport]) -> String {
     let mut j = String::new();
-    j.push_str("{\n  \"schema\": 1,\n  \"tool\": \"speedcheck\",\n");
+    j.push_str("{\n  \"schema\": 2,\n  \"tool\": \"speedcheck\",\n");
     let _ = writeln!(j, "  \"scale\": \"{}\",", json_escape(scale));
     let mode_list = modes
         .iter()
@@ -93,10 +114,15 @@ fn render_json(scale: &str, modes: &[PrefetchMode], reports: &[WorkloadReport]) 
         for (i, r) in w.cycle.iter().enumerate() {
             let _ = write!(
                 j,
-                "        {{\"mode\": \"{}\", \"cycles\": {}, \"wall_s\": {:.6}, \"validated\": {}}}",
+                "        {{\"mode\": \"{}\", \"cycles\": {}, \"host_iters\": {}, \
+                 \"fast_forward\": {:.3}, \"wall_s\": {:.6}, \"accesses_per_s\": {:.1}, \
+                 \"validated\": {}}}",
                 mode_key(r.mode),
                 r.cycles,
+                r.host_iters,
+                r.ff(),
                 r.wall_s,
+                r.accesses_per_s,
                 r.validated
             );
             j.push_str(if i + 1 < w.cycle.len() { ",\n" } else { "\n" });
@@ -129,6 +155,143 @@ fn render_json(scale: &str, modes: &[PrefetchMode], reports: &[WorkloadReport]) 
     j
 }
 
+// ---------------------------------------------------------------------------
+// --compare: host-profile regression gate against a previous report
+// ---------------------------------------------------------------------------
+
+/// Extracts `"key": <number>` from a one-cell JSON line (speedcheck's
+/// own output format; not a general JSON parser).
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts `"key": "<string>"` from a line of speedcheck JSON.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// One parsed throughput cell: host accesses/s plus the deterministic
+/// fast-forward factor (absent in schema-1 cycle rows).
+struct Cell {
+    key: (String, String, String),
+    accesses_per_s: f64,
+    fast_forward: Option<f64>,
+}
+
+/// A parsed speedcheck report (schema 1 or 2): the run scale and its
+/// `(workload, path, mode)` cells. Cells without an `accesses_per_s`
+/// field (schema 1 cycle rows) are omitted.
+struct Report {
+    scale: String,
+    cells: Vec<Cell>,
+}
+
+fn parse_report(json: &str) -> Report {
+    let mut scale = String::new();
+    let mut cells = Vec::new();
+    let mut workload = String::new();
+    let mut path = String::new();
+    for line in json.lines() {
+        if let Some(s) = field_str(line, "scale") {
+            scale = s;
+        } else if let Some(name) = field_str(line, "name") {
+            workload = name;
+        } else if line.trim_start().starts_with("\"cycle\": [") {
+            path = "cycle".to_string();
+        } else if line.trim_start().starts_with("\"replay\": [") {
+            path = "replay".to_string();
+        } else if let (Some(mode), Some(aps)) =
+            (field_str(line, "mode"), field_num(line, "accesses_per_s"))
+        {
+            cells.push(Cell {
+                key: (workload.clone(), path.clone(), mode),
+                accesses_per_s: aps,
+                fast_forward: field_num(line, "fast_forward"),
+            });
+        }
+    }
+    Report { scale, cells }
+}
+
+/// Compares the freshly written report against a previous one, failing
+/// on any cell whose host throughput regressed by more than
+/// `threshold` (0.20 = 20%). A wall-clock drop alone can be runner
+/// noise (tiny-scale cells run in tens of milliseconds), so a cell only
+/// counts as regressed when its *deterministic* fast-forward factor
+/// shrank too — a pure load spike on a shared CI host leaves the ff
+/// untouched, while a real scheduling regression moves both. Reports
+/// from different scales are never compared. Returns the number of
+/// regressed cells.
+fn compare_reports(prev: &str, current: &str, threshold: f64) -> usize {
+    let old = parse_report(prev);
+    let new = parse_report(current);
+    if old.scale != new.scale {
+        eprintln!(
+            "compare: skipping (previous report is \"{}\" scale, current is \"{}\")",
+            old.scale, new.scale
+        );
+        return 0;
+    }
+    const FF_SLACK: f64 = 0.05;
+    let mut regressions = 0;
+    let mut compared = 0;
+    for cell in &new.cells {
+        let Some(old_cell) = old.cells.iter().find(|c| c.key == cell.key) else {
+            continue;
+        };
+        compared += 1;
+        let aps_drop = cell.accesses_per_s < old_cell.accesses_per_s * (1.0 - threshold);
+        let ff_confirms = match (cell.fast_forward, old_cell.fast_forward) {
+            // Deterministic counter also collapsed: a real regression.
+            (Some(new_ff), Some(old_ff)) => new_ff < old_ff * (1.0 - FF_SLACK),
+            // No ff recorded on either side (schema drift): the
+            // wall-clock drop is all the evidence there is.
+            _ => true,
+        };
+        if aps_drop && ff_confirms {
+            regressions += 1;
+            eprintln!(
+                "FAIL {}/{}/{}: accesses/s {:.3e} -> {:.3e} ({:+.1}%) exceeds -{:.0}% gate \
+                 (fast-forward {:?} -> {:?})",
+                cell.key.0,
+                cell.key.1,
+                cell.key.2,
+                old_cell.accesses_per_s,
+                cell.accesses_per_s,
+                (cell.accesses_per_s / old_cell.accesses_per_s - 1.0) * 100.0,
+                threshold * 100.0,
+                old_cell.fast_forward,
+                cell.fast_forward,
+            );
+        } else if aps_drop {
+            eprintln!(
+                "note {}/{}/{}: accesses/s dropped {:.1}% but fast-forward held \
+                 ({:?} -> {:?}) — treating as host noise",
+                cell.key.0,
+                cell.key.1,
+                cell.key.2,
+                (1.0 - cell.accesses_per_s / old_cell.accesses_per_s) * 100.0,
+                old_cell.fast_forward,
+                cell.fast_forward,
+            );
+        }
+    }
+    eprintln!(
+        "compare: {compared} cells compared, {regressions} regressed (>{:.0}% drop)",
+        threshold * 100.0
+    );
+    regressions
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -138,6 +301,35 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_speedcheck.json".to_string());
+    let compare_path = args
+        .iter()
+        .position(|a| a == "--compare")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    // `--compare-only prev.json new.json` gates two existing reports
+    // against each other without running any simulation (CI keeps the
+    // gate a separate, individually skippable step this way).
+    if let Some(i) = args.iter().position(|a| a == "--compare-only") {
+        let (Some(prev_path), Some(new_path)) = (args.get(i + 1), args.get(i + 2)) else {
+            eprintln!("usage: speedcheck --compare-only <prev.json> <new.json>");
+            std::process::exit(2);
+        };
+        let read = |p: &String| {
+            std::fs::read_to_string(p).map_err(|e| eprintln!("compare: skipping ({p}: {e})"))
+        };
+        // A missing previous report is not an error: the first run
+        // after the gate lands (or an expired artifact) has nothing to
+        // compare against. A missing *new* report is.
+        let Ok(new) = std::fs::read_to_string(new_path) else {
+            eprintln!("compare: cannot read current report {new_path}");
+            std::process::exit(2);
+        };
+        match read(prev_path) {
+            Ok(prev) if compare_reports(&prev, &new, 0.20) > 0 => std::process::exit(1),
+            _ => std::process::exit(0),
+        }
+    }
 
     let (scale, scale_label) = if smoke {
         (Scale::Tiny, "tiny")
@@ -175,19 +367,27 @@ fn main() {
             match run(&cfg, mode, &wl) {
                 Ok(r) => {
                     let wall = t.elapsed().as_secs_f64();
+                    let l1 = &r.mem.l1;
+                    let demand_accesses =
+                        l1.read_hits + l1.read_misses + l1.write_hits + l1.write_misses;
+                    let aps = demand_accesses as f64 / wall;
                     eprintln!(
-                        "  cycle {:>13}: cycles={:>12} ipc={:.2} wall={:.3}s validated={} l1hit={:.3}",
+                        "  cycle {:>13}: cycles={:>12} ipc={:.2} wall={:.3}s validated={} l1hit={:.3} accesses/s={:.2e} ff={:.1}x",
                         mode.label(),
                         r.cycles,
                         r.ipc(),
                         wall,
                         r.validated,
                         r.mem.l1.read_hit_rate(),
+                        aps,
+                        r.ff(),
                     );
                     cycle_rows.push(CycleRow {
                         mode,
                         cycles: r.cycles,
+                        host_iters: r.host_iters,
                         wall_s: wall,
+                        accesses_per_s: aps,
                         validated: r.validated,
                     });
                 }
@@ -259,15 +459,29 @@ fn main() {
 
     // Smoke gate for CI: every run must validate, programmable-mode
     // replay must exist (a silently skipped run must not pass the gate
-    // it was meant to feed), and its *deterministic* fast-forward
-    // factor must show the event-horizon scheduler actually skipping
-    // cycles. Wall-clock host speedup is reported but not gated — two
-    // tens-of-milliseconds timings on a loaded CI runner are noise.
+    // it was meant to feed), and the *deterministic* fast-forward
+    // factors must show both horizon schedulers actually skipping
+    // cycles — the replay front end (PR 2) and the cycle-level core
+    // driver (PR 3). Wall-clock host speedup is reported but not gated
+    // — two tens-of-milliseconds timings on a loaded CI runner are
+    // noise; `--compare` gates throughput against a previous report
+    // instead.
     const MIN_PROG_FF: f64 = 1.2;
+    const MIN_CYCLE_FF: f64 = 1.5;
     let mut ok = true;
     for w in &reports {
         for r in &w.cycle {
             ok &= r.validated;
+            if r.ff() < MIN_CYCLE_FF {
+                eprintln!(
+                    "FAIL {}: cycle-path fast-forward {:.2}x < {MIN_CYCLE_FF}x for {} \
+                     (horizon-aware core not skipping stall cycles)",
+                    w.name,
+                    r.ff(),
+                    mode_key(r.mode),
+                );
+                ok = false;
+            }
         }
         let mut prog_rows = 0usize;
         for r in &w.replay {
@@ -299,8 +513,21 @@ fn main() {
             ok = false;
         }
     }
+    if let Some(prev_path) = compare_path {
+        match std::fs::read_to_string(&prev_path) {
+            Ok(prev) => {
+                if compare_reports(&prev, &json, 0.20) > 0 {
+                    ok = false;
+                }
+            }
+            // A missing previous report is not an error: the first run
+            // after the gate lands (or an expired artifact) has nothing
+            // to compare against.
+            Err(e) => eprintln!("compare: skipping ({prev_path}: {e})"),
+        }
+    }
     if !ok {
-        eprintln!("speedcheck: validation or fast-forward gate failed");
+        eprintln!("speedcheck: validation, fast-forward or regression gate failed");
         std::process::exit(1);
     }
 }

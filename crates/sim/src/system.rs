@@ -21,6 +21,10 @@ pub struct RunResult {
     pub mode: PrefetchMode,
     /// Total cycles to completion.
     pub cycles: u64,
+    /// Driver-loop iterations — simulated cycles actually *visited*.
+    /// `cycles / host_iters` is the horizon fast-forward factor;
+    /// per-cycle reference runs have `host_iters == cycles`.
+    pub host_iters: u64,
     /// Core-side statistics.
     pub core: CoreStats,
     /// Memory-side statistics.
@@ -41,6 +45,13 @@ impl RunResult {
     /// Instructions per cycle.
     pub fn ipc(&self) -> f64 {
         self.dyn_insts as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Horizon fast-forward factor: simulated cycles per visited host
+    /// iteration. Deterministic (unlike wall time), so regression gates
+    /// key on it.
+    pub fn ff(&self) -> f64 {
+        self.cycles as f64 / self.host_iters.max(1) as f64
     }
 }
 
@@ -227,13 +238,26 @@ fn run_inner(
 ) -> Result<(RunResult, Vec<RetiredEvent>), Skip> {
     let (trace, mut engine) = select(cfg, mode, wl)?;
     let mut mem = MemorySystem::new(cfg.mem, wl.image.clone());
+    if cfg.per_cycle_reference {
+        mem.set_engine_batching(false);
+    }
     let mut core = Core::new(cfg.core, trace);
     if capture {
         core.enable_capture();
     }
 
+    // Horizon-aware driver loop: a cycle is only *visited* (ticked) when
+    // the core can make progress there. All intermediate memory-system
+    // work — cache/DRAM transfers, engine rounds, prefetch pops — runs
+    // inside `MemorySystem::advance_to` at its exact cycle, and the loop
+    // resumes early whenever a demand completion falls due. With
+    // `per_cycle_reference` the clock advances one cycle at a time
+    // instead; both paths are pinned bit-identical by
+    // `tests/event_horizon_equivalence.rs`.
     let mut now: u64 = 0;
+    let mut host_iters: u64 = 0;
     while !core.finished() {
+        host_iters += 1;
         mem.tick(now, engine.as_dyn());
         core.tick(now, &mut mem);
         let configs = core.take_configs();
@@ -245,7 +269,17 @@ fn run_inner(
             // back; invalidate its cached event horizon.
             mem.wake_engine();
         }
-        now += 1;
+        if cfg.per_cycle_reference {
+            now += 1;
+        } else if core.finished() {
+            // Do not fast-forward through in-flight prefetch drains
+            // after the last retirement: the reference loop exits one
+            // cycle after the finishing tick, and so must we.
+            now += 1;
+        } else {
+            let horizon = core.next_event_at(now, &mem);
+            now = mem.advance_to(now, horizon, engine.as_dyn()).max(now + 1);
+        }
         assert!(
             now < cfg.max_cycles,
             "simulation exceeded {} cycles for {} / {:?}",
@@ -271,6 +305,7 @@ fn run_inner(
             workload: wl.name,
             mode,
             cycles: now,
+            host_iters,
             core: core.stats,
             mem: mem.stats(),
             pf,

@@ -262,37 +262,24 @@ pub fn replay(
             break;
         }
 
-        // Advance time: jump to the next moment anything can happen —
-        // a memory-system transfer or completion, the engine's event
-        // horizon (due emission, PPU freeing up, queued request), an
-        // issue slot, or a drainable store. Structural stalls retry
-        // next cycle, as the LSQ would.
+        // Advance time: jump to the next moment the *front end* can act
+        // — an issue slot opening or a drainable store — and let
+        // `MemorySystem::advance_to` run every intermediate transfer and
+        // engine round (bulk prefetch pops included) at its exact cycle,
+        // handing control back early when a demand completion falls due.
+        // Structural stalls retry next cycle, as the LSQ would.
         if params.per_cycle_reference || structural_stall {
             now += 1;
         } else {
-            let mut next = u64::MAX;
-            if let Some(t) = mem.next_event_at() {
-                next = next.min(t);
-            }
-            if let Some(t) = mem.next_completion_at() {
-                next = next.min(t);
-            }
-            if let Some(t) = mem.engine_next_at() {
-                next = next.min(t);
-            }
-            if mem.deliveries_pending() {
-                // Snooped accesses reach the engine at the next tick;
-                // skipping past it would delay its reaction.
-                next = next.min(now + 1);
-            }
+            let mut front_at = u64::MAX;
             if i < records.len() {
                 // Only a record that can actually issue pins the issue
                 // horizon: the phase above leaves `i` at an access (it
                 // applies configs inline), so ask whether *that* access
                 // has capacity — a load needs a window slot, a store a
                 // buffer slot. A blocked head record wakes with the
-                // completion/fill event that frees its resource, which
-                // is already in `next`.
+                // demand completion that frees its resource, on which
+                // `advance_to` stops.
                 let can_issue = match &records[i] {
                     TraceRecord::Config { .. } => true,
                     TraceRecord::Access { kind, .. } => match kind {
@@ -301,20 +288,44 @@ pub fn replay(
                     },
                 };
                 if can_issue {
-                    next = next.min(next_issue_at);
+                    front_at = front_at.min(next_issue_at);
                 }
             }
+            let mut blocked_store = false;
             if let Some(&v) = store_q.front() {
-                // A drainable store goes next cycle; one still waiting on
-                // its line wakes with the fill event already in `next`.
-                if !mem.line_in_flight(v) {
-                    next = next.min(now + 1);
+                if mem.line_in_flight(v) {
+                    // The store wakes with its line's fill — a memory
+                    // event the driver must witness itself, so it cannot
+                    // be advanced through.
+                    blocked_store = true;
+                } else {
+                    // A drainable store goes next cycle.
+                    front_at = front_at.min(now + 1);
                 }
             }
-            now = if next == u64::MAX {
-                now + 1
+            // Once the front end has fully drained, the run ends at the
+            // first cycle the hierarchy goes idle — even if the engine
+            // still holds a live prefetch chain (`MemorySystem::busy`
+            // does not count engine state, exactly as the per-cycle
+            // reference terminates). The driver must therefore witness
+            // every horizon cycle itself rather than let `advance_to`
+            // run the chain to exhaustion behind its back.
+            let front_done = i >= records.len()
+                && inflight == 0
+                && store_q.is_empty()
+                && stores_in_mem.is_empty();
+            now = if blocked_store || front_done {
+                // Classic fold: the wake event (a parked store's fill,
+                // or any residual hierarchy/engine activity before the
+                // termination check) is in the memory horizon.
+                let next = front_at.min(mem.next_horizon(now).unwrap_or(u64::MAX));
+                if next == u64::MAX {
+                    now + 1
+                } else {
+                    next.max(now + 1)
+                }
             } else {
-                next.max(now + 1)
+                mem.advance_to(now, front_at, engine).max(now + 1)
             };
         }
         assert!(

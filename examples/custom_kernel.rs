@@ -151,10 +151,18 @@ fn simulate(trace: &etpp::cpu::Trace, image: MemoryImage, engine: &mut dyn Prefe
     let mut mem = MemorySystem::new(MemParams::paper(), image);
     let mut core = Core::new(CoreParams::paper(), trace);
     let mut now = 0u64;
+    // Horizon-aware driver loop: tick only cycles where the core can
+    // make progress; `advance_to` runs intermediate memory transfers
+    // and engine rounds (prefetch pops included) at their exact cycles.
     while !core.finished() {
         mem.tick(now, engine);
         core.tick(now, &mut mem);
-        now += 1;
+        if core.finished() {
+            now += 1;
+            break;
+        }
+        let horizon = core.next_event_at(now, &mem);
+        now = mem.advance_to(now, horizon, engine).max(now + 1);
     }
     // Keep the borrow checker honest about unused demand results.
     let _ = AccessKind::Load;

@@ -1,15 +1,19 @@
-//! Event-horizon scheduler equivalence (PR 2's correctness contract).
+//! Event-horizon scheduler equivalence (PR 2 + PR 3's correctness
+//! contract).
 //!
-//! The batched fast path — engine-horizon fast-forwarding in trace
-//! replay plus engine-round skipping inside `MemorySystem::tick` — must
-//! be *bit-identical* to a per-cycle unit-tick reference loop: same
-//! replayed cycle counts, same memory statistics, same prefetch request
-//! stream (cycle, address, tag, metadata), same engine counters, same
-//! post-run image checksum. Any divergence means the horizon contract
-//! ([`PrefetchEngine::next_event_at`]) under-reported pending work.
+//! The batched fast paths — engine-horizon fast-forwarding in trace
+//! replay, engine-round skipping inside `MemorySystem::tick`, and the
+//! horizon-aware cycle-level driver (`Core::next_event_at` +
+//! `MemorySystem::advance_to`) — must be *bit-identical* to a per-cycle
+//! unit-tick reference loop: same cycle counts, same core and memory
+//! statistics, same retirement streams, same prefetch request stream
+//! (cycle, address, tag, metadata), same engine counters, same post-run
+//! image checksum. Any divergence means a horizon contract
+//! ([`PrefetchEngine::next_event_at`] or `Core::next_event_at`)
+//! under-reported pending work.
 
 use etpp::mem::{ConfigOp, DemandEvent, Line, MemoryImage, PrefetchEngine, PrefetchRequest, TagId};
-use etpp::sim::{load_or_capture, make_engine, Engine, PrefetchMode, SystemConfig};
+use etpp::sim::{load_or_capture, make_engine, run_captured, Engine, PrefetchMode, SystemConfig};
 use etpp::trace::{replay, ReplayParams, ReplayResult, TraceRecord};
 use etpp::workloads::{checksum_region, workload_by_name, BuiltWorkload, Scale};
 
@@ -154,9 +158,11 @@ fn ghb_is_horizon_equivalent() {
 fn programmable_is_horizon_equivalent_on_mixed_workloads() {
     // HJ-8 mixes strided probes, hash indirection and linked-list walks
     // (tagged chained prefetches); IntSort mixes dense histogramming
-    // with indirect scatter stores.
+    // with indirect scatter stores; G500-List is the pure pointer-chase
+    // extreme whose replay is dominated by store-parked front-end waits.
     assert_equivalent(PrefetchMode::Manual, "IntSort");
     assert_equivalent(PrefetchMode::Manual, "HJ-8");
+    assert_equivalent(PrefetchMode::Manual, "G500-List");
 }
 
 #[test]
@@ -164,6 +170,118 @@ fn blocked_mode_is_horizon_equivalent() {
     // Blocked mode exercises the timeout-as-scheduled-event path and
     // blocked-PPU horizon accounting.
     assert_equivalent(PrefetchMode::Blocked, "HJ-8");
+}
+
+// ---------------------------------------------------------------------------
+// Cycle-level path: horizon-aware driver vs per-cycle reference
+// ---------------------------------------------------------------------------
+
+/// Runs `wl` under `mode` through both cycle-level drivers — the
+/// horizon-aware fast-forward loop and the per-cycle unit-tick
+/// reference — with retirement capture enabled, and asserts
+/// bit-identical outcomes: cycles, core statistics, memory statistics,
+/// engine counters, the full retirement stream (cycle stamps included)
+/// and the post-run image checksum. The reference must also have
+/// visited every cycle while the fast path skipped some.
+fn assert_cycle_equivalent(mode: PrefetchMode, wl: &BuiltWorkload) {
+    let fast_cfg = SystemConfig::paper();
+    let ref_cfg = SystemConfig::paper_per_cycle();
+
+    let Ok((fast, fast_trace)) = run_captured(&fast_cfg, mode, wl, "equiv") else {
+        return; // mode not expressible for this workload
+    };
+    let (reference, ref_trace) =
+        run_captured(&ref_cfg, mode, wl, "equiv").expect("expressible above");
+
+    let name = wl.name;
+    assert_eq!(
+        fast.cycles, reference.cycles,
+        "{name}/{mode:?}: cycle counts must be identical"
+    );
+    assert_eq!(
+        reference.host_iters, reference.cycles,
+        "{name}/{mode:?}: the reference loop must visit every cycle"
+    );
+    assert!(
+        fast.host_iters < reference.host_iters,
+        "{name}/{mode:?}: the fast path must actually skip cycles \
+         ({} visited of {})",
+        fast.host_iters,
+        fast.cycles
+    );
+    assert_eq!(
+        fast.core, reference.core,
+        "{name}/{mode:?}: core statistics must be bit-identical"
+    );
+    assert_eq!(
+        fast.mem, reference.mem,
+        "{name}/{mode:?}: memory statistics must be bit-identical"
+    );
+    assert_eq!(
+        fast.pf, reference.pf,
+        "{name}/{mode:?}: engine counters must be bit-identical"
+    );
+    assert_eq!(
+        fast.final_lookahead, reference.final_lookahead,
+        "{name}/{mode:?}: EWMA look-ahead must match"
+    );
+    assert_eq!(
+        fast_trace.records.len(),
+        ref_trace.records.len(),
+        "{name}/{mode:?}: retirement stream lengths must match"
+    );
+    for (i, (f, r)) in fast_trace
+        .records
+        .iter()
+        .zip(&ref_trace.records)
+        .enumerate()
+    {
+        assert_eq!(
+            f, r,
+            "{name}/{mode:?}: retirement record #{i} diverged (cycle, pc, vaddr, kind)"
+        );
+    }
+    assert!(
+        fast.validated && reference.validated,
+        "{name}/{mode:?}: both paths must reproduce the reference output"
+    );
+}
+
+/// Every mode of Figure 7 (plus the Figure 11 blocked ablation) on the
+/// two stall-density extremes: IntSort (dense histogramming + indirect
+/// scatter stores) and HJ-8 (strided probes, hash indirection and
+/// linked-list walks). Inexpressible (workload, mode) pairs skip, as in
+/// the experiment grid.
+#[test]
+fn cycle_path_is_horizon_equivalent_across_modes() {
+    let mut modes = PrefetchMode::ALL.to_vec();
+    modes.push(PrefetchMode::Blocked);
+    for wl_name in ["IntSort", "HJ-8"] {
+        let wl = workload_by_name(wl_name).unwrap().build(Scale::Tiny);
+        for &mode in &modes {
+            assert_cycle_equivalent(mode, &wl);
+        }
+    }
+}
+
+/// Benchmark-scale spot check (the scale `BENCH_speedcheck.json` is
+/// recorded at): the per-cycle reference takes seconds per run in
+/// release and minutes in debug, so this is ignored by default — run it
+/// explicitly (`cargo test --release -- --ignored`) before trusting a
+/// horizon-contract change at full stall density.
+#[test]
+#[ignore = "minutes-long under the per-cycle reference; run with --ignored"]
+fn cycle_path_is_horizon_equivalent_at_small_scale() {
+    for wl_name in ["IntSort", "HJ-8"] {
+        let wl = workload_by_name(wl_name).unwrap().build(Scale::Small);
+        for mode in [
+            PrefetchMode::None,
+            PrefetchMode::Stride,
+            PrefetchMode::Manual,
+        ] {
+            assert_cycle_equivalent(mode, &wl);
+        }
+    }
 }
 
 /// The programmable engine's hot path must be allocation-free in steady
