@@ -151,6 +151,12 @@ impl PrefetchEngine for StridePrefetcher {
         // which the memory system pops one per cycle.
         (!self.queue.is_empty()).then_some(now + 1)
     }
+
+    fn next_tick_at(&self, _now: u64) -> Option<u64> {
+        // `tick` is a no-op: with pops gated by a full prefetch buffer
+        // there is nothing to run until the next snooped access.
+        None
+    }
 }
 
 #[cfg(test)]

@@ -39,7 +39,7 @@ fn bench_fig8(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig8");
     g.sample_size(10);
     g.bench_function("ConjGrad/fig8-row", |b| {
-        b.iter(|| ex::fig8(&cfg, std::slice::from_ref(&wl)))
+        b.iter(|| ex::fig8(&cfg, std::slice::from_ref(&wl), 1))
     });
     g.finish();
 }
@@ -65,7 +65,7 @@ fn bench_fig10(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig10");
     g.sample_size(10);
     g.bench_function("HJ-8/activity", |b| {
-        b.iter(|| ex::fig10(&cfg, std::slice::from_ref(&wl)))
+        b.iter(|| ex::fig10(&cfg, std::slice::from_ref(&wl), 1))
     });
     g.finish();
 }

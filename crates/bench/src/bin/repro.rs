@@ -6,6 +6,12 @@
 //! repro --replay [--trace-dir DIR] [--jobs N] [--scale tiny|small|paper]
 //! ```
 //!
+//! `--jobs N` (default: available parallelism) shards every grid —
+//! workload builds, the cycle-level (workload × mode) figure grids, the
+//! ablation sweeps and the replay grids — across N shared-queue worker
+//! threads; results are collected by job index, so output tables are
+//! byte-identical for any worker count.
+//!
 //! `--replay` switches to the trace-replay fast path: each workload's
 //! demand stream is captured once from a cycle-level baseline run (cached
 //! on disk under `--trace-dir`, default `target/traces`) and then replayed
@@ -77,7 +83,7 @@ fn main() {
     let needs_builds = what.iter().any(|w| w != "table1");
     let t0 = Instant::now();
     let workloads = if needs_builds {
-        let w = ex::build_all(scale);
+        let w = ex::build_all(scale, jobs);
         eprintln!("[build] {} workloads in {:?}", w.len(), t0.elapsed());
         w
     } else {
@@ -90,7 +96,7 @@ fn main() {
             "table1" => print_table1(&cfg),
             "table2" => print_table2(&workloads),
             "fig7" => {
-                let cells = ex::fig7(&cfg, &workloads);
+                let cells = ex::fig7(&cfg, &workloads, jobs);
                 println!(
                     "{}",
                     report::speedup_table(
@@ -108,18 +114,21 @@ fn main() {
                     )
                 );
             }
-            "fig8" => println!("{}", report::fig8_table(&ex::fig8(&cfg, &workloads))),
-            "fig9a" => println!("{}", report::fig9a_table(&ex::fig9a(&workloads))),
+            "fig8" => println!("{}", report::fig8_table(&ex::fig8(&cfg, &workloads, jobs))),
+            "fig9a" => println!("{}", report::fig9a_table(&ex::fig9a(&workloads, jobs))),
             "fig9b" => {
                 let g = workloads
                     .iter()
                     .find(|w| w.name == "G500-CSR")
                     .expect("G500-CSR built");
-                println!("{}", report::fig9b_table(&ex::fig9b(g)));
+                println!("{}", report::fig9b_table(&ex::fig9b(g, jobs)));
             }
-            "fig10" => println!("{}", report::fig10_table(&ex::fig10(&cfg, &workloads))),
+            "fig10" => println!(
+                "{}",
+                report::fig10_table(&ex::fig10(&cfg, &workloads, jobs))
+            ),
             "fig11" => {
-                let cells = ex::fig11(&cfg, &workloads);
+                let cells = ex::fig11(&cfg, &workloads, jobs);
                 println!(
                     "{}",
                     report::speedup_table(
@@ -131,7 +140,7 @@ fn main() {
             }
             "traffic" => println!(
                 "{}",
-                report::traffic_table(&ex::extra_traffic(&cfg, &workloads))
+                report::traffic_table(&ex::extra_traffic(&cfg, &workloads, jobs))
             ),
             "ablate" => {
                 let hj8 = workloads.iter().find(|w| w.name == "HJ-8").expect("built");
@@ -144,7 +153,7 @@ fn main() {
                     ablations::table(
                         "observation queue depth (HJ-8)",
                         "entries",
-                        &ablations::observation_queue(hj8, &[4, 10, 40, 160]),
+                        &ablations::observation_queue(hj8, &[4, 10, 40, 160], jobs),
                     )
                 );
                 println!(
@@ -152,7 +161,7 @@ fn main() {
                     ablations::table(
                         "request queue depth (IntSort)",
                         "entries",
-                        &ablations::request_queue(intsort, &[25, 50, 200, 800]),
+                        &ablations::request_queue(intsort, &[25, 50, 200, 800], jobs),
                     )
                 );
                 println!(
@@ -160,7 +169,7 @@ fn main() {
                     ablations::table(
                         "EWMA look-ahead scale (IntSort)",
                         "scale",
-                        &ablations::lookahead_scale(intsort, &[1, 2, 4, 8]),
+                        &ablations::lookahead_scale(intsort, &[1, 2, 4, 8], jobs),
                     )
                 );
                 println!(
@@ -168,7 +177,7 @@ fn main() {
                     ablations::table(
                         "prefetch buffer entries (IntSort)",
                         "entries",
-                        &ablations::prefetch_buffer(intsort, &[0, 8, 16, 32, 64]),
+                        &ablations::prefetch_buffer(intsort, &[0, 8, 16, 32, 64], jobs),
                     )
                 );
             }
@@ -200,7 +209,7 @@ fn run_replay(scale: Scale, trace_dir: &std::path::Path, jobs: usize) {
     );
 
     let t0 = Instant::now();
-    let workloads = ex::build_all(scale);
+    let workloads = ex::build_all(scale, jobs);
     eprintln!(
         "[build] {} workloads in {:?}",
         workloads.len(),
@@ -209,28 +218,10 @@ fn run_replay(scale: Scale, trace_dir: &std::path::Path, jobs: usize) {
 
     // Capture (or load from cache) every workload's stream, `jobs` at a time.
     let t0 = Instant::now();
-    let queue: std::sync::Mutex<Vec<usize>> = std::sync::Mutex::new((0..workloads.len()).collect());
-    let captures: Vec<_> = {
-        let slots: Vec<std::sync::Mutex<Option<(etpp_trace::CapturedTrace, rp::CaptureSource)>>> =
-            (0..workloads.len())
-                .map(|_| std::sync::Mutex::new(None))
-                .collect();
-        std::thread::scope(|s| {
-            for _ in 0..jobs.max(1) {
-                s.spawn(|| loop {
-                    let Some(i) = queue.lock().expect("poisoned").pop() else {
-                        break;
-                    };
-                    let got = rp::load_or_capture(Some(trace_dir), &cfg, &workloads[i], label);
-                    *slots[i].lock().expect("poisoned") = Some(got);
-                });
-            }
+    let captures: Vec<(etpp_trace::CapturedTrace, rp::CaptureSource)> =
+        ex::map_indexed(jobs, workloads.len(), |i| {
+            rp::load_or_capture(Some(trace_dir), &cfg, &workloads[i], label)
         });
-        slots
-            .into_iter()
-            .map(|s| s.into_inner().expect("poisoned").expect("filled"))
-            .collect()
-    };
     eprintln!("[capture] {} traces in {:?}", captures.len(), t0.elapsed());
 
     println!("## Trace corpus\n");

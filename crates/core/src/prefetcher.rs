@@ -760,6 +760,18 @@ impl PrefetchEngine for ProgrammablePrefetcher {
         (next != u64::MAX).then_some(next)
     }
 
+    fn next_tick_at(&self, now: u64) -> Option<u64> {
+        if !self.enabled {
+            return None;
+        }
+        // Internal work only — due releases, a busy PPU freeing up for
+        // a waiting observation, a blocked-mode timeout. The pop queue
+        // is excluded: while the memory system's prefetch buffer is
+        // full it cannot pop anyway, and it re-arms the round itself
+        // when a slot frees.
+        self.next_internal_step(u64::MAX).map(|t| t.max(now + 1))
+    }
+
     fn config(&mut self, _now: u64, op: &ConfigOp) {
         match op {
             ConfigOp::SetRange {

@@ -129,6 +129,81 @@ pub enum RetiredEvent {
     },
 }
 
+/// Why a driver visit happened: the horizon source that pinned the
+/// cycle. [`Core::next_event_at`] records the winning arm; the
+/// `etpp_sim::run` driver counts one per visited cycle so `speedcheck`
+/// can attribute where host iterations go (the ROADMAP's "idle-span
+/// instrumentation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum HorizonSource {
+    /// Retire/issue/dispatch proceeds next cycle — real core work.
+    CoreProgress = 0,
+    /// Every ready load is parked on a full MSHR file; woken by the
+    /// next hierarchy state change (retries for the skipped span are
+    /// synthesised so `load_retries` stays bit-exact).
+    LoadRetry,
+    /// Load queue at capacity; woken by the completion freeing a slot.
+    LqFull,
+    /// A store writeback is pending issue — draining next cycle, or
+    /// parked on a full MSHR file and woken by the next state change.
+    StoreWriteback,
+    /// Front-end refill ending after a mispredicted branch resolved.
+    FetchStall,
+    /// Next functional-unit completion (also resolves blocking branches).
+    FuCompletion,
+    /// Completion of the oldest in-flight demand miss the ROB waits on.
+    OldestMiss,
+    /// A memory event (DRAM return / cache fill) produced a completion
+    /// before the core's own horizon fell due.
+    MemEvent,
+    /// A parked span pinned per-cycle by the engine round (requests
+    /// draining through pops / a backlogged pop queue).
+    EngineRound,
+    /// A parked span pinned by snooped events awaiting delivery to the
+    /// engine.
+    PendingDelivery,
+    /// The final drain visit after the last retirement.
+    Finish,
+}
+
+impl HorizonSource {
+    /// Number of sources (size of attribution counter arrays).
+    pub const COUNT: usize = 11;
+
+    /// Every source, indexable by `as usize`.
+    pub const ALL: [HorizonSource; HorizonSource::COUNT] = [
+        HorizonSource::CoreProgress,
+        HorizonSource::LoadRetry,
+        HorizonSource::LqFull,
+        HorizonSource::StoreWriteback,
+        HorizonSource::FetchStall,
+        HorizonSource::FuCompletion,
+        HorizonSource::OldestMiss,
+        HorizonSource::MemEvent,
+        HorizonSource::EngineRound,
+        HorizonSource::PendingDelivery,
+        HorizonSource::Finish,
+    ];
+
+    /// Stable machine-readable key (JSON field material).
+    pub fn key(self) -> &'static str {
+        match self {
+            HorizonSource::CoreProgress => "core_progress",
+            HorizonSource::LoadRetry => "load_retry",
+            HorizonSource::LqFull => "lq_full",
+            HorizonSource::StoreWriteback => "store_writeback",
+            HorizonSource::FetchStall => "fetch_stall",
+            HorizonSource::FuCompletion => "fu_completion",
+            HorizonSource::OldestMiss => "oldest_miss",
+            HorizonSource::MemEvent => "mem_event",
+            HorizonSource::EngineRound => "engine_round",
+            HorizonSource::PendingDelivery => "pending_delivery",
+            HorizonSource::Finish => "finish",
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum State {
     Waiting,
@@ -198,6 +273,13 @@ pub struct Core<'t> {
     blocking_branch: Option<u32>,
 
     pending_configs: Vec<ConfigOp>,
+    /// Armed by [`Core::next_event_at`] when every ready load is parked
+    /// on a full MSHR file: `(from, per_cycle)` — the next tick adds
+    /// `per_cycle` retries for every cycle skipped after `from`, so
+    /// `load_retries` matches the per-cycle reference bit for bit.
+    pending_retry: Option<(u64, u64)>,
+    /// The arm that pinned the last horizon (visit attribution).
+    horizon_source: HorizonSource,
     /// Capture sink for retired events (`None` = capture disabled).
     captured: Option<Vec<RetiredEvent>>,
     /// Scratch buffer for draining due memory completions without a
@@ -228,6 +310,8 @@ impl<'t> Core<'t> {
             fetch_stall_until: 0,
             blocking_branch: None,
             pending_configs: Vec::new(),
+            pending_retry: None,
+            horizon_source: HorizonSource::CoreProgress,
             captured: None,
             completions_scratch: Vec::new(),
             stats: CoreStats::default(),
@@ -282,6 +366,13 @@ impl<'t> Core<'t> {
     /// Advances one cycle. Order within the cycle: absorb memory
     /// completions, retire, complete FUs, issue, dispatch.
     pub fn tick(&mut self, now: u64, mem: &mut MemorySystem) {
+        if let Some((from, per_cycle)) = self.pending_retry.take() {
+            // The skipped span was a parked-load state: the per-cycle
+            // reference bounces every ready load off the full MSHR file
+            // at each cycle in (from, now); this tick counts cycle
+            // `now`'s own attempts itself.
+            self.stats.load_retries += per_cycle * now.saturating_sub(from + 1);
+        }
         self.absorb_completions(now, mem);
         self.complete_fus(now);
         self.retire(now, mem);
@@ -298,42 +389,86 @@ impl<'t> Core<'t> {
     /// bit-for-bit by `tests/event_horizon_equivalence.rs`).
     ///
     /// The horizon is `now + 1` whenever the core can make progress on
-    /// the very next cycle — an op can retire, issue, dispatch, or a
-    /// store writeback is pending (including structural-stall retries,
-    /// which must revisit every cycle so retry statistics stay exact).
-    /// Otherwise it is the min of the front-end stall end, the next
+    /// the very next cycle — an op can retire, issue, or dispatch, or a
+    /// store writeback can drain. Structural stalls no longer pin
+    /// per-cycle revisits: a store writeback parked on a full MSHR
+    /// file, or a ready queue whose every load would bounce off it,
+    /// fast-forwards to the next cycle the hierarchy's state can change
+    /// at all (its event heap, engine round or pending delivery — the
+    /// wake-driven replacement for the old retry-every-cycle pins), and
+    /// the retries the per-cycle reference would have counted in the
+    /// skipped span are synthesised at the next tick. Otherwise the
+    /// horizon is the min of the front-end stall end, the next
     /// functional-unit completion (which also resolves a blocking
     /// branch), and the completion of the oldest in-flight miss the
     /// ROB/LSQ is waiting on. `u64::MAX` means the core cannot proceed
     /// without a memory completion that is not currently scheduled —
     /// i.e. a deadlock if the memory system is also quiescent.
-    pub fn next_event_at(&self, now: u64, mem: &MemorySystem) -> u64 {
+    ///
+    /// The winning arm is recorded for [`Core::horizon_source`].
+    pub fn next_event_at(&mut self, now: u64, mem: &MemorySystem) -> u64 {
+        self.pending_retry = None;
+        let (at, src) = self.horizon_with_source(now, mem);
+        self.horizon_source = src;
+        at
+    }
+
+    /// The arm that pinned the last [`Core::next_event_at`] horizon.
+    pub fn horizon_source(&self) -> HorizonSource {
+        self.horizon_source
+    }
+
+    fn horizon_with_source(&mut self, now: u64, mem: &MemorySystem) -> (u64, HorizonSource) {
         // Issue-stage progress next cycle. A load queue at capacity
         // blocks the (oldest-first) memory queue without touching any
-        // counter, so that one case may fast-forward to the completion
-        // that frees an LQ slot; every other non-empty ready queue —
-        // including loads retrying MSHR-full rejections, which count
-        // `load_retries` per visited cycle — pins the horizon.
+        // counter, so that case fast-forwards to the completion that
+        // frees an LQ slot; a queue of loads all parked on a full MSHR
+        // file fast-forwards to the next hierarchy state change with
+        // the skipped retries synthesised; any other non-empty ready
+        // queue pins the horizon.
         if !self.ready_int.is_empty() || !self.ready_fp.is_empty() || !self.ready_muldiv.is_empty()
         {
-            return now + 1;
+            return (now + 1, HorizonSource::CoreProgress);
         }
+        let mut lq_blocked = false;
+        let mut defer_loads = false;
         if let Some(&idx) = self.ready_mem.front() {
-            let lq_blocked = self.trace.ops[idx as usize].class == OpClass::Load
+            lq_blocked = self.trace.ops[idx as usize].class == OpClass::Load
                 && self.lq_inflight >= self.params.lq_entries;
             if !lq_blocked {
-                return now + 1;
+                if self.mem_queue_all_parked(mem) {
+                    defer_loads = true;
+                    self.pending_retry = Some((now, self.ready_mem.len() as u64));
+                } else {
+                    return (now + 1, HorizonSource::CoreProgress);
+                }
             }
         }
-        // A store writeback pending issue drains (or retries) next cycle.
-        if self.sq.iter().any(|e| e.state == SqState::PendingIssue) {
-            return now + 1;
+        // A store writeback pending issue drains next cycle — unless it
+        // too is parked on a full MSHR file (`drain_store_buffer` only
+        // ever attempts the first pending entry, and an MSHR-full bounce
+        // is rejected before any side effect, so skipping the retries is
+        // behaviour-preserving).
+        let mut defer_store = false;
+        if let Some(e) = self.sq.iter().find(|e| e.state == SqState::PendingIssue) {
+            if mem.demand_would_bounce(e.addr8) {
+                defer_store = true;
+            } else {
+                return (now + 1, HorizonSource::StoreWriteback);
+            }
         }
         // The head of the ROB is done: retirement proceeds next cycle.
         if self.head < self.cursor && self.slots[self.slot_of(self.head)].state == State::Done {
-            return now + 1;
+            return (now + 1, HorizonSource::CoreProgress);
         }
         let mut next = u64::MAX;
+        let mut src = HorizonSource::CoreProgress;
+        let mut fold = |at: u64, s: HorizonSource| {
+            if at < next {
+                next = at;
+                src = s;
+            }
+        };
         // Dispatch can proceed once the front end unstalls, provided the
         // back-end resources it needs are free. When they are not, the
         // event that frees them (retire, issue, completion) is covered
@@ -345,20 +480,89 @@ impl<'t> Core<'t> {
             let iq_free = !needs_iq || self.iq_count < self.params.iq_entries;
             let sq_free = op.class != OpClass::Store || self.sq.len() < self.params.sq_entries;
             if rob_free && iq_free && sq_free {
-                next = next.min(self.fetch_stall_until.max(now + 1));
+                let at = self.fetch_stall_until.max(now + 1);
+                fold(
+                    at,
+                    if at > now + 1 {
+                        HorizonSource::FetchStall
+                    } else {
+                        HorizonSource::CoreProgress
+                    },
+                );
             }
         }
         // Next functional-unit completion (also resolves the blocking
         // branch and wakes dependents).
         if let Some(&Reverse((at, _))) = self.exec_done.peek() {
-            next = next.min(at.max(now + 1));
+            fold(at.max(now + 1), HorizonSource::FuCompletion);
         }
         // Completion of an in-flight miss (wakes loads, releases LQ
         // slots, drains store writebacks, frees store-queue entries).
         if let Some(at) = mem.next_completion_at() {
-            next = next.min(at.max(now + 1));
+            fold(
+                at.max(now + 1),
+                if lq_blocked {
+                    HorizonSource::LqFull
+                } else {
+                    HorizonSource::OldestMiss
+                },
+            );
         }
-        next
+        // Parked loads/stores wake the moment the hierarchy's state can
+        // change: an internal transfer (which can free an MSHR or
+        // install the line), an engine round (whose pops can create the
+        // prefetch-buffer entry a retry would merge into), or a pending
+        // engine delivery. `advance_to` additionally hands control back
+        // at any completion falling due first, so the skipped span is
+        // provably a frozen pure-retry state.
+        if defer_loads || defer_store {
+            let heap = mem.next_event_at().unwrap_or(u64::MAX);
+            let engine = mem.engine_next_at().unwrap_or(u64::MAX);
+            let deliveries = if mem.deliveries_pending() {
+                now + 1
+            } else {
+                u64::MAX
+            };
+            let wake = heap.min(engine).min(deliveries);
+            if wake != u64::MAX {
+                let wsrc = if deliveries <= wake {
+                    HorizonSource::PendingDelivery
+                } else if engine < heap {
+                    HorizonSource::EngineRound
+                } else if defer_loads {
+                    HorizonSource::LoadRetry
+                } else {
+                    HorizonSource::StoreWriteback
+                };
+                fold(wake.max(now + 1), wsrc);
+            }
+        }
+        (next, src)
+    }
+
+    /// Whether every entry in the memory-ready queue is a load that
+    /// would bounce off a full MSHR file this cycle with no side
+    /// effects: no store-to-load forwarding hit (those issue) and an
+    /// [`MemorySystem::demand_would_bounce`] structural rejection
+    /// (checked before the TLB is touched). While this holds and no
+    /// hierarchy state changes, every visited cycle is an identical
+    /// retry round adding `ready_mem.len()` to `load_retries`.
+    fn mem_queue_all_parked(&self, mem: &MemorySystem) -> bool {
+        self.ready_mem.iter().all(|&idx| {
+            let op = &self.trace.ops[idx as usize];
+            if op.class != OpClass::Load {
+                return false;
+            }
+            let addr8 = op.addr & !7;
+            if self
+                .sq
+                .iter()
+                .any(|e| e.trace_idx < idx && e.addr8 & !7 == addr8)
+            {
+                return false;
+            }
+            mem.demand_would_bounce(op.addr)
+        })
     }
 
     fn absorb_completions(&mut self, now: u64, mem: &mut MemorySystem) {

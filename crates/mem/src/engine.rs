@@ -167,6 +167,19 @@ pub trait PrefetchEngine {
         let _ = now;
         None
     }
+
+    /// The engine's *internal-work* horizon: like
+    /// [`PrefetchEngine::next_event_at`] but excluding the "queued
+    /// requests are poppable" component. The memory system switches to
+    /// this bound while its prefetch buffer is full — pops cannot issue
+    /// until a slot frees (a fill event already on its heap), so a
+    /// backlogged pop queue must not pin per-cycle engine rounds.
+    /// Engines whose `tick` is a pure no-op may return `None` even with
+    /// requests queued; the default conservatively falls back to the
+    /// full horizon.
+    fn next_tick_at(&self, now: u64) -> Option<u64> {
+        self.next_event_at(now)
+    }
 }
 
 /// An engine that never prefetches (the "no prefetching" baseline).

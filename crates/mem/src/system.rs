@@ -191,6 +191,11 @@ pub struct MemorySystem {
     l2_waiters: std::collections::VecDeque<EvKind>,
     /// Whether an `L2RetryWake` is already on the heap.
     l2_wake_scheduled: bool,
+    /// The last engine round found the prefetch buffer full, so the
+    /// engine horizon was computed without its pop-queue component
+    /// ([`PrefetchEngine::next_tick_at`]); the `PfBufFill` that frees a
+    /// slot re-arms the round at its own cycle.
+    pf_pop_wait: bool,
     next_seq: u64,
     next_access: u64,
     completions: Vec<Completion>,
@@ -226,6 +231,7 @@ impl MemorySystem {
             pf_buffer: FastHashMap::default(),
             l2_waiters: std::collections::VecDeque::new(),
             l2_wake_scheduled: false,
+            pf_pop_wait: false,
             next_seq: 0,
             next_access: 0,
             completions: Vec::new(),
@@ -525,7 +531,21 @@ impl MemorySystem {
             self.inject_prefetch(now, req.vaddr, req.tag, req.meta);
         }
 
-        self.engine_wake = engine.next_event_at(now).unwrap_or(u64::MAX);
+        // A full prefetch buffer gates pops no matter what the engine
+        // holds, so its pop-queue component must not pin the horizon to
+        // the next cycle: only genuinely internal engine work needs
+        // rounds until a slot frees. The `PfBufFill` that frees one is
+        // already on the event heap and re-arms the round at its exact
+        // cycle via `pf_pop_wait` — wake-on-slot-free instead of the
+        // old per-cycle pop polling under backlog.
+        let pf_buffer_full = self.pf_buffer.len() >= self.params.pf_buffer_entries;
+        self.pf_pop_wait = pf_buffer_full;
+        self.engine_wake = if pf_buffer_full {
+            engine.next_tick_at(now)
+        } else {
+            engine.next_event_at(now)
+        }
+        .unwrap_or(u64::MAX);
     }
 
     fn inject_prefetch(&mut self, now: u64, vaddr: u64, tag: Option<TagId>, meta: u64) {
@@ -728,6 +748,13 @@ impl MemorySystem {
                 let Some(entry) = self.pf_buffer.remove(&line_addr) else {
                     return; // dropped (e.g. context switch)
                 };
+                if self.pf_pop_wait {
+                    // A slot just freed while a backlogged engine was
+                    // parked on the full buffer: resume the pop round
+                    // at this very cycle, as per-cycle ticking would.
+                    self.pf_pop_wait = false;
+                    self.engine_wake = now;
+                }
                 let prefetched = !entry.has_demand;
                 if let Some(evicted) = self.l1.fill(line_addr, prefetched, entry.dirty_on_fill) {
                     if evicted.dirty {
@@ -821,6 +848,23 @@ impl MemorySystem {
     /// Earliest pending internal event, for idle fast-forwarding.
     pub fn next_event_at(&self) -> Option<u64> {
         self.events.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Whether a demand access to `vaddr` would be rejected with
+    /// [`Rejection::MshrFull`] right now: the line is not resident, no
+    /// MSHR or prefetch-buffer entry is already fetching it, and the
+    /// L1 MSHR file has no free slot. This mirrors the structural check
+    /// [`MemorySystem::try_access`] performs *before* any side effect
+    /// (the TLB is not touched), so while it holds — and it can only
+    /// change at an internal event, engine round or delivery — retrying
+    /// the access is a provable no-op the core may park on a wake
+    /// instead of re-polling every cycle.
+    pub fn demand_would_bounce(&self, vaddr: u64) -> bool {
+        let line = line_of(vaddr);
+        !self.l1.contains(line)
+            && self.l1_mshrs.find(line).is_none()
+            && self.l1_mshrs.free() == 0
+            && !self.pf_buffer.contains_key(&line)
     }
 
     /// The hierarchy's *top-level event horizon*: the earliest cycle at

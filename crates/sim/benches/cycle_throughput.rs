@@ -1,8 +1,9 @@
 //! Cycle-level core throughput benches: the horizon-aware driver
-//! (`Core::next_event_at` + `MemorySystem::advance_to`) against the
-//! per-cycle unit-tick reference, for a baseline and a programmable
-//! engine. The headline of PR 3 — the reference simulations that anchor
-//! the paper's speedup claims used to tick every stall cycle.
+//! (`Core::next_event_at` + `MemorySystem::advance_to`, dense spans
+//! fused per driver visit) against the per-cycle unit-tick reference,
+//! for a baseline and a programmable engine — plus the structural
+//! saturation cases whose wake-driven horizons replaced per-cycle
+//! revisit pins (LQ-full parks, prefetch-buffer pop backlog).
 //!
 //! ```text
 //! cargo bench -p etpp-sim --bench cycle_throughput
@@ -12,13 +13,20 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use etpp_sim::{run, PrefetchMode, SystemConfig};
 use etpp_workloads::{BuiltWorkload, Scale, Workload};
 
-fn bench_mode(c: &mut Criterion, wl: &BuiltWorkload, mode: PrefetchMode, label: &str) {
+fn bench_mode_with(
+    c: &mut Criterion,
+    wl: &BuiltWorkload,
+    mode: PrefetchMode,
+    label: &str,
+    tweak: impl Fn(&mut SystemConfig),
+) {
     let mut g = c.benchmark_group(label);
     g.sample_size(10);
-    for (name, cfg) in [
-        ("horizon", SystemConfig::paper()),
-        ("per_cycle_ref", SystemConfig::paper_per_cycle()),
-    ] {
+    let mut fast = SystemConfig::paper();
+    tweak(&mut fast);
+    let mut reference = SystemConfig::paper_per_cycle();
+    tweak(&mut reference);
+    for (name, cfg) in [("horizon", fast), ("per_cycle_ref", reference)] {
         g.bench_function(name, |b| {
             b.iter(|| {
                 let r = run(&cfg, mode, wl).expect("mode expressible");
@@ -30,6 +38,10 @@ fn bench_mode(c: &mut Criterion, wl: &BuiltWorkload, mode: PrefetchMode, label: 
     g.finish();
 }
 
+fn bench_mode(c: &mut Criterion, wl: &BuiltWorkload, mode: PrefetchMode, label: &str) {
+    bench_mode_with(c, wl, mode, label, |_| {});
+}
+
 fn bench_cycle(c: &mut Criterion) {
     // HJ-8's dependent hash/list walks produce the highest stall density
     // (>99% of visited cycles were pure stall before fast-forwarding);
@@ -39,6 +51,29 @@ fn bench_cycle(c: &mut Criterion) {
     bench_mode(c, &hj8, PrefetchMode::Manual, "cycle_hj8_manual");
     let intsort = etpp_workloads::intsort::IntSort.build(Scale::Tiny);
     bench_mode(c, &intsort, PrefetchMode::None, "cycle_intsort_none");
+    // Structural saturation: a 2-entry LQ parks the memory queue on
+    // LQ-free wakes; a 1-entry prefetch buffer + 3 MSHRs keeps the
+    // manual kernels' pop queue backlogged (wake-on-slot-free) and the
+    // demand path bouncing off the MSHR file (synthesised retries).
+    bench_mode_with(
+        c,
+        &hj8,
+        PrefetchMode::Manual,
+        "cycle_hj8_manual_lq2",
+        |cfg| {
+            cfg.core.lq_entries = 2;
+        },
+    );
+    bench_mode_with(
+        c,
+        &intsort,
+        PrefetchMode::Manual,
+        "cycle_intsort_manual_pfbuf1",
+        |cfg| {
+            cfg.mem.pf_buffer_entries = 1;
+            cfg.mem.l1.mshrs = 3;
+        },
+    );
 }
 
 criterion_group!(benches, bench_cycle);

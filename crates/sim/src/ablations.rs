@@ -7,6 +7,7 @@
 //! the "ablation benches for the design choices DESIGN.md calls out".
 
 use crate::config::{PrefetchMode, SystemConfig};
+use crate::experiments::map_indexed;
 use crate::system::run;
 use etpp_core::PrefetcherParams;
 use etpp_workloads::BuiltWorkload;
@@ -26,88 +27,73 @@ fn speedup_with(cfg: &SystemConfig, wl: &BuiltWorkload, base: u64) -> f64 {
     base as f64 / r.cycles as f64
 }
 
-/// Sweeps the observation-queue depth (paper: 40 entries; overflow drops
-/// the oldest observation).
-pub fn observation_queue(wl: &BuiltWorkload, depths: &[usize]) -> Vec<AblationPoint> {
+/// Runs one cycle-level Manual simulation per parameter value, sharded
+/// across `jobs` workers (ablation points only differ in configuration,
+/// so they are perfectly independent).
+fn sweep(
+    wl: &BuiltWorkload,
+    values: &[u64],
+    jobs: usize,
+    configure: impl Fn(u64) -> SystemConfig + Sync,
+) -> Vec<AblationPoint> {
     let base = run(&SystemConfig::paper(), PrefetchMode::None, wl)
         .expect("baseline")
         .cycles;
-    depths
-        .iter()
-        .map(|&d| {
-            let mut cfg = SystemConfig::paper();
-            cfg.pf = PrefetcherParams {
-                observation_queue: d,
-                ..cfg.pf
-            };
-            AblationPoint {
-                value: d as u64,
-                speedup: speedup_with(&cfg, wl, base),
-            }
-        })
-        .collect()
+    map_indexed(jobs, values.len(), |i| AblationPoint {
+        value: values[i],
+        speedup: speedup_with(&configure(values[i]), wl, base),
+    })
+}
+
+/// Sweeps the observation-queue depth (paper: 40 entries; overflow drops
+/// the oldest observation).
+pub fn observation_queue(wl: &BuiltWorkload, depths: &[usize], jobs: usize) -> Vec<AblationPoint> {
+    let values: Vec<u64> = depths.iter().map(|&d| d as u64).collect();
+    sweep(wl, &values, jobs, |d| {
+        let mut cfg = SystemConfig::paper();
+        cfg.pf = PrefetcherParams {
+            observation_queue: d as usize,
+            ..cfg.pf
+        };
+        cfg
+    })
 }
 
 /// Sweeps the prefetch-request-queue depth (paper: 200 entries).
-pub fn request_queue(wl: &BuiltWorkload, depths: &[usize]) -> Vec<AblationPoint> {
-    let base = run(&SystemConfig::paper(), PrefetchMode::None, wl)
-        .expect("baseline")
-        .cycles;
-    depths
-        .iter()
-        .map(|&d| {
-            let mut cfg = SystemConfig::paper();
-            cfg.pf = PrefetcherParams {
-                request_queue: d,
-                ..cfg.pf
-            };
-            AblationPoint {
-                value: d as u64,
-                speedup: speedup_with(&cfg, wl, base),
-            }
-        })
-        .collect()
+pub fn request_queue(wl: &BuiltWorkload, depths: &[usize], jobs: usize) -> Vec<AblationPoint> {
+    let values: Vec<u64> = depths.iter().map(|&d| d as u64).collect();
+    sweep(wl, &values, jobs, |d| {
+        let mut cfg = SystemConfig::paper();
+        cfg.pf = PrefetcherParams {
+            request_queue: d as usize,
+            ..cfg.pf
+        };
+        cfg
+    })
 }
 
 /// Sweeps the EWMA look-ahead safety multiplier (§7.2's "overestimated
 /// relative to the EWMAs"; 0 = use the raw ratio).
-pub fn lookahead_scale(wl: &BuiltWorkload, scales: &[u64]) -> Vec<AblationPoint> {
-    let base = run(&SystemConfig::paper(), PrefetchMode::None, wl)
-        .expect("baseline")
-        .cycles;
-    scales
-        .iter()
-        .map(|&s| {
-            let mut cfg = SystemConfig::paper();
-            cfg.pf = PrefetcherParams {
-                lookahead_scale: s.max(1),
-                ..cfg.pf
-            };
-            AblationPoint {
-                value: s,
-                speedup: speedup_with(&cfg, wl, base),
-            }
-        })
-        .collect()
+pub fn lookahead_scale(wl: &BuiltWorkload, scales: &[u64], jobs: usize) -> Vec<AblationPoint> {
+    sweep(wl, scales, jobs, |s| {
+        let mut cfg = SystemConfig::paper();
+        cfg.pf = PrefetcherParams {
+            lookahead_scale: s.max(1),
+            ..cfg.pf
+        };
+        cfg
+    })
 }
 
 /// Sweeps the prefetch-buffer capacity (DESIGN.md's L2-issue
 /// interpretation; 0 entries disables prefetching entirely).
-pub fn prefetch_buffer(wl: &BuiltWorkload, sizes: &[usize]) -> Vec<AblationPoint> {
-    let base = run(&SystemConfig::paper(), PrefetchMode::None, wl)
-        .expect("baseline")
-        .cycles;
-    sizes
-        .iter()
-        .map(|&n| {
-            let mut cfg = SystemConfig::paper();
-            cfg.mem.pf_buffer_entries = n;
-            AblationPoint {
-                value: n as u64,
-                speedup: speedup_with(&cfg, wl, base),
-            }
-        })
-        .collect()
+pub fn prefetch_buffer(wl: &BuiltWorkload, sizes: &[usize], jobs: usize) -> Vec<AblationPoint> {
+    let values: Vec<u64> = sizes.iter().map(|&n| n as u64).collect();
+    sweep(wl, &values, jobs, |n| {
+        let mut cfg = SystemConfig::paper();
+        cfg.mem.pf_buffer_entries = n as usize;
+        cfg
+    })
 }
 
 /// Renders an ablation sweep as a Markdown table.
@@ -127,7 +113,7 @@ mod tests {
     #[test]
     fn zero_prefetch_buffer_disables_prefetching() {
         let wl = workload_by_name("IntSort").unwrap().build(Scale::Tiny);
-        let pts = prefetch_buffer(&wl, &[0, 32]);
+        let pts = prefetch_buffer(&wl, &[0, 32], 2);
         assert!(
             (pts[0].speedup - 1.0).abs() < 0.08,
             "no buffer => no speedup, got {:.2}",
@@ -142,7 +128,7 @@ mod tests {
     #[test]
     fn tiny_observation_queue_hurts() {
         let wl = workload_by_name("HJ-8").unwrap().build(Scale::Tiny);
-        let pts = observation_queue(&wl, &[1, 40]);
+        let pts = observation_queue(&wl, &[1, 40], 2);
         assert!(
             pts[1].speedup >= pts[0].speedup - 0.05,
             "40-entry queue should not lose to 1-entry: {pts:?}"

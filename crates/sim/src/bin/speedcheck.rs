@@ -1,30 +1,46 @@
 //! Developer diagnostic: simulation wall-clock speed for the cycle-level
 //! core and the trace-replay fast path across engine modes, with a
-//! machine-readable `BENCH_speedcheck.json` (schema 2) so the perf
+//! machine-readable `BENCH_speedcheck.json` (schema 3) so the perf
 //! trajectory is tracked across PRs.
 //!
 //! ```text
 //! cargo run --release -p etpp-sim --bin speedcheck            # Small scale
 //! cargo run --release -p etpp-sim --bin speedcheck -- --smoke # Tiny, CI
+//! cargo run --release -p etpp-sim --bin speedcheck -- --jobs 4
 //! cargo run --release -p etpp-sim --bin speedcheck -- --json out.json
 //! cargo run --release -p etpp-sim --bin speedcheck -- --compare prev.json
 //! ```
 //!
 //! Both paths report `accesses_per_s` (host throughput over the demand
 //! stream) and the deterministic event-horizon *fast-forward factor*
-//! (simulated cycles per visited host iteration) — PR 2 brought
-//! programmable-mode replay within reach of the baselines; PR 3's
-//! horizon-aware cycle core stopped the reference simulations from
-//! ticking through >99%-stall spans one cycle at a time.
+//! (simulated cycles per driver visit) — PR 2 brought programmable-mode
+//! replay within reach of the baselines, PR 3's horizon-aware cycle
+//! core stopped the reference simulations from ticking through
+//! 99%-plus-stall spans one cycle at a time, and PR 4's dense-span fusion +
+//! wake-driven structural stalls put the programmable cycle path ahead
+//! of where the baselines used to be. Schema 3 adds the per-source
+//! *visit attribution* (`visits`) on every cycle row — which horizon
+//! source ended each driver visit — and at least one compiled
+//! programmable mode (`converted`) so the regression gate guards the
+//! hot path the paper is about.
+//!
+//! `--jobs N` shards the (workload × path × mode) cell grid across N
+//! worker threads; each cell's `wall_s` is still measured around its
+//! own single-threaded simulation inside the worker, so
+//! `accesses_per_s` stays comparable with serial baselines (modulo
+//! co-scheduling noise, which the deterministic counters are immune
+//! to).
 //!
 //! `--compare prev.json` gates the current report against a previous
 //! run's (e.g. the last CI artifact): any (workload, path, mode) cell
-//! whose `accesses_per_s` dropped by more than 20% fails the check.
-//! Cells missing from either side (schema drift, skipped modes) are
-//! ignored.
+//! whose `accesses_per_s` dropped by more than 20% *and* whose
+//! fast-forward factor shrank too fails the check. Cells present on
+//! only one side (schema drift, skipped modes, coverage changes) are
+//! listed explicitly so mode-coverage drift is visible in CI logs.
 
+use etpp_sim::experiments::map_indexed;
 use etpp_sim::replay as rp;
-use etpp_sim::{run, PrefetchMode, SystemConfig};
+use etpp_sim::{run, PrefetchMode, SystemConfig, VisitCounts};
 use etpp_workloads::{Scale, Workload};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -52,6 +68,7 @@ struct CycleRow {
     wall_s: f64,
     accesses_per_s: f64,
     validated: bool,
+    visits: VisitCounts,
 }
 
 #[derive(Debug)]
@@ -96,10 +113,16 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn render_json(scale: &str, modes: &[PrefetchMode], reports: &[WorkloadReport]) -> String {
+fn render_json(
+    scale: &str,
+    jobs: usize,
+    modes: &[PrefetchMode],
+    reports: &[WorkloadReport],
+) -> String {
     let mut j = String::new();
-    j.push_str("{\n  \"schema\": 2,\n  \"tool\": \"speedcheck\",\n");
+    j.push_str("{\n  \"schema\": 3,\n  \"tool\": \"speedcheck\",\n");
     let _ = writeln!(j, "  \"scale\": \"{}\",", json_escape(scale));
+    let _ = writeln!(j, "  \"jobs\": {jobs},");
     let mode_list = modes
         .iter()
         .map(|m| format!("\"{}\"", mode_key(*m)))
@@ -112,11 +135,18 @@ fn render_json(scale: &str, modes: &[PrefetchMode], reports: &[WorkloadReport]) 
         let _ = writeln!(j, "      \"trace_accesses\": {},", w.trace_accesses);
         j.push_str("      \"cycle\": [\n");
         for (i, r) in w.cycle.iter().enumerate() {
+            let visits = r
+                .visits
+                .iter()
+                .filter(|(_, count)| *count > 0)
+                .map(|(key, count)| format!("\"{key}\": {count}"))
+                .collect::<Vec<_>>()
+                .join(", ");
             let _ = write!(
                 j,
                 "        {{\"mode\": \"{}\", \"cycles\": {}, \"host_iters\": {}, \
                  \"fast_forward\": {:.3}, \"wall_s\": {:.6}, \"accesses_per_s\": {:.1}, \
-                 \"validated\": {}}}",
+                 \"validated\": {}, \"visits\": {{{visits}}}}}",
                 mode_key(r.mode),
                 r.cycles,
                 r.host_iters,
@@ -241,6 +271,31 @@ fn compare_reports(prev: &str, current: &str, threshold: f64) -> usize {
         );
         return 0;
     }
+    // Cells present on only one side are never gated, but silent skips
+    // have hidden mode-coverage drift before — list them explicitly.
+    let missing_from_new: Vec<&Cell> = old
+        .cells
+        .iter()
+        .filter(|c| !new.cells.iter().any(|n| n.key == c.key))
+        .collect();
+    for c in &missing_from_new {
+        eprintln!(
+            "note {}/{}/{}: present in previous report but missing from current \
+             (coverage drift — cell not gated)",
+            c.key.0, c.key.1, c.key.2
+        );
+    }
+    for c in new
+        .cells
+        .iter()
+        .filter(|c| !old.cells.iter().any(|o| o.key == c.key))
+    {
+        eprintln!(
+            "note {}/{}/{}: new cell with no previous counterpart \
+             (becomes part of the baseline from this run on)",
+            c.key.0, c.key.1, c.key.2
+        );
+    }
     const FF_SLACK: f64 = 0.05;
     let mut regressions = 0;
     let mut compared = 0;
@@ -286,8 +341,11 @@ fn compare_reports(prev: &str, current: &str, threshold: f64) -> usize {
         }
     }
     eprintln!(
-        "compare: {compared} cells compared, {regressions} regressed (>{:.0}% drop)",
-        threshold * 100.0
+        "compare: {compared} cells compared, {regressions} regressed (>{:.0}% drop), \
+         {} previous cell(s) missing from current, {} new",
+        threshold * 100.0,
+        missing_from_new.len(),
+        new.cells.len() - compared,
     );
     regressions
 }
@@ -295,6 +353,12 @@ fn compare_reports(prev: &str, current: &str, threshold: f64) -> usize {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let jobs: usize = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--jobs: positive integer"))
+        .unwrap_or(1);
     let json_path = args
         .iter()
         .position(|a| a == "--json")
@@ -336,22 +400,30 @@ fn main() {
     } else {
         (Scale::Small, "small")
     };
+    // `converted` guards the compiled programmable hot path — the
+    // compiler-generated kernels the paper's Figure 7 "Converted" bars
+    // measure — alongside the hand-written `manual` kernels.
     let modes = [
         PrefetchMode::None,
         PrefetchMode::Stride,
         PrefetchMode::GhbRegular,
+        PrefetchMode::Converted,
         PrefetchMode::Manual,
     ];
 
     let cfg = SystemConfig::paper();
-    let mut reports = Vec::new();
-    for (name, w) in [
+
+    // Build the workloads, then capture each demand stream (one
+    // cycle-level baseline run per workload, sharded).
+    let defs: [(&str, Box<dyn Workload>); 2] = [
         (
             "IntSort",
             Box::new(etpp_workloads::intsort::IntSort) as Box<dyn Workload>,
         ),
         ("HJ-8", Box::new(etpp_workloads::hashjoin::Hj8)),
-    ] {
+    ];
+    let mut workloads = Vec::new();
+    for (name, w) in &defs {
         let t0 = Instant::now();
         let wl = w.build(scale);
         eprintln!(
@@ -359,96 +431,135 @@ fn main() {
             t0.elapsed(),
             wl.trace.len()
         );
+        workloads.push(wl);
+    }
+    let captures = map_indexed(jobs, workloads.len(), |i| {
+        let t = Instant::now();
+        let (trace, _) = rp::load_or_capture(None, &cfg, &workloads[i], scale_label);
+        (trace, t.elapsed())
+    });
+    for (wl, (trace, took)) in workloads.iter().zip(&captures) {
+        eprintln!(
+            "{}: capture {} records ({} accesses) in {took:?}",
+            wl.name,
+            trace.records.len(),
+            trace.access_count(),
+        );
+    }
 
-        // --- cycle-level core ---------------------------------------------
-        let mut cycle_rows: Vec<CycleRow> = Vec::new();
-        for mode in modes {
+    // One job per (workload, path, mode) cell. `wall_s` wraps only the
+    // cell's own single-threaded simulation, measured inside the
+    // worker, so throughput stays comparable with a serial run.
+    enum Row {
+        Cycle(CycleRow),
+        Replay(ReplayRow),
+        /// (path label, mode, why) — printed during reassembly so a
+        /// vanished cell is visible even without a `--compare` baseline.
+        Skipped(&'static str, PrefetchMode, String),
+    }
+    let paths = 2usize; // 0 = cycle, 1 = replay
+    let cell_count = workloads.len() * paths * modes.len();
+    let rows = map_indexed(jobs, cell_count, |k| {
+        let wi = k / (paths * modes.len());
+        let path = (k / modes.len()) % paths;
+        let mode = modes[k % modes.len()];
+        let wl = &workloads[wi];
+        if path == 0 {
             let t = Instant::now();
-            match run(&cfg, mode, &wl) {
+            match run(&cfg, mode, wl) {
                 Ok(r) => {
                     let wall = t.elapsed().as_secs_f64();
                     let l1 = &r.mem.l1;
                     let demand_accesses =
                         l1.read_hits + l1.read_misses + l1.write_hits + l1.write_misses;
-                    let aps = demand_accesses as f64 / wall;
-                    eprintln!(
-                        "  cycle {:>13}: cycles={:>12} ipc={:.2} wall={:.3}s validated={} l1hit={:.3} accesses/s={:.2e} ff={:.1}x",
-                        mode.label(),
-                        r.cycles,
-                        r.ipc(),
-                        wall,
-                        r.validated,
-                        r.mem.l1.read_hit_rate(),
-                        aps,
-                        r.ff(),
-                    );
-                    cycle_rows.push(CycleRow {
+                    Row::Cycle(CycleRow {
                         mode,
                         cycles: r.cycles,
                         host_iters: r.host_iters,
                         wall_s: wall,
-                        accesses_per_s: aps,
+                        accesses_per_s: demand_accesses as f64 / wall,
                         validated: r.validated,
-                    });
+                        visits: r.visits,
+                    })
                 }
-                Err(s) => eprintln!("  cycle {:>13}: skipped ({s})", mode.label()),
+                Err(why) => Row::Skipped("cycle", mode, why.to_string()),
             }
-        }
-
-        // --- trace replay -------------------------------------------------
-        let t = Instant::now();
-        let (trace, _) = rp::load_or_capture(None, &cfg, &wl, scale_label);
-        let accesses = trace.access_count();
-        eprintln!(
-            "  capture: {} records ({} accesses) in {:?}",
-            trace.records.len(),
-            accesses,
-            t.elapsed()
-        );
-        let mut replay_rows: Vec<ReplayRow> = Vec::new();
-        for mode in modes {
+        } else {
+            let records = &captures[wi].0.records;
             let t = Instant::now();
-            match rp::replay_run(&cfg, mode, &wl, &trace.records) {
+            match rp::replay_run(&cfg, mode, wl, records) {
                 Ok(r) => {
                     let wall = t.elapsed().as_secs_f64();
-                    let aps = accesses as f64 / wall;
-                    let host_speedup = cycle_rows
-                        .iter()
-                        .find(|c| c.mode == mode)
-                        .map(|c| c.wall_s / wall);
-                    eprintln!(
-                        "  replay {:>12}: cycles={:>12} wall={:.3}s validated={} l1hit={:.3} accesses/s={:.2e} ff={:.1}x host-speedup={}",
-                        mode.label(),
-                        r.cycles,
-                        wall,
-                        r.validated,
-                        r.mem.l1.read_hit_rate(),
-                        aps,
-                        r.cycles as f64 / r.host_iters.max(1) as f64,
-                        host_speedup.map_or("n/a".to_string(), |s| format!("{s:.1}x")),
-                    );
-                    replay_rows.push(ReplayRow {
+                    Row::Replay(ReplayRow {
                         mode,
                         cycles: r.cycles,
                         host_iters: r.host_iters,
                         wall_s: wall,
-                        accesses_per_s: aps,
-                        host_speedup,
+                        accesses_per_s: captures[wi].0.access_count() as f64 / wall,
+                        host_speedup: None, // filled in below from the cycle row
                         validated: r.validated,
-                    });
+                    })
                 }
-                Err(s) => eprintln!("  replay {:>12}: skipped ({s})", mode.label()),
+                Err(why) => Row::Skipped("replay", mode, why.to_string()),
             }
+        }
+    });
+
+    let mut reports = Vec::new();
+    let mut rows = rows.into_iter();
+    for (wi, wl) in workloads.iter().enumerate() {
+        let mut cycle_rows: Vec<CycleRow> = Vec::new();
+        let mut replay_rows: Vec<ReplayRow> = Vec::new();
+        for _ in 0..paths * modes.len() {
+            match rows.next().expect("one row per cell") {
+                Row::Cycle(r) => cycle_rows.push(r),
+                Row::Replay(mut r) => {
+                    r.host_speedup = cycle_rows
+                        .iter()
+                        .find(|c| c.mode == r.mode)
+                        .map(|c| c.wall_s / r.wall_s);
+                    replay_rows.push(r);
+                }
+                Row::Skipped(path, mode, why) => {
+                    eprintln!("{} {path} {:>13}: skipped ({why})", wl.name, mode.label());
+                }
+            }
+        }
+        for r in &cycle_rows {
+            eprintln!(
+                "{} cycle {:>13}: cycles={:>12} wall={:.3}s validated={} accesses/s={:.2e} ff={:.1}x",
+                wl.name,
+                r.mode.label(),
+                r.cycles,
+                r.wall_s,
+                r.validated,
+                r.accesses_per_s,
+                r.ff(),
+            );
+        }
+        for r in &replay_rows {
+            eprintln!(
+                "{} replay {:>12}: cycles={:>12} wall={:.3}s validated={} accesses/s={:.2e} ff={:.1}x host-speedup={}",
+                wl.name,
+                r.mode.label(),
+                r.cycles,
+                r.wall_s,
+                r.validated,
+                r.accesses_per_s,
+                r.ff(),
+                r.host_speedup
+                    .map_or("n/a".to_string(), |s| format!("{s:.1}x")),
+            );
         }
         reports.push(WorkloadReport {
             name: wl.name,
-            trace_accesses: accesses,
+            trace_accesses: captures[wi].0.access_count(),
             cycle: cycle_rows,
             replay: replay_rows,
         });
     }
 
-    let json = render_json(scale_label, &modes, &reports);
+    let json = render_json(scale_label, jobs, &modes, &reports);
     match std::fs::write(&json_path, &json) {
         Ok(()) => eprintln!("wrote {json_path}"),
         Err(e) => {

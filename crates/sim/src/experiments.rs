@@ -1,14 +1,57 @@
 //! Experiment drivers: one function per figure/table of the paper.
 //!
 //! Each driver builds (or reuses) the workloads at a given scale, runs the
-//! required (workload, mode, configuration) grid — in parallel across OS
-//! threads, since runs are independent — and returns structured rows that
-//! [`crate::report`] renders in the paper's format.
+//! required (workload, mode, configuration) grid across a bounded pool of
+//! shared-queue worker threads ([`map_indexed`] — the same job model as
+//! the replay runner in [`crate::replay`]), and returns structured rows
+//! that [`crate::report`] renders in the paper's format. Results are
+//! collected by job index, so every table is byte-identical regardless
+//! of the worker count or scheduling.
 
 use crate::config::{PrefetchMode, SystemConfig};
 use crate::system::{run, RunResult, Skip};
 use etpp_workloads::{all_workloads, BuiltWorkload, Scale};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Runs `f(0..n)` across `jobs` shared-queue worker threads and returns
+/// the results in index order — the deterministic worker-pool primitive
+/// every cycle-path grid here shards on (lifted from the replay
+/// runner's job model). `jobs <= 1` (or a single item) degenerates to a
+/// serial loop on the caller's thread, so `--jobs 1` output is the
+/// byte-identical reference for any other worker count.
+pub fn map_indexed<R, F>(jobs: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs == 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                *slots[i].lock().expect("poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("poisoned")
+                .expect("worker filled slot")
+        })
+        .collect()
+}
 
 /// A (workload × mode) speedup cell for Figure 7 / 11-style tables.
 #[derive(Debug, Clone)]
@@ -23,81 +66,49 @@ pub struct SpeedupCell {
     pub result: Option<RunResult>,
 }
 
-/// Builds every workload at `scale` (parallel).
-pub fn build_all(scale: Scale) -> Vec<BuiltWorkload> {
-    let out = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for w in all_workloads() {
-            let out = &out;
-            s.spawn(move || {
-                let built = w.build(scale);
-                out.lock().expect("poisoned").push(built);
-            });
-        }
-    });
-    let mut v = out.into_inner().expect("poisoned");
-    // Restore Table 2 order (threads finish out of order).
-    let order = [
-        "G500-CSR",
-        "G500-List",
-        "HJ-2",
-        "HJ-8",
-        "PageRank",
-        "RandAcc",
-        "IntSort",
-        "ConjGrad",
-    ];
-    v.sort_by_key(|w| order.iter().position(|n| *n == w.name).unwrap_or(99));
-    v
+/// Builds every workload at `scale` across `jobs` workers.
+pub fn build_all(scale: Scale, jobs: usize) -> Vec<BuiltWorkload> {
+    let workloads = all_workloads();
+    // map_indexed keeps Table 2 order by construction.
+    map_indexed(jobs, workloads.len(), |i| workloads[i].build(scale))
 }
 
 fn run_grid(
     cfg: &SystemConfig,
     workloads: &[BuiltWorkload],
     modes: &[PrefetchMode],
+    jobs: usize,
 ) -> Vec<SpeedupCell> {
-    // Baselines first (one per workload), then all modes in parallel.
-    let baselines: Vec<u64> = std::thread::scope(|s| {
-        let handles: Vec<_> = workloads
-            .iter()
-            .map(|w| s.spawn(move || run(cfg, PrefetchMode::None, w).expect("baseline").cycles))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("join"))
-            .collect()
+    // Baselines first (one per workload), then the full grid, both
+    // sharded across the worker pool.
+    let baselines: Vec<u64> = map_indexed(jobs, workloads.len(), |i| {
+        run(cfg, PrefetchMode::None, &workloads[i])
+            .expect("baseline")
+            .cycles
     });
 
-    let cells = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for (w, &base) in workloads.iter().zip(&baselines) {
-            for &mode in modes {
-                let cells = &cells;
-                s.spawn(move || {
-                    let cell = match run(cfg, mode, w) {
-                        Ok(r) => SpeedupCell {
-                            workload: w.name,
-                            mode,
-                            speedup: Some(base as f64 / r.cycles as f64),
-                            result: Some(r),
-                        },
-                        Err(Skip::NotExpressible(_)) | Err(Skip::NoProgram(_)) => SpeedupCell {
-                            workload: w.name,
-                            mode,
-                            speedup: None,
-                            result: None,
-                        },
-                    };
-                    cells.lock().expect("poisoned").push(cell);
-                });
-            }
+    map_indexed(jobs, workloads.len() * modes.len(), |k| {
+        let w = &workloads[k / modes.len()];
+        let mode = modes[k % modes.len()];
+        match run(cfg, mode, w) {
+            Ok(r) => SpeedupCell {
+                workload: w.name,
+                mode,
+                speedup: Some(baselines[k / modes.len()] as f64 / r.cycles as f64),
+                result: Some(r),
+            },
+            Err(Skip::NotExpressible(_)) | Err(Skip::NoProgram(_)) => SpeedupCell {
+                workload: w.name,
+                mode,
+                speedup: None,
+                result: None,
+            },
         }
-    });
-    cells.into_inner().expect("poisoned")
+    })
 }
 
 /// Figure 7: speedups for every scheme on every benchmark.
-pub fn fig7(cfg: &SystemConfig, workloads: &[BuiltWorkload]) -> Vec<SpeedupCell> {
+pub fn fig7(cfg: &SystemConfig, workloads: &[BuiltWorkload], jobs: usize) -> Vec<SpeedupCell> {
     run_grid(
         cfg,
         workloads,
@@ -110,6 +121,7 @@ pub fn fig7(cfg: &SystemConfig, workloads: &[BuiltWorkload]) -> Vec<SpeedupCell>
             PrefetchMode::Converted,
             PrefetchMode::Manual,
         ],
+        jobs,
     )
 }
 
@@ -131,30 +143,23 @@ pub struct Fig8Row {
 }
 
 /// Figure 8: L1 prefetch utilisation and read hit rates.
-pub fn fig8(cfg: &SystemConfig, workloads: &[BuiltWorkload]) -> Vec<Fig8Row> {
-    let rows = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for w in workloads {
-            let rows = &rows;
-            s.spawn(move || {
-                let base = run(cfg, PrefetchMode::None, w).expect("baseline");
-                let Ok(pf) = run(cfg, PrefetchMode::Manual, w) else {
-                    return;
-                };
-                rows.lock().expect("poisoned").push(Fig8Row {
-                    workload: w.name,
-                    l1_utilisation: pf.mem.l1.prefetch_utilisation(),
-                    l1_hit_nopf: base.mem.l1.read_hit_rate(),
-                    l1_hit_pf: pf.mem.l1.read_hit_rate(),
-                    l2_hit_nopf: base.mem.l2.read_hit_rate(),
-                    l2_hit_pf: pf.mem.l2.read_hit_rate(),
-                });
-            });
-        }
-    });
-    let mut v = rows.into_inner().expect("poisoned");
-    v.sort_by_key(|r| workloads.iter().position(|w| w.name == r.workload));
-    v
+pub fn fig8(cfg: &SystemConfig, workloads: &[BuiltWorkload], jobs: usize) -> Vec<Fig8Row> {
+    map_indexed(jobs, workloads.len(), |i| {
+        let w = &workloads[i];
+        let base = run(cfg, PrefetchMode::None, w).expect("baseline");
+        let pf = run(cfg, PrefetchMode::Manual, w).ok()?;
+        Some(Fig8Row {
+            workload: w.name,
+            l1_utilisation: pf.mem.l1.prefetch_utilisation(),
+            l1_hit_nopf: base.mem.l1.read_hit_rate(),
+            l1_hit_pf: pf.mem.l1.read_hit_rate(),
+            l2_hit_nopf: base.mem.l2.read_hit_rate(),
+            l2_hit_pf: pf.mem.l2.read_hit_rate(),
+        })
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// One Figure 9(a) series: speedup vs PPU clock for a benchmark.
@@ -167,37 +172,38 @@ pub struct Fig9aRow {
 }
 
 /// Figure 9(a): PPU clock sweep at 12 PPUs (250 MHz – 2 GHz).
-pub fn fig9a(workloads: &[BuiltWorkload]) -> Vec<Fig9aRow> {
+pub fn fig9a(workloads: &[BuiltWorkload], jobs: usize) -> Vec<Fig9aRow> {
     let clocks = [250_000_000u64, 500_000_000, 1_000_000_000, 2_000_000_000];
-    let rows = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for w in workloads {
-            let rows = &rows;
-            let clocks = &clocks;
-            s.spawn(move || {
-                let cfg0 = SystemConfig::paper();
-                let base = run(&cfg0, PrefetchMode::None, w).expect("baseline").cycles;
-                let mut points = Vec::new();
-                for &hz in clocks {
-                    let cfg = SystemConfig::with_ppus(12, hz);
-                    if let Ok(r) = run(&cfg, PrefetchMode::Manual, w) {
-                        points.push((hz, base as f64 / r.cycles as f64));
-                    }
-                }
-                rows.lock().expect("poisoned").push(Fig9aRow {
-                    workload: w.name,
-                    points,
-                });
-            });
-        }
+    // One job per (workload, clock) point plus one per baseline, so the
+    // sweep saturates the pool even with a single benchmark.
+    let baselines: Vec<u64> = map_indexed(jobs, workloads.len(), |i| {
+        run(&SystemConfig::paper(), PrefetchMode::None, &workloads[i])
+            .expect("baseline")
+            .cycles
     });
-    let mut v = rows.into_inner().expect("poisoned");
-    v.sort_by_key(|r| workloads.iter().position(|w| w.name == r.workload));
-    v
+    let points = map_indexed(jobs, workloads.len() * clocks.len(), |k| {
+        let (wi, ci) = (k / clocks.len(), k % clocks.len());
+        let cfg = SystemConfig::with_ppus(12, clocks[ci]);
+        run(&cfg, PrefetchMode::Manual, &workloads[wi])
+            .ok()
+            .map(|r| (clocks[ci], baselines[wi] as f64 / r.cycles as f64))
+    });
+    workloads
+        .iter()
+        .enumerate()
+        .map(|(wi, w)| Fig9aRow {
+            workload: w.name,
+            points: points[wi * clocks.len()..(wi + 1) * clocks.len()]
+                .iter()
+                .flatten()
+                .copied()
+                .collect(),
+        })
+        .collect()
 }
 
 /// Figure 9(b): PPU-count × clock sweep on G500-CSR.
-pub fn fig9b(g500csr: &BuiltWorkload) -> Vec<(usize, Vec<(u64, f64)>)> {
+pub fn fig9b(g500csr: &BuiltWorkload, jobs: usize) -> Vec<(usize, Vec<(u64, f64)>)> {
     let clocks = [
         125_000_000u64,
         250_000_000,
@@ -210,26 +216,28 @@ pub fn fig9b(g500csr: &BuiltWorkload) -> Vec<(usize, Vec<(u64, f64)>)> {
     let base = run(&SystemConfig::paper(), PrefetchMode::None, g500csr)
         .expect("baseline")
         .cycles;
-    let out = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for &n in &counts {
-            let out = &out;
-            let clocks = &clocks;
-            s.spawn(move || {
-                let mut series = Vec::new();
-                for &hz in clocks {
-                    let cfg = SystemConfig::with_ppus(n, hz);
-                    if let Ok(r) = run(&cfg, PrefetchMode::Manual, g500csr) {
-                        series.push((hz, base as f64 / r.cycles as f64));
-                    }
-                }
-                out.lock().expect("poisoned").push((n, series));
-            });
-        }
+    // Shard the full (count × clock) grid, one job per point.
+    let points = map_indexed(jobs, counts.len() * clocks.len(), |k| {
+        let (ni, ci) = (k / clocks.len(), k % clocks.len());
+        let cfg = SystemConfig::with_ppus(counts[ni], clocks[ci]);
+        run(&cfg, PrefetchMode::Manual, g500csr)
+            .ok()
+            .map(|r| (clocks[ci], base as f64 / r.cycles as f64))
     });
-    let mut v = out.into_inner().expect("poisoned");
-    v.sort_by_key(|(n, _)| *n);
-    v
+    counts
+        .iter()
+        .enumerate()
+        .map(|(ni, &n)| {
+            (
+                n,
+                points[ni * clocks.len()..(ni + 1) * clocks.len()]
+                    .iter()
+                    .flatten()
+                    .copied()
+                    .collect(),
+            )
+        })
+        .collect()
 }
 
 /// Figure 10: per-PPU activity factors under the lowest-ID-first scheduler.
@@ -242,39 +250,32 @@ pub struct Fig10Row {
 }
 
 /// Figure 10: PPU activity distribution at 12 PPUs / 1 GHz.
-pub fn fig10(cfg: &SystemConfig, workloads: &[BuiltWorkload]) -> Vec<Fig10Row> {
-    let rows = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for w in workloads {
-            let rows = &rows;
-            s.spawn(move || {
-                let Ok(r) = run(cfg, PrefetchMode::Manual, w) else {
-                    return;
-                };
-                let Some(pf) = r.pf else { return };
-                let activity = pf
-                    .per_ppu_busy
-                    .iter()
-                    .map(|&b| b as f64 / r.cycles as f64)
-                    .collect();
-                rows.lock().expect("poisoned").push(Fig10Row {
-                    workload: w.name,
-                    activity,
-                });
-            });
-        }
-    });
-    let mut v = rows.into_inner().expect("poisoned");
-    v.sort_by_key(|r| workloads.iter().position(|w| w.name == r.workload));
-    v
+pub fn fig10(cfg: &SystemConfig, workloads: &[BuiltWorkload], jobs: usize) -> Vec<Fig10Row> {
+    map_indexed(jobs, workloads.len(), |i| {
+        let w = &workloads[i];
+        let r = run(cfg, PrefetchMode::Manual, w).ok()?;
+        let pf = r.pf?;
+        Some(Fig10Row {
+            workload: w.name,
+            activity: pf
+                .per_ppu_busy
+                .iter()
+                .map(|&b| b as f64 / r.cycles as f64)
+                .collect(),
+        })
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Figure 11: event-triggered vs blocked-on-intermediate-loads.
-pub fn fig11(cfg: &SystemConfig, workloads: &[BuiltWorkload]) -> Vec<SpeedupCell> {
+pub fn fig11(cfg: &SystemConfig, workloads: &[BuiltWorkload], jobs: usize) -> Vec<SpeedupCell> {
     run_grid(
         cfg,
         workloads,
         &[PrefetchMode::Blocked, PrefetchMode::Manual],
+        jobs,
     )
 }
 
@@ -297,27 +298,24 @@ impl TrafficRow {
 }
 
 /// §7.2: extra memory traffic from prefetching.
-pub fn extra_traffic(cfg: &SystemConfig, workloads: &[BuiltWorkload]) -> Vec<TrafficRow> {
-    let rows = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for w in workloads {
-            let rows = &rows;
-            s.spawn(move || {
-                let base = run(cfg, PrefetchMode::None, w).expect("baseline");
-                let Ok(pf) = run(cfg, PrefetchMode::Manual, w) else {
-                    return;
-                };
-                rows.lock().expect("poisoned").push(TrafficRow {
-                    workload: w.name,
-                    base_accesses: base.mem.dram.total_accesses(),
-                    pf_accesses: pf.mem.dram.total_accesses(),
-                });
-            });
-        }
-    });
-    let mut v = rows.into_inner().expect("poisoned");
-    v.sort_by_key(|r| workloads.iter().position(|w| w.name == r.workload));
-    v
+pub fn extra_traffic(
+    cfg: &SystemConfig,
+    workloads: &[BuiltWorkload],
+    jobs: usize,
+) -> Vec<TrafficRow> {
+    map_indexed(jobs, workloads.len(), |i| {
+        let w = &workloads[i];
+        let base = run(cfg, PrefetchMode::None, w).expect("baseline");
+        let pf = run(cfg, PrefetchMode::Manual, w).ok()?;
+        Some(TrafficRow {
+            workload: w.name,
+            base_accesses: base.mem.dram.total_accesses(),
+            pf_accesses: pf.mem.dram.total_accesses(),
+        })
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// §7.1: software-prefetch dynamic-instruction overhead.
@@ -380,7 +378,7 @@ mod tests {
         .map(|w| w.build(Scale::Tiny))
         .collect();
         let cfg = SystemConfig::paper();
-        let cells = fig7(&cfg, &workloads);
+        let cells = fig7(&cfg, &workloads, 2);
         // Manual must win on HJ-8 and beat stride everywhere.
         let get = |wl: &str, m: PrefetchMode| {
             cells
@@ -402,13 +400,39 @@ mod tests {
             .unwrap()
             .build(Scale::Tiny);
         let cfg = SystemConfig::paper();
-        let rows = fig10(&cfg, std::slice::from_ref(&w));
+        let rows = fig10(&cfg, std::slice::from_ref(&w), 2);
         let a = &rows[0].activity;
         assert_eq!(a.len(), 12);
         assert!(
             a[0] >= a[11],
             "PPU 0 must work at least as much as PPU 11: {a:?}"
         );
+    }
+
+    #[test]
+    fn sharded_grid_is_byte_identical_across_worker_counts() {
+        let workloads: Vec<BuiltWorkload> = [
+            etpp_workloads::workload_by_name("HJ-8").unwrap(),
+            etpp_workloads::workload_by_name("IntSort").unwrap(),
+        ]
+        .into_iter()
+        .map(|w| w.build(Scale::Tiny))
+        .collect();
+        let cfg = SystemConfig::paper();
+        let modes = [PrefetchMode::Stride, PrefetchMode::Manual];
+        let serial = crate::report::speedup_table("t", &fig7(&cfg, &workloads, 1), &modes);
+        let sharded = crate::report::speedup_table("t", &fig7(&cfg, &workloads, 4), &modes);
+        assert_eq!(
+            serial, sharded,
+            "worker count must never change rendered tables"
+        );
+    }
+
+    #[test]
+    fn map_indexed_preserves_index_order() {
+        let out = map_indexed(8, 100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(map_indexed(4, 0, |i| i), Vec::<usize>::new());
     }
 
     #[test]

@@ -18,5 +18,6 @@ pub mod report;
 pub mod system;
 
 pub use config::{PrefetchMode, SystemConfig};
+pub use etpp_cpu::HorizonSource;
 pub use replay::{load_or_capture, replay_grid, replay_run, ReplayRun};
-pub use system::{make_engine, run, run_captured, Engine, RunResult, Skip};
+pub use system::{make_engine, run, run_captured, Engine, RunResult, Skip, VisitCounts};

@@ -11,16 +11,14 @@
 //! for the fidelity contract).
 
 use crate::config::{PrefetchMode, SystemConfig};
-use crate::experiments::SpeedupCell;
+use crate::experiments::{map_indexed, SpeedupCell};
 use crate::system::{make_engine, run_captured, Skip};
 use etpp_mem::MemStats;
 use etpp_trace::{CapturedTrace, ReplayParams, TraceReader, TraceRecord, TraceWriter};
 use etpp_workloads::{checksum_region, BuiltWorkload};
-use std::collections::VecDeque;
 use std::fs;
 use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
 
 /// Result of replaying one (workload, mode) cell.
 #[derive(Debug)]
@@ -166,12 +164,11 @@ pub fn replay_run(
     })
 }
 
-/// One unit of grid work: replay workload `w` under `mode`.
-type Job = (usize, PrefetchMode);
-
 /// Replays the (workload × mode) grid across `jobs` worker threads,
 /// returning Figure 7-style speedup cells (replay-mode baseline = replay
-/// with no prefetcher, so speedups compare like with like).
+/// with no prefetcher, so speedups compare like with like). The same
+/// [`map_indexed`] job model the cycle-path grids shard on; results
+/// come back in workload-major order by construction.
 ///
 /// `captures[i]` must hold the captured trace for `workloads[i]`.
 pub fn replay_grid(
@@ -182,72 +179,38 @@ pub fn replay_grid(
     jobs: usize,
 ) -> Vec<SpeedupCell> {
     assert_eq!(workloads.len(), captures.len());
-    let jobs = jobs.max(1);
 
     // Baselines first (one replay per workload, in parallel).
-    let baselines: Vec<u64> = {
-        let queue = Mutex::new((0..workloads.len()).collect::<VecDeque<_>>());
-        let out = Mutex::new(vec![0u64; workloads.len()]);
-        std::thread::scope(|s| {
-            for _ in 0..jobs.min(workloads.len().max(1)) {
-                s.spawn(|| loop {
-                    let Some(i) = queue.lock().expect("poisoned").pop_front() else {
-                        break;
-                    };
-                    let r =
-                        replay_run(cfg, PrefetchMode::None, &workloads[i], &captures[i].records)
-                            .expect("baseline replay always runs");
-                    assert!(
-                        r.validated,
-                        "{}: baseline replay corrupted image",
-                        r.workload
-                    );
-                    out.lock().expect("poisoned")[i] = r.cycles;
-                });
-            }
-        });
-        out.into_inner().expect("poisoned")
-    };
+    let baselines: Vec<u64> = map_indexed(jobs, workloads.len(), |i| {
+        let r = replay_run(cfg, PrefetchMode::None, &workloads[i], &captures[i].records)
+            .expect("baseline replay always runs");
+        assert!(
+            r.validated,
+            "{}: baseline replay corrupted image",
+            r.workload
+        );
+        r.cycles
+    });
 
-    let queue: Mutex<VecDeque<Job>> = Mutex::new(
-        (0..workloads.len())
-            .flat_map(|i| modes.iter().map(move |&m| (i, m)))
-            .collect(),
-    );
-    let cells = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for _ in 0..jobs {
-            s.spawn(|| loop {
-                let Some((i, mode)) = queue.lock().expect("poisoned").pop_front() else {
-                    break;
-                };
-                let w = &workloads[i];
-                let cell = match replay_run(cfg, mode, w, &captures[i].records) {
-                    Ok(r) => SpeedupCell {
-                        workload: w.name,
-                        mode,
-                        speedup: Some(baselines[i] as f64 / r.cycles.max(1) as f64),
-                        result: None,
-                    },
-                    Err(_) => SpeedupCell {
-                        workload: w.name,
-                        mode,
-                        speedup: None,
-                        result: None,
-                    },
-                };
-                cells.lock().expect("poisoned").push(cell);
-            });
+    map_indexed(jobs, workloads.len() * modes.len(), |k| {
+        let i = k / modes.len();
+        let mode = modes[k % modes.len()];
+        let w = &workloads[i];
+        match replay_run(cfg, mode, w, &captures[i].records) {
+            Ok(r) => SpeedupCell {
+                workload: w.name,
+                mode,
+                speedup: Some(baselines[i] as f64 / r.cycles.max(1) as f64),
+                result: None,
+            },
+            Err(_) => SpeedupCell {
+                workload: w.name,
+                mode,
+                speedup: None,
+                result: None,
+            },
         }
-    });
-    let mut v = cells.into_inner().expect("poisoned");
-    v.sort_by_key(|c| {
-        (
-            workloads.iter().position(|w| w.name == c.workload),
-            modes.iter().position(|m| *m == c.mode),
-        )
-    });
-    v
+    })
 }
 
 #[cfg(test)]

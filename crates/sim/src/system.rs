@@ -8,9 +8,31 @@
 use crate::config::{PrefetchMode, SystemConfig};
 use etpp_baselines::{GhbParams, GhbPrefetcher, StrideParams, StridePrefetcher};
 use etpp_core::{PfEngineStats, PrefetcherParams, ProgrammablePrefetcher};
-use etpp_cpu::{Core, CoreStats, RetiredEvent, Trace};
+use etpp_cpu::{Core, CoreStats, HorizonSource, RetiredEvent, Trace};
 use etpp_mem::{MemStats, MemorySystem, NullEngine, PrefetchEngine};
 use etpp_workloads::{checksum_region, BuiltWorkload, PrefetchSetup};
+
+/// Per-source driver-visit attribution: how many visited cycles each
+/// [`HorizonSource`] pinned. `host_iters == visits.total()` on the
+/// horizon-aware path (the per-cycle reference does not attribute).
+/// This is the ROADMAP's "idle-span instrumentation": it shows where
+/// the next fast-forward factor lives, surfaced by `speedcheck --json`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VisitCounts(pub [u64; HorizonSource::COUNT]);
+
+impl VisitCounts {
+    /// `(source key, count)` pairs in stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        HorizonSource::ALL
+            .iter()
+            .map(move |&s| (s.key(), self.0[s as usize]))
+    }
+
+    /// Total attributed visits.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+}
 
 /// Result of one simulation run.
 #[derive(Debug, Clone)]
@@ -21,8 +43,9 @@ pub struct RunResult {
     pub mode: PrefetchMode,
     /// Total cycles to completion.
     pub cycles: u64,
-    /// Driver-loop iterations — simulated cycles actually *visited*.
-    /// `cycles / host_iters` is the horizon fast-forward factor;
+    /// Driver-loop iterations — *visits*, each executing one dense span
+    /// of busy cycles plus one horizon jump through the stall that ends
+    /// it. `cycles / host_iters` is the horizon fast-forward factor;
     /// per-cycle reference runs have `host_iters == cycles`.
     pub host_iters: u64,
     /// Core-side statistics.
@@ -39,6 +62,9 @@ pub struct RunResult {
     pub validated: bool,
     /// Final EWMA look-ahead of filter range 0 (programmable modes).
     pub final_lookahead: u64,
+    /// Per-source attribution of every driver visit (zeros on the
+    /// per-cycle reference path, which visits unconditionally).
+    pub visits: VisitCounts,
 }
 
 impl RunResult {
@@ -246,39 +272,79 @@ fn run_inner(
         core.enable_capture();
     }
 
-    // Horizon-aware driver loop: a cycle is only *visited* (ticked) when
-    // the core can make progress there. All intermediate memory-system
-    // work — cache/DRAM transfers, engine rounds, prefetch pops — runs
-    // inside `MemorySystem::advance_to` at its exact cycle, and the loop
-    // resumes early whenever a demand completion falls due. With
-    // `per_cycle_reference` the clock advances one cycle at a time
+    // Horizon-aware driver loop: one *driver visit* per iteration. A
+    // visit executes a whole *dense span* — back-to-back busy cycles
+    // whose horizon is pinned to the very next cycle (retire, issue,
+    // dispatch, store drains, FU wake chains) run cycle-locked inside
+    // the visit, the core-side analogue of `MemorySystem::advance_to`
+    // internalising transfers and engine rounds — and ends with one
+    // horizon jump through the following stall. All intermediate
+    // memory-system work (cache/DRAM transfers, engine rounds, prefetch
+    // pops) runs inside `advance_to` at its exact cycle, and the visit
+    // resumes early whenever a demand completion falls due. The
+    // sequence of per-cycle `tick` calls is identical to the unfused
+    // loop, so fusion is behaviour-preserving by construction. With
+    // `per_cycle_reference` the clock advances one cycle per iteration
     // instead; both paths are pinned bit-identical by
     // `tests/event_horizon_equivalence.rs`.
     let mut now: u64 = 0;
     let mut host_iters: u64 = 0;
+    let mut visits = VisitCounts::default();
     while !core.finished() {
         host_iters += 1;
-        mem.tick(now, engine.as_dyn());
-        core.tick(now, &mut mem);
-        let configs = core.take_configs();
-        if !configs.is_empty() {
-            for op in &configs {
-                engine.as_dyn().config(now, op);
+        loop {
+            mem.tick(now, engine.as_dyn());
+            core.tick(now, &mut mem);
+            let configs = core.take_configs();
+            if !configs.is_empty() {
+                for op in &configs {
+                    engine.as_dyn().config(now, op);
+                }
+                // Configs mutate the engine behind the memory system's
+                // back; invalidate its cached event horizon.
+                mem.wake_engine();
             }
-            // Configs mutate the engine behind the memory system's
-            // back; invalidate its cached event horizon.
-            mem.wake_engine();
-        }
-        if cfg.per_cycle_reference {
-            now += 1;
-        } else if core.finished() {
-            // Do not fast-forward through in-flight prefetch drains
-            // after the last retirement: the reference loop exits one
-            // cycle after the finishing tick, and so must we.
-            now += 1;
-        } else {
+            if cfg.per_cycle_reference {
+                now += 1;
+                break;
+            }
+            if core.finished() {
+                // Do not fast-forward through in-flight prefetch drains
+                // after the last retirement: the reference loop exits
+                // one cycle after the finishing tick, and so must we.
+                visits.0[HorizonSource::Finish as usize] += 1;
+                now += 1;
+                break;
+            }
             let horizon = core.next_event_at(now, &mem);
-            now = mem.advance_to(now, horizon, engine.as_dyn()).max(now + 1);
+            if horizon == now + 1 {
+                // Dense span: the core progresses on the very next
+                // cycle, so stay inside this visit (`advance_to(now,
+                // now + 1)` would return immediately anyway).
+                now += 1;
+                assert!(
+                    now < cfg.max_cycles,
+                    "simulation exceeded {} cycles for {} / {:?}",
+                    cfg.max_cycles,
+                    wl.name,
+                    mode
+                );
+                continue;
+            }
+            let next = mem.advance_to(now, horizon, engine.as_dyn()).max(now + 1);
+            // Attribute the visit to whatever ended its span: the
+            // core's winning horizon arm, or — when `advance_to`
+            // handed control back early — the memory event whose
+            // completion fell due (an LQ-full wait keeps its label:
+            // the completion is what frees the slot).
+            let src = if next < horizon && core.horizon_source() != HorizonSource::LqFull {
+                HorizonSource::MemEvent
+            } else {
+                core.horizon_source()
+            };
+            visits.0[src as usize] += 1;
+            now = next;
+            break;
         }
         assert!(
             now < cfg.max_cycles,
@@ -313,6 +379,7 @@ fn run_inner(
             mispredict_rate: core.bpred().mispredict_rate(),
             validated,
             final_lookahead,
+            visits,
         },
         events,
     ))

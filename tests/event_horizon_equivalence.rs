@@ -54,6 +54,9 @@ impl PrefetchEngine for Recording<'_> {
     fn next_event_at(&self, now: u64) -> Option<u64> {
         self.inner.next_event_at(now)
     }
+    fn next_tick_at(&self, now: u64) -> Option<u64> {
+        self.inner.next_tick_at(now)
+    }
 }
 
 struct Outcome {
@@ -90,8 +93,13 @@ fn replay_with(
 }
 
 fn assert_equivalent(mode: PrefetchMode, wl_name: &str) {
+    assert_equivalent_with(mode, wl_name, |_| {});
+}
+
+fn assert_equivalent_with(mode: PrefetchMode, wl_name: &str, tweak: impl Fn(&mut SystemConfig)) {
     let wl = workload_by_name(wl_name).unwrap().build(Scale::Tiny);
-    let cfg = SystemConfig::paper();
+    let mut cfg = SystemConfig::paper();
+    tweak(&mut cfg);
     let (trace, _) = load_or_capture(None, &cfg, &wl, "tiny");
 
     let fast = replay_with(&cfg, mode, &wl, wl.image.clone(), &trace.records, false);
@@ -172,6 +180,21 @@ fn blocked_mode_is_horizon_equivalent() {
     assert_equivalent(PrefetchMode::Blocked, "HJ-8");
 }
 
+#[test]
+fn replay_pf_buffer_backlog_is_horizon_equivalent() {
+    // A 1-entry prefetch buffer keeps the manual kernels' pop queue
+    // permanently backlogged, exercising the wake-on-slot-free engine
+    // horizon (`PrefetchEngine::next_tick_at` + the `PfBufFill` re-arm)
+    // on the replay path: pop cycles, request streams and statistics
+    // must stay bit-identical to per-cycle ticking.
+    assert_equivalent_with(PrefetchMode::Manual, "IntSort", |cfg| {
+        cfg.mem.pf_buffer_entries = 1;
+    });
+    assert_equivalent_with(PrefetchMode::Manual, "HJ-8", |cfg| {
+        cfg.mem.pf_buffer_entries = 2;
+    });
+}
+
 // ---------------------------------------------------------------------------
 // Cycle-level path: horizon-aware driver vs per-cycle reference
 // ---------------------------------------------------------------------------
@@ -184,11 +207,25 @@ fn blocked_mode_is_horizon_equivalent() {
 /// and the post-run image checksum. The reference must also have
 /// visited every cycle while the fast path skipped some.
 fn assert_cycle_equivalent(mode: PrefetchMode, wl: &BuiltWorkload) {
-    let fast_cfg = SystemConfig::paper();
-    let ref_cfg = SystemConfig::paper_per_cycle();
+    assert_cycle_equivalent_with(mode, wl, |_| {});
+}
+
+/// [`assert_cycle_equivalent`] under a tweaked system configuration
+/// (applied to the fast and reference runs alike), returning the fast
+/// path's deterministic fast-forward factor so saturation cases can
+/// additionally pin a floor on it.
+fn assert_cycle_equivalent_with(
+    mode: PrefetchMode,
+    wl: &BuiltWorkload,
+    tweak: impl Fn(&mut SystemConfig),
+) -> f64 {
+    let mut fast_cfg = SystemConfig::paper();
+    tweak(&mut fast_cfg);
+    let mut ref_cfg = SystemConfig::paper_per_cycle();
+    tweak(&mut ref_cfg);
 
     let Ok((fast, fast_trace)) = run_captured(&fast_cfg, mode, wl, "equiv") else {
-        return; // mode not expressible for this workload
+        return 0.0; // mode not expressible for this workload
     };
     let (reference, ref_trace) =
         run_captured(&ref_cfg, mode, wl, "equiv").expect("expressible above");
@@ -245,6 +282,12 @@ fn assert_cycle_equivalent(mode: PrefetchMode, wl: &BuiltWorkload) {
         fast.validated && reference.validated,
         "{name}/{mode:?}: both paths must reproduce the reference output"
     );
+    assert_eq!(
+        fast.visits.total(),
+        fast.host_iters,
+        "{name}/{mode:?}: every driver visit must be attributed to a horizon source"
+    );
+    fast.ff()
 }
 
 /// Every mode of Figure 7 (plus the Figure 11 blocked ablation) on the
@@ -262,6 +305,60 @@ fn cycle_path_is_horizon_equivalent_across_modes() {
             assert_cycle_equivalent(mode, &wl);
         }
     }
+}
+
+/// Wake-driven structural stalls under load-queue saturation: a 2-entry
+/// LQ keeps the memory queue pinned at capacity for most of the run, so
+/// the driver spends the run parked on LQ-free wakes. The fast path
+/// must stay bit-identical to the per-cycle reference *and* beat the
+/// pre-wake fast-forward factor (before this change the structural
+/// stalls pinned per-cycle revisits: ff 4.64 on HJ-8, 4.46 on IntSort
+/// at exactly this configuration; the floors below demand at least
+/// 2x that).
+#[test]
+fn lq_saturation_is_horizon_equivalent_and_faster() {
+    for (wl_name, min_ff) in [("HJ-8", 9.3), ("IntSort", 8.9)] {
+        let wl = workload_by_name(wl_name).unwrap().build(Scale::Tiny);
+        let ff = assert_cycle_equivalent_with(PrefetchMode::Manual, &wl, |cfg| {
+            cfg.core.lq_entries = 2;
+        });
+        assert!(
+            ff > min_ff,
+            "{wl_name}: LQ-saturated fast-forward {ff:.2}x must beat the pre-wake \
+             per-cycle-revisit behaviour by 2x (floor {min_ff}x)"
+        );
+    }
+}
+
+/// Wake-driven engine rounds under prefetch-buffer backlog: a 1-entry
+/// `pf_buffer` with 3 L1 MSHRs keeps the manual kernels' pop queue
+/// permanently backlogged and the demand path bouncing off the MSHR
+/// file (481,946 synthesised load retries on IntSort — bit-exact
+/// against the reference). Before wake-on-slot-free the backlog pinned
+/// per-cycle engine rounds and the MSHR bounces pinned per-cycle driver
+/// revisits: ff 1.61 on IntSort, 4.90 on HJ-8 (2-entry buffer) at
+/// exactly these configurations; the floors demand at least 2x that.
+#[test]
+fn pf_buffer_backlog_is_horizon_equivalent_and_faster() {
+    let wl = workload_by_name("IntSort").unwrap().build(Scale::Tiny);
+    let ff = assert_cycle_equivalent_with(PrefetchMode::Manual, &wl, |cfg| {
+        cfg.mem.pf_buffer_entries = 1;
+        cfg.mem.l1.mshrs = 3;
+    });
+    assert!(
+        ff > 3.2,
+        "IntSort: pf-buffer-backlogged fast-forward {ff:.2}x must beat the pre-wake \
+         behaviour by 2x (floor 3.2x)"
+    );
+    let wl = workload_by_name("HJ-8").unwrap().build(Scale::Tiny);
+    let ff = assert_cycle_equivalent_with(PrefetchMode::Manual, &wl, |cfg| {
+        cfg.mem.pf_buffer_entries = 2;
+    });
+    assert!(
+        ff > 9.8,
+        "HJ-8: pf-buffer-backlogged fast-forward {ff:.2}x must beat the pre-wake \
+         behaviour by 2x (floor 9.8x)"
+    );
 }
 
 /// Benchmark-scale spot check (the scale `BENCH_speedcheck.json` is
