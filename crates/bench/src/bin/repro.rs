@@ -3,7 +3,8 @@
 //! ```text
 //! repro [--scale tiny|small|paper] [--jobs N] \
 //!       [table1|table2|fig7|fig8|fig9a|fig9b|fig10|fig11|traffic|swpf|all]
-//! repro --replay [--trace-dir DIR] [--jobs N] [--scale tiny|small|paper]
+//! repro --replay [--trace-dir DIR] [--trace-format 1|2] [--jobs N] \
+//!       [--scale tiny|small|paper]
 //! ```
 //!
 //! `--jobs N` (default: available parallelism) shards every grid —
@@ -17,7 +18,11 @@
 //! on disk under `--trace-dir`, default `target/traces`) and then replayed
 //! against every prefetcher across `--jobs` worker threads. Replay
 //! reproduces relative speedup orderings at a fraction of the cost; see
-//! `etpp-trace` for the fidelity contract.
+//! `etpp-trace` for the fidelity contract. `--trace-format` selects the
+//! on-disk capture format (default 2: dependence-annotated, replayed
+//! with the dependence-aware front end and reported with an
+//! absolute-cycle agreement column against the capture run; 1 opts back
+//! into the legacy fixed-window model).
 //!
 //! Output is GitHub-flavoured Markdown on stdout, suitable for pasting into
 //! EXPERIMENTS.md.
@@ -34,6 +39,7 @@ fn main() {
     let mut what: Vec<String> = Vec::new();
     let mut replay = false;
     let mut trace_dir = PathBuf::from("target/traces");
+    let mut trace_format = etpp_trace::FORMAT_VERSION;
     let mut jobs = std::thread::available_parallelism().map_or(4, |n| n.get());
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -44,6 +50,19 @@ fn main() {
             replay = true;
         } else if a == "--trace-dir" {
             trace_dir = PathBuf::from(it.next().expect("--trace-dir needs a path"));
+        } else if a == "--trace-format" {
+            trace_format = it
+                .next()
+                .expect("--trace-format needs a version")
+                .parse()
+                .expect("--trace-format: 1 or 2");
+            assert!(
+                (etpp_trace::MIN_FORMAT_VERSION..=etpp_trace::FORMAT_VERSION)
+                    .contains(&trace_format),
+                "--trace-format: {}..={} supported",
+                etpp_trace::MIN_FORMAT_VERSION,
+                etpp_trace::FORMAT_VERSION
+            );
         } else if a == "--jobs" {
             jobs = it
                 .next()
@@ -61,7 +80,7 @@ fn main() {
                 what.join(" ")
             );
         }
-        run_replay(scale, &trace_dir, jobs);
+        run_replay(scale, &trace_dir, trace_format, jobs);
         return;
     }
     if what.is_empty() || what.iter().any(|w| w == "all") {
@@ -198,14 +217,18 @@ fn scale_label(scale: Scale) -> &'static str {
 
 /// The trace-replay fast path: capture (or load) every workload's demand
 /// stream, then replay the Figure 7 and Figure 11 grids in parallel.
-fn run_replay(scale: Scale, trace_dir: &std::path::Path, jobs: usize) {
+fn run_replay(scale: Scale, trace_dir: &std::path::Path, trace_format: u16, jobs: usize) {
     let cfg = SystemConfig::paper();
     let label = scale_label(scale);
     println!(
-        "# ETPP reproduction (trace replay) — scale: {scale:?}, jobs: {jobs}\n\n\
+        "# ETPP reproduction (trace replay) — scale: {scale:?}, jobs: {jobs}, \
+         trace format: v{trace_format}\n\n\
          Speedups are relative to a no-prefetch *replay* baseline over the same\n\
-         captured stream; orderings are comparable with cycle-level results,\n\
-         absolute cycle counts are not.\n"
+         captured stream; orderings are comparable with cycle-level results.\n\
+         Dependence-annotated (v2) streams replay with the dependence-aware\n\
+         front end, whose absolute cycle counts track the cycle core (see the\n\
+         agreement table below); v1 streams replay with the legacy fixed\n\
+         window, whose absolute counts are not comparable.\n"
     );
 
     let t0 = Instant::now();
@@ -220,21 +243,26 @@ fn run_replay(scale: Scale, trace_dir: &std::path::Path, jobs: usize) {
     let t0 = Instant::now();
     let captures: Vec<(etpp_trace::CapturedTrace, rp::CaptureSource)> =
         ex::map_indexed(jobs, workloads.len(), |i| {
-            rp::load_or_capture(Some(trace_dir), &cfg, &workloads[i], label)
+            rp::load_or_capture_as(Some(trace_dir), &cfg, &workloads[i], label, trace_format)
         });
     eprintln!("[capture] {} traces in {:?}", captures.len(), t0.elapsed());
 
     println!("## Trace corpus\n");
-    println!("| Benchmark | Records | Accesses | Source | File |");
-    println!("|---|---|---|---|---|");
+    println!("| Benchmark | Records | Accesses | Capture cycles | Source | File |");
+    println!("|---|---|---|---|---|---|");
     for (w, (t, src)) in workloads.iter().zip(&captures) {
-        let path = rp::trace_path(trace_dir, w, label);
+        let path = rp::trace_path(trace_dir, w, label, trace_format);
         let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
         println!(
-            "| {} | {} | {} | {:?} | {} ({:.1} MiB) |",
+            "| {} | {} | {} | {} | {:?} | {} ({:.1} MiB) |",
             w.name,
             t.records.len(),
             t.access_count(),
+            if t.meta.capture_cycles > 0 {
+                t.meta.capture_cycles.to_string()
+            } else {
+                "n/a (v1)".to_string()
+            },
             src,
             path.display(),
             size as f64 / (1024.0 * 1024.0),
@@ -263,7 +291,7 @@ fn run_replay(scale: Scale, trace_dir: &std::path::Path, jobs: usize) {
         "{}",
         report::speedup_table(
             "Figure 7 (replay): speedup over no prefetching",
-            &fig7,
+            &fig7.cells,
             &[
                 PrefetchMode::Stride,
                 PrefetchMode::GhbRegular,
@@ -275,6 +303,29 @@ fn run_replay(scale: Scale, trace_dir: &std::path::Path, jobs: usize) {
         )
     );
     eprintln!("[fig7-replay] done in {:?}", t0.elapsed());
+
+    // Absolute-cycle agreement: no-prefetch replay vs the capture run's
+    // recorded cycle count (the cycle core over the identical stream).
+    // Only v2 headers carry the reference, so a v1 sweep skips this.
+    if traces.iter().any(|t| t.meta.capture_cycles > 0) {
+        println!("## Replay absolute-cycle agreement (baseline vs capture run)\n");
+        println!("| Benchmark | Cycle core | Replay | Replay/cycle |");
+        println!("|---|---|---|---|");
+        for (i, (w, t)) in workloads.iter().zip(&traces).enumerate() {
+            if t.meta.capture_cycles == 0 {
+                continue;
+            }
+            let replayed = fig7.baseline_cycles[i];
+            println!(
+                "| {} | {} | {} | {:.3} |",
+                w.name,
+                t.meta.capture_cycles,
+                replayed,
+                replayed as f64 / t.meta.capture_cycles as f64,
+            );
+        }
+        println!();
+    }
 
     let t0 = Instant::now();
     let fig11 = rp::replay_grid(
@@ -288,7 +339,7 @@ fn run_replay(scale: Scale, trace_dir: &std::path::Path, jobs: usize) {
         "{}",
         report::speedup_table(
             "Figure 11 (replay): blocked vs event-triggered",
-            &fig11,
+            &fig11.cells,
             &[PrefetchMode::Blocked, PrefetchMode::Manual],
         )
     );

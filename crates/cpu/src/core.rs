@@ -119,6 +119,13 @@ pub enum RetiredEvent {
         value: u64,
         /// Access size in bytes.
         size: u8,
+        /// Load→load dependence distance: how many captured load
+        /// records back sits the youngest load whose result feeds this
+        /// access's address (through any chain of ALU ops). 0 = the
+        /// address depends on no captured load; always 0 for stores.
+        /// Trace format v2 persists this so replay can model
+        /// pointer-chase serialisation.
+        dep: u32,
     },
     /// A retired prefetcher-configuration instruction.
     Config {
@@ -282,6 +289,16 @@ pub struct Core<'t> {
     horizon_source: HorizonSource,
     /// Capture sink for retired events (`None` = capture disabled).
     captured: Option<Vec<RetiredEvent>>,
+    /// Register-producer tracking for dependence capture (allocated by
+    /// [`Core::enable_capture`], empty otherwise): per trace index, the
+    /// youngest load (as `idx + 1`; 0 = none) whose result feeds that
+    /// op's output, propagated through the dependence DAG at dispatch.
+    feed: Vec<u32>,
+    /// Per trace index of a captured (non-forwarded) load, its 1-based
+    /// ordinal in the captured load stream; 0 = not captured.
+    load_seq: Vec<u32>,
+    /// Loads captured so far (the ordinal counter behind `load_seq`).
+    captured_loads: u32,
     /// Scratch buffer for draining due memory completions without a
     /// per-cycle allocation.
     completions_scratch: Vec<Completion>,
@@ -313,6 +330,9 @@ impl<'t> Core<'t> {
             pending_retry: None,
             horizon_source: HorizonSource::CoreProgress,
             captured: None,
+            feed: Vec::new(),
+            load_seq: Vec::new(),
+            captured_loads: 0,
             completions_scratch: Vec::new(),
             stats: CoreStats::default(),
             params,
@@ -333,10 +353,51 @@ impl<'t> Core<'t> {
         std::mem::take(&mut self.pending_configs)
     }
 
-    /// Starts capturing retired memory/config events for trace replay.
+    /// Starts capturing retired memory/config events for trace replay,
+    /// including load→load dependence edges (register-producer tracking
+    /// through the trace's dependence DAG). Must be called before the
+    /// first tick — producers are tracked from dispatch onwards.
     pub fn enable_capture(&mut self) {
+        debug_assert_eq!(self.cursor, 0, "enable capture before dispatching");
         self.captured
             .get_or_insert_with(|| Vec::with_capacity(self.trace.len()));
+        self.feed.resize(self.trace.len(), 0);
+        self.load_seq.resize(self.trace.len(), 0);
+    }
+
+    /// The youngest load feeding `op`'s inputs: its own trace index + 1
+    /// if a dependency is a load, else that dependency's propagated
+    /// feed. 0 = no load anywhere in the producing dataflow.
+    #[inline]
+    fn youngest_load_feed(&self, op: &crate::trace::MicroOp) -> u32 {
+        let mut f = 0u32;
+        for d in op.deps() {
+            let df = if self.trace.ops[d as usize].class == OpClass::Load {
+                d + 1
+            } else {
+                self.feed[d as usize]
+            };
+            f = f.max(df);
+        }
+        f
+    }
+
+    /// Dependence distance for a retiring load: captured-load ordinals
+    /// back to the youngest load feeding its address, or 0 when the
+    /// producer was never captured (store-to-load forwarded loads never
+    /// reach the memory system).
+    #[inline]
+    fn capture_dep(&self, op: &crate::trace::MicroOp) -> u32 {
+        let f = self.youngest_load_feed(op);
+        if f == 0 {
+            return 0;
+        }
+        let seq = self.load_seq[(f - 1) as usize];
+        if seq == 0 {
+            0
+        } else {
+            self.captured_loads + 1 - seq
+        }
     }
 
     /// Takes every event captured so far (retirement order).
@@ -660,6 +721,7 @@ impl<'t> Core<'t> {
                             kind: AccessKind::Store,
                             value: op.value,
                             size: op.aux,
+                            dep: 0,
                         });
                     }
                 }
@@ -673,18 +735,20 @@ impl<'t> Core<'t> {
                     }
                     self.pending_configs.push(cfg);
                 }
-                OpClass::Load => {
+                OpClass::Load if self.captured.is_some() && !self.slots[slot].forwarded => {
+                    let dep = self.capture_dep(&op);
+                    self.captured_loads += 1;
+                    self.load_seq[self.head as usize] = self.captured_loads;
                     if let Some(cap) = self.captured.as_mut() {
-                        if !self.slots[slot].forwarded {
-                            cap.push(RetiredEvent::Access {
-                                cycle: now,
-                                pc: op.pc,
-                                vaddr: op.addr,
-                                kind: AccessKind::Load,
-                                value: 0,
-                                size: op.aux,
-                            });
-                        }
+                        cap.push(RetiredEvent::Access {
+                            cycle: now,
+                            pc: op.pc,
+                            vaddr: op.addr,
+                            kind: AccessKind::Load,
+                            value: 0,
+                            size: op.aux,
+                            dep,
+                        });
                     }
                 }
                 _ => {}
@@ -849,6 +913,16 @@ impl<'t> Core<'t> {
             }
 
             let idx = self.cursor;
+            // Dependence capture: propagate the youngest feeding load
+            // through the dataflow as ops enter the window (producers
+            // always dispatch before consumers, so their feed is final).
+            if self.captured.is_some() {
+                self.feed[idx as usize] = if op.class == OpClass::Load {
+                    idx + 1
+                } else {
+                    self.youngest_load_feed(&op)
+                };
+            }
             let slot = self.slot_of(idx);
             self.dependents[slot].clear();
             self.slots[slot] = Slot {
@@ -1151,6 +1225,111 @@ mod tests {
             pf_cycles * 13 < plain_cycles * 10,
             "software prefetch should speed up strided misses: {pf_cycles} vs {plain_cycles}"
         );
+    }
+
+    /// Per-cycle run with retirement capture on, returning the events.
+    fn run_captured_events(trace: &Trace, image: MemoryImage) -> Vec<RetiredEvent> {
+        let mut mem = MemorySystem::new(MemParams::paper(), image);
+        let mut core = Core::new(CoreParams::paper(), trace);
+        core.enable_capture();
+        let mut engine = NullEngine;
+        let mut now = 0u64;
+        while !core.finished() {
+            mem.tick(now, &mut engine);
+            core.tick(now, &mut mem);
+            now += 1;
+            assert!(now < 10_000_000, "runaway simulation");
+        }
+        core.take_captured()
+    }
+
+    fn captured_load_deps(events: &[RetiredEvent]) -> Vec<u32> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                RetiredEvent::Access {
+                    kind: AccessKind::Load,
+                    dep,
+                    ..
+                } => Some(*dep),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn capture_records_pointer_chase_dependence_distances() {
+        let (image, base) = image_with_array(1024);
+        // A 3-deep pointer chase: each load's address flows from the
+        // previous load's result through an ALU op, so the captured
+        // stream must carry dependence distances (0, 1, 1).
+        let mut b = TraceBuilder::new();
+        let l1 = b.load(base, 1, [None, None]);
+        let a1 = b.int_op(1, [Some(l1), None]);
+        let l2 = b.load(base + 512, 2, [Some(a1), None]);
+        let a2 = b.int_op(1, [Some(l2), None]);
+        b.load(base + 1024, 3, [Some(a2), None]);
+        let t = b.build();
+        assert_eq!(
+            captured_load_deps(&run_captured_events(&t, image)),
+            vec![0, 1, 1],
+            "a synthetic 3-deep chase must record dep distances (1,1)"
+        );
+    }
+
+    #[test]
+    fn capture_records_interleaved_chases_at_distance_two() {
+        let (image, base) = image_with_array(4096);
+        // Two independent chases interleaved A1 B1 A2 B2: each second-hop
+        // load sits two captured loads after its producer.
+        let mut b = TraceBuilder::new();
+        let a1 = b.load(base, 1, [None, None]);
+        let b1 = b.load(base + 8192, 2, [None, None]);
+        let wa = b.int_op(1, [Some(a1), None]);
+        let wb = b.int_op(1, [Some(b1), None]);
+        b.load(base + 512, 3, [Some(wa), None]);
+        b.load(base + 8704, 4, [Some(wb), None]);
+        let t = b.build();
+        assert_eq!(
+            captured_load_deps(&run_captured_events(&t, image)),
+            vec![0, 0, 2, 2]
+        );
+    }
+
+    #[test]
+    fn capture_records_no_dependences_for_streaming_loads() {
+        let (image, base) = image_with_array(4096);
+        // An independent streaming loop: addresses come from the
+        // induction variable, never from a load, even though the
+        // reduction chain consumes every load's data.
+        let mut b = TraceBuilder::new();
+        let mut sum = None;
+        for i in 0..32u64 {
+            let ld = b.load(base + i * 64, 1, [None, None]);
+            sum = Some(b.int_op(1, [Some(ld), sum]));
+        }
+        let t = b.build();
+        let deps = captured_load_deps(&run_captured_events(&t, image));
+        assert_eq!(deps.len(), 32);
+        assert!(
+            deps.iter().all(|&d| d == 0),
+            "streaming loads must record no dependence edges: {deps:?}"
+        );
+    }
+
+    #[test]
+    fn forwarded_producers_record_no_dependence_edge() {
+        let (image, base) = image_with_array(4096);
+        // The producer load forwards from an older store, so it never
+        // reaches the memory system and is not captured; its consumer
+        // must record dep 0 rather than point at a phantom record.
+        let mut b = TraceBuilder::new();
+        let st = b.store(base + 8, 0x40, 1, [None, None]);
+        let fwd = b.load(base + 8, 2, [Some(st), None]);
+        let w = b.int_op(1, [Some(fwd), None]);
+        b.load(base + 0x40 * 8, 3, [Some(w), None]);
+        let t = b.build();
+        assert_eq!(captured_load_deps(&run_captured_events(&t, image)), vec![0]);
     }
 
     #[test]

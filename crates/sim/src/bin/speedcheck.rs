@@ -1,6 +1,6 @@
 //! Developer diagnostic: simulation wall-clock speed for the cycle-level
 //! core and the trace-replay fast path across engine modes, with a
-//! machine-readable `BENCH_speedcheck.json` (schema 3) so the perf
+//! machine-readable `BENCH_speedcheck.json` (schema 4) so the perf
 //! trajectory is tracked across PRs.
 //!
 //! ```text
@@ -22,7 +22,11 @@
 //! *visit attribution* (`visits`) on every cycle row — which horizon
 //! source ended each driver visit — and at least one compiled
 //! programmable mode (`converted`) so the regression gate guards the
-//! hot path the paper is about.
+//! hot path the paper is about. Schema 4 adds `cycle_agreement` to
+//! every replay row — replayed cycles over the cycle core's cycles for
+//! the same (workload, mode) — now that dependence-aware replay (trace
+//! format v2) makes absolute cycle counts comparable, plus the
+//! `dep_stalls` serialisation count behind it.
 //!
 //! `--jobs N` shards the (workload × path × mode) cell grid across N
 //! worker threads; each cell's `wall_s` is still measured around its
@@ -76,9 +80,14 @@ struct ReplayRow {
     mode: PrefetchMode,
     cycles: u64,
     host_iters: u64,
+    dep_stalls: u64,
     wall_s: f64,
     accesses_per_s: f64,
     host_speedup: Option<f64>,
+    /// Replayed cycles over the cycle core's cycles for the same
+    /// (workload, mode): the absolute-cycle agreement the
+    /// dependence-aware front end buys (1.0 = exact).
+    cycle_agreement: Option<f64>,
     validated: bool,
 }
 
@@ -120,7 +129,7 @@ fn render_json(
     reports: &[WorkloadReport],
 ) -> String {
     let mut j = String::new();
-    j.push_str("{\n  \"schema\": 3,\n  \"tool\": \"speedcheck\",\n");
+    j.push_str("{\n  \"schema\": 4,\n  \"tool\": \"speedcheck\",\n");
     let _ = writeln!(j, "  \"scale\": \"{}\",", json_escape(scale));
     let _ = writeln!(j, "  \"jobs\": {jobs},");
     let mode_list = modes
@@ -162,11 +171,15 @@ fn render_json(
             let speedup = r
                 .host_speedup
                 .map_or("null".to_string(), |s| format!("{s:.3}"));
+            let agreement = r
+                .cycle_agreement
+                .map_or("null".to_string(), |a| format!("{a:.3}"));
             let _ = write!(
                 j,
                 "        {{\"mode\": \"{}\", \"cycles\": {}, \"host_iters\": {}, \
                  \"fast_forward\": {:.3}, \"wall_s\": {:.6}, \"accesses_per_s\": {:.1}, \
-                 \"host_speedup\": {}, \"validated\": {}}}",
+                 \"host_speedup\": {}, \"cycle_agreement\": {}, \"dep_stalls\": {}, \
+                 \"validated\": {}}}",
                 mode_key(r.mode),
                 r.cycles,
                 r.host_iters,
@@ -174,6 +187,8 @@ fn render_json(
                 r.wall_s,
                 r.accesses_per_s,
                 speedup,
+                agreement,
+                r.dep_stalls,
                 r.validated
             );
             j.push_str(if i + 1 < w.replay.len() { ",\n" } else { "\n" });
@@ -494,9 +509,11 @@ fn main() {
                         mode,
                         cycles: r.cycles,
                         host_iters: r.host_iters,
+                        dep_stalls: r.dep_stalls,
                         wall_s: wall,
                         accesses_per_s: captures[wi].0.access_count() as f64 / wall,
                         host_speedup: None, // filled in below from the cycle row
+                        cycle_agreement: None, // likewise
                         validated: r.validated,
                     })
                 }
@@ -514,10 +531,9 @@ fn main() {
             match rows.next().expect("one row per cell") {
                 Row::Cycle(r) => cycle_rows.push(r),
                 Row::Replay(mut r) => {
-                    r.host_speedup = cycle_rows
-                        .iter()
-                        .find(|c| c.mode == r.mode)
-                        .map(|c| c.wall_s / r.wall_s);
+                    let cycle = cycle_rows.iter().find(|c| c.mode == r.mode);
+                    r.host_speedup = cycle.map(|c| c.wall_s / r.wall_s);
+                    r.cycle_agreement = cycle.map(|c| r.cycles as f64 / c.cycles.max(1) as f64);
                     replay_rows.push(r);
                 }
                 Row::Skipped(path, mode, why) => {
@@ -539,7 +555,7 @@ fn main() {
         }
         for r in &replay_rows {
             eprintln!(
-                "{} replay {:>12}: cycles={:>12} wall={:.3}s validated={} accesses/s={:.2e} ff={:.1}x host-speedup={}",
+                "{} replay {:>12}: cycles={:>12} wall={:.3}s validated={} accesses/s={:.2e} ff={:.1}x host-speedup={} agree={}",
                 wl.name,
                 r.mode.label(),
                 r.cycles,
@@ -549,6 +565,8 @@ fn main() {
                 r.ff(),
                 r.host_speedup
                     .map_or("n/a".to_string(), |s| format!("{s:.1}x")),
+                r.cycle_agreement
+                    .map_or("n/a".to_string(), |a| format!("{a:.3}")),
             );
         }
         reports.push(WorkloadReport {

@@ -27,28 +27,33 @@ pub struct ReplayRun {
     pub workload: &'static str,
     /// Prefetching scheme replayed against the trace.
     pub mode: PrefetchMode,
-    /// Replayed cycles (relative metric; see `etpp_trace::replay`).
+    /// Replayed cycles (directly comparable with the cycle core's on
+    /// dependence-annotated streams; see `etpp_trace::replay`).
     pub cycles: u64,
     /// Host loop iterations (visited cycles); `cycles / host_iters` is
     /// the event-horizon fast-forward factor.
     pub host_iters: u64,
     /// Demand accesses replayed.
     pub accesses: u64,
+    /// Loads serialised by a recorded dependence edge (v2 streams).
+    pub dep_stalls: u64,
     /// Memory-side statistics.
     pub mem: MemStats,
     /// Whether the post-replay image checksum matched the reference.
     pub validated: bool,
 }
 
-/// Stable cache key for a workload's captured trace: hashes the micro-op
-/// trace content (not just the name), so regenerating a workload with
-/// different parameters invalidates the cached capture.
-pub fn workload_trace_key(wl: &BuiltWorkload, scale_label: &str) -> u64 {
+/// Stable cache key for a workload's captured trace: hashes the
+/// micro-op trace content (not just the name) plus the on-disk format
+/// version, so regenerating a workload with different parameters — or
+/// asking for a different trace format — invalidates the cached
+/// capture instead of silently serving stale bytes.
+pub fn workload_trace_key(wl: &BuiltWorkload, scale_label: &str, trace_format: u16) -> u64 {
     use etpp_trace::format::{fnv1a, FNV_OFFSET};
     let mut h = FNV_OFFSET;
     h = fnv1a(wl.name.as_bytes(), h);
     h = fnv1a(scale_label.as_bytes(), h);
-    h = fnv1a(&(etpp_trace::FORMAT_VERSION as u64).to_le_bytes(), h);
+    h = fnv1a(&(trace_format as u64).to_le_bytes(), h);
     h = fnv1a(&(wl.trace.len() as u64).to_le_bytes(), h);
     for op in &wl.trace.ops {
         h = fnv1a(&op.pc.to_le_bytes(), h);
@@ -59,13 +64,15 @@ pub fn workload_trace_key(wl: &BuiltWorkload, scale_label: &str) -> u64 {
     h
 }
 
-/// Path of the cached capture for `wl` inside `dir`.
-pub fn trace_path(dir: &Path, wl: &BuiltWorkload, scale_label: &str) -> PathBuf {
+/// Path of the cached capture for `wl` inside `dir` at the given
+/// on-disk format version (v1 and v2 captures coexist side by side).
+pub fn trace_path(dir: &Path, wl: &BuiltWorkload, scale_label: &str, trace_format: u16) -> PathBuf {
     dir.join(format!(
-        "{}-{}-{:016x}.etpt",
+        "{}-{}-v{}-{:016x}.etpt",
         wl.name.replace('/', "_"),
         scale_label,
-        workload_trace_key(wl, scale_label)
+        trace_format,
+        workload_trace_key(wl, scale_label, trace_format)
     ))
 }
 
@@ -79,7 +86,8 @@ pub enum CaptureSource {
 }
 
 /// Loads the cached capture for `wl`, or captures it from a cycle-level
-/// no-prefetch run (and stores it in `dir`, if given).
+/// no-prefetch run (and stores it in `dir`, if given), at the default
+/// [`etpp_trace::FORMAT_VERSION`].
 ///
 /// # Panics
 /// Panics if the baseline cycle-level run fails validation — a trace from
@@ -90,8 +98,22 @@ pub fn load_or_capture(
     wl: &BuiltWorkload,
     scale_label: &str,
 ) -> (CapturedTrace, CaptureSource) {
+    load_or_capture_as(dir, cfg, wl, scale_label, etpp_trace::FORMAT_VERSION)
+}
+
+/// [`load_or_capture`] at an explicit on-disk format version (the
+/// `--trace-format` CLI knob). Version 1 persists without dependence
+/// edges, so traces loaded back from a v1 cache replay with the legacy
+/// fixed-window front end.
+pub fn load_or_capture_as(
+    dir: Option<&Path>,
+    cfg: &SystemConfig,
+    wl: &BuiltWorkload,
+    scale_label: &str,
+    trace_format: u16,
+) -> (CapturedTrace, CaptureSource) {
     if let Some(dir) = dir {
-        let path = trace_path(dir, wl, scale_label);
+        let path = trace_path(dir, wl, scale_label, trace_format);
         if let Ok(f) = fs::File::open(&path) {
             match TraceReader::new(BufReader::new(f)).and_then(|r| r.read_to_end()) {
                 Ok(t) => return (t, CaptureSource::Cached),
@@ -99,15 +121,26 @@ pub fn load_or_capture(
             }
         }
     }
-    let (result, trace) =
+    let (result, mut trace) =
         run_captured(cfg, PrefetchMode::None, wl, scale_label).expect("baseline always runs");
     assert!(
         result.validated,
         "{}: baseline capture run failed validation",
         wl.name
     );
+    if trace_format < 2 {
+        // What goes into a v1 cache must be what comes back out of it:
+        // strip the v1-unrepresentable fields up front so fresh-capture
+        // and cache-hit runs of a v1 sweep behave identically.
+        trace.meta.capture_cycles = 0;
+        for r in &mut trace.records {
+            if let TraceRecord::Access { dep, .. } = r {
+                *dep = 0;
+            }
+        }
+    }
     if let Some(dir) = dir {
-        if let Err(e) = persist(dir, wl, scale_label, &trace) {
+        if let Err(e) = persist(dir, wl, scale_label, &trace, trace_format) {
             eprintln!("[trace] could not cache {}: {e}", wl.name);
         }
     }
@@ -119,11 +152,16 @@ fn persist(
     wl: &BuiltWorkload,
     scale_label: &str,
     trace: &CapturedTrace,
+    trace_format: u16,
 ) -> std::io::Result<()> {
     fs::create_dir_all(dir)?;
-    let path = trace_path(dir, wl, scale_label);
+    let path = trace_path(dir, wl, scale_label, trace_format);
     let tmp = path.with_extension("etpt.tmp");
-    let mut w = TraceWriter::new(BufWriter::new(fs::File::create(&tmp)?), &trace.meta)?;
+    let mut w = TraceWriter::with_version(
+        BufWriter::new(fs::File::create(&tmp)?),
+        &trace.meta,
+        trace_format,
+    )?;
     for r in &trace.records {
         w.record(r)?;
     }
@@ -131,7 +169,26 @@ fn persist(
     fs::rename(&tmp, &path)
 }
 
-/// Replays `records` under `mode`'s engine and validates the result.
+/// The replay front-end parameters the runner uses for every stream.
+///
+/// An 8-deep issue window tracks the effective memory-level parallelism
+/// of the 40-entry-ROB core through its address-independent runs;
+/// recorded dependence edges (v2 streams) add the pointer-chase
+/// serialisation on top — measured at Small scale this combination
+/// dominates both the bare window and wider dependence-aware windows
+/// for absolute-cycle agreement (see `tests/replay_fidelity.rs`). On a
+/// v1 stream (no edges) `dependence_aware` is a no-op, so this is
+/// bit-for-bit the pre-v2 behaviour.
+pub fn replay_params() -> ReplayParams {
+    ReplayParams {
+        window: 8,
+        dependence_aware: true,
+        ..ReplayParams::default()
+    }
+}
+
+/// Replays `records` under `mode`'s engine and validates the result,
+/// with the front end chosen by [`replay_params`].
 ///
 /// # Errors
 /// [`Skip`] for modes that cannot attach to a replayed trace (Software)
@@ -142,16 +199,20 @@ pub fn replay_run(
     wl: &BuiltWorkload,
     records: &[TraceRecord],
 ) -> Result<ReplayRun, Skip> {
+    replay_run_with(cfg, mode, wl, records, &replay_params())
+}
+
+/// [`replay_run`] under explicit front-end parameters (the fidelity
+/// suite pins v1-vs-v2 behaviour by forcing each model).
+pub fn replay_run_with(
+    cfg: &SystemConfig,
+    mode: PrefetchMode,
+    wl: &BuiltWorkload,
+    records: &[TraceRecord],
+    params: &ReplayParams,
+) -> Result<ReplayRun, Skip> {
     let mut engine = make_engine(cfg, mode, wl)?;
-    // An 8-deep issue window tracks the effective memory-level parallelism
-    // of the 40-entry-ROB core (dependent chains keep it well below the
-    // 16-entry LQ bound); empirically it reproduces the cycle-level
-    // speedup orderings best.
-    let params = ReplayParams {
-        window: 8,
-        ..ReplayParams::default()
-    };
-    let res = etpp_trace::replay(&params, cfg.mem, wl.image.clone(), records, engine.as_dyn());
+    let res = etpp_trace::replay(params, cfg.mem, wl.image.clone(), records, engine.as_dyn());
     let validated = checksum_region(&res.image, wl.check_region) == wl.expected;
     Ok(ReplayRun {
         workload: wl.name,
@@ -159,9 +220,23 @@ pub fn replay_run(
         cycles: res.cycles,
         host_iters: res.host_iters,
         accesses: res.accesses,
+        dep_stalls: res.dep_stalls,
         mem: res.mem,
         validated,
     })
+}
+
+/// Result of a [`replay_grid`] sweep: the speedup cells plus the
+/// per-workload no-prefetch baseline cycles behind every denominator —
+/// the number the absolute-cycle agreement report compares against the
+/// capture run's recorded cycle count.
+#[derive(Debug)]
+pub struct ReplayGrid {
+    /// Figure 7-style speedup cells in workload-major order.
+    pub cells: Vec<SpeedupCell>,
+    /// `baseline_cycles[i]` = no-prefetch replay cycles of
+    /// `workloads[i]`'s stream.
+    pub baseline_cycles: Vec<u64>,
 }
 
 /// Replays the (workload × mode) grid across `jobs` worker threads,
@@ -177,11 +252,11 @@ pub fn replay_grid(
     captures: &[CapturedTrace],
     modes: &[PrefetchMode],
     jobs: usize,
-) -> Vec<SpeedupCell> {
+) -> ReplayGrid {
     assert_eq!(workloads.len(), captures.len());
 
     // Baselines first (one replay per workload, in parallel).
-    let baselines: Vec<u64> = map_indexed(jobs, workloads.len(), |i| {
+    let baseline_cycles: Vec<u64> = map_indexed(jobs, workloads.len(), |i| {
         let r = replay_run(cfg, PrefetchMode::None, &workloads[i], &captures[i].records)
             .expect("baseline replay always runs");
         assert!(
@@ -192,7 +267,7 @@ pub fn replay_grid(
         r.cycles
     });
 
-    map_indexed(jobs, workloads.len() * modes.len(), |k| {
+    let cells = map_indexed(jobs, workloads.len() * modes.len(), |k| {
         let i = k / modes.len();
         let mode = modes[k % modes.len()];
         let w = &workloads[i];
@@ -200,7 +275,7 @@ pub fn replay_grid(
             Ok(r) => SpeedupCell {
                 workload: w.name,
                 mode,
-                speedup: Some(baselines[i] as f64 / r.cycles.max(1) as f64),
+                speedup: Some(baseline_cycles[i] as f64 / r.cycles.max(1) as f64),
                 result: None,
             },
             Err(_) => SpeedupCell {
@@ -210,7 +285,11 @@ pub fn replay_grid(
                 result: None,
             },
         }
-    })
+    });
+    ReplayGrid {
+        cells,
+        baseline_cycles,
+    }
 }
 
 #[cfg(test)]
@@ -253,16 +332,56 @@ mod tests {
         let dir = std::env::temp_dir().join(format!(
             "etpp-trace-test-{}-{:016x}",
             std::process::id(),
-            workload_trace_key(&wl, "tiny")
+            workload_trace_key(&wl, "tiny", etpp_trace::FORMAT_VERSION)
         ));
         let (first, src1) = load_or_capture(Some(&dir), &cfg, &wl, "tiny");
         assert_eq!(src1, CaptureSource::Captured);
+        assert!(
+            first.meta.capture_cycles > 0,
+            "v2 captures must record the capture run's cycle count"
+        );
         let (second, src2) = load_or_capture(Some(&dir), &cfg, &wl, "tiny");
         assert_eq!(src2, CaptureSource::Cached);
         assert_eq!(first.records, second.records);
+        assert_eq!(first.meta, second.meta);
         assert_eq!(
             etpp_trace::content_hash(&first.records),
             etpp_trace::content_hash(&second.records)
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_cache_is_keyed_separately_and_carries_no_edges() {
+        let wl = etpp_workloads::intsort::IntSort.build(Scale::Tiny);
+        let cfg = SystemConfig::paper();
+        let dir = std::env::temp_dir().join(format!(
+            "etpp-trace-v1-test-{}-{:016x}",
+            std::process::id(),
+            workload_trace_key(&wl, "tiny", 1)
+        ));
+        assert_ne!(
+            trace_path(&dir, &wl, "tiny", 1),
+            trace_path(&dir, &wl, "tiny", 2),
+            "v1 and v2 captures must not collide in the cache"
+        );
+        let (v1, _) = load_or_capture_as(Some(&dir), &cfg, &wl, "tiny", 1);
+        let (v1_cached, src) = load_or_capture_as(Some(&dir), &cfg, &wl, "tiny", 1);
+        assert_eq!(src, CaptureSource::Cached);
+        assert_eq!(v1.records, v1_cached.records);
+        assert_eq!(v1.meta.capture_cycles, 0);
+        assert!(
+            v1.records
+                .iter()
+                .all(|r| !matches!(r, TraceRecord::Access { dep, .. } if *dep > 0)),
+            "a v1 capture must carry no dependence edges"
+        );
+        let (v2, _) = load_or_capture(None, &cfg, &wl, "tiny");
+        assert!(
+            v2.records
+                .iter()
+                .any(|r| matches!(r, TraceRecord::Access { dep, .. } if *dep > 0)),
+            "IntSort's scatter phase must record dependence edges at v2"
         );
         let _ = fs::remove_dir_all(&dir);
     }
@@ -278,13 +397,16 @@ mod tests {
             .iter()
             .map(|w| load_or_capture(None, &cfg, w, "tiny").0)
             .collect();
-        let cells = replay_grid(
+        let grid = replay_grid(
             &cfg,
             &workloads,
             &captures,
             &[PrefetchMode::Stride, PrefetchMode::Manual],
             4,
         );
+        assert_eq!(grid.baseline_cycles.len(), 2);
+        assert!(grid.baseline_cycles.iter().all(|&c| c > 0));
+        let cells = grid.cells;
         assert_eq!(cells.len(), 4);
         let manual_intsort = cells
             .iter()

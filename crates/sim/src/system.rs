@@ -239,7 +239,11 @@ pub fn run_captured(
     scale_label: &str,
 ) -> Result<(RunResult, etpp_trace::CapturedTrace), Skip> {
     let (result, events) = run_inner(cfg, mode, wl, true)?;
-    let mut cap = etpp_trace::CaptureBuffer::new(etpp_trace::TraceMeta::new(wl.name, scale_label));
+    // The capture run's cycle count rides in the (v2) trace metadata so
+    // replay consumers can report absolute-cycle agreement without
+    // re-running the cycle core.
+    let meta = etpp_trace::TraceMeta::new(wl.name, scale_label).with_capture_cycles(result.cycles);
+    let mut cap = etpp_trace::CaptureBuffer::new(meta);
     for ev in events {
         match ev {
             RetiredEvent::Access {
@@ -249,7 +253,8 @@ pub fn run_captured(
                 kind,
                 value,
                 size,
-            } => cap.access(cycle, pc, vaddr, kind, value, size),
+                dep,
+            } => cap.access(cycle, pc, vaddr, kind, value, size, dep),
             RetiredEvent::Config { cycle, op } => cap.config(cycle, &op),
         }
     }

@@ -27,8 +27,11 @@ impl CaptureBuffer {
         }
     }
 
-    /// Records a retired demand access. `value`/`size` carry store data and
-    /// are ignored for loads.
+    /// Records a retired demand access. `value`/`size` carry store data
+    /// and are ignored for loads; `dep` is the load→load dependence
+    /// distance (captured-load ordinals back to the address producer,
+    /// 0 = none) and is ignored for stores.
+    #[allow(clippy::too_many_arguments)]
     pub fn access(
         &mut self,
         cycle: u64,
@@ -37,15 +40,16 @@ impl CaptureBuffer {
         kind: AccessKind,
         value: u64,
         size: u8,
+        dep: u32,
     ) {
         debug_assert!(
             cycle >= self.last_cycle,
             "capture stream must be in time order"
         );
         self.last_cycle = cycle;
-        let (value, size) = match kind {
-            AccessKind::Load => (0, 0),
-            AccessKind::Store => (value, size),
+        let (value, size, dep) = match kind {
+            AccessKind::Load => (0, 0, dep),
+            AccessKind::Store => (value, size, 0),
         };
         self.records.push(TraceRecord::Access {
             cycle,
@@ -54,6 +58,7 @@ impl CaptureBuffer {
             kind,
             value,
             size,
+            dep,
         });
     }
 
@@ -96,7 +101,7 @@ mod tests {
     #[test]
     fn loads_drop_store_payload() {
         let mut c = CaptureBuffer::new(TraceMeta::new("t", "tiny"));
-        c.access(1, 4, 0x40, AccessKind::Load, 999, 8);
+        c.access(1, 4, 0x40, AccessKind::Load, 999, 8, 0);
         let t = c.finish();
         match &t.records[0] {
             TraceRecord::Access { value, size, .. } => {
@@ -107,11 +112,26 @@ mod tests {
     }
 
     #[test]
+    fn stores_drop_dep_edges() {
+        let mut c = CaptureBuffer::new(TraceMeta::new("t", "tiny"));
+        c.access(1, 4, 0x40, AccessKind::Store, 7, 8, 3);
+        c.access(2, 8, 0x80, AccessKind::Load, 0, 0, 3);
+        let t = c.finish();
+        match (&t.records[0], &t.records[1]) {
+            (TraceRecord::Access { dep: st_dep, .. }, TraceRecord::Access { dep: ld_dep, .. }) => {
+                assert_eq!(*st_dep, 0, "dependence edges are a load concept");
+                assert_eq!(*ld_dep, 3);
+            }
+            _ => panic!("expected accesses"),
+        }
+    }
+
+    #[test]
     fn interleaves_configs_in_order() {
         let mut c = CaptureBuffer::new(TraceMeta::new("t", "tiny"));
-        c.access(1, 4, 0x40, AccessKind::Load, 0, 0);
+        c.access(1, 4, 0x40, AccessKind::Load, 0, 0, 0);
         c.config(2, &ConfigOp::Enable(true));
-        c.access(3, 8, 0x80, AccessKind::Store, 7, 8);
+        c.access(3, 8, 0x80, AccessKind::Store, 7, 8, 0);
         let t = c.finish();
         assert_eq!(t.records.len(), 3);
         assert_eq!(t.access_count(), 2);

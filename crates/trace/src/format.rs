@@ -1,12 +1,13 @@
 //! The trace record model and its delta-encoded binary layout.
 //!
-//! ## Layout (version 1)
+//! ## Layout (versions 1 and 2)
 //!
 //! ```text
 //! magic  "ETPT"                       4 bytes
 //! version u16 LE                      2 bytes
 //! workload-name  len:u16 LE + utf8
 //! scale          len:u16 LE + utf8
+//! capture-cycles varint               (v2 only: capture-run cycle count)
 //! records        tagged, delta-encoded (see below)
 //! end marker     0xFF
 //! record count   varint
@@ -21,11 +22,32 @@
 //! Store records additionally carry the access size and the store data
 //! (so replay can commit real values and still validate checksums);
 //! config records carry a compact [`ConfigOp`] encoding.
+//!
+//! ## Version 2: load→load dependence edges
+//!
+//! Version 2 load records additionally carry the record's *dependence
+//! distance*: how many captured load records back the load sits whose
+//! result feeds this load's address (0 = address independent of any
+//! in-flight load). The capture hooks in `etpp_cpu::Core` track
+//! register producers through the ALU dataflow, so a pointer chase
+//! `p = p->next` records distance 1 per hop while streaming loops
+//! record none. Distances are zigzag-delta coded against the previous
+//! load's distance — chases encode as runs of zero bytes. Replay uses
+//! the edges to model pointer-chase serialisation instead of a fixed
+//! issue window (see [`crate::replay`]).
+//!
+//! Readers accept [`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`] and
+//! dispatch on the header version; a version-1 stream decodes with
+//! every dependence distance (and the capture-cycle count) zero.
 
 use etpp_mem::{AccessKind, ConfigOp, FilterFlags, RangeId, TagId};
 
-/// On-disk format version written and accepted by this build.
-pub const FORMAT_VERSION: u16 = 1;
+/// On-disk format version written by default by this build.
+pub const FORMAT_VERSION: u16 = 2;
+
+/// Oldest on-disk format version this build still reads (and can be
+/// asked to write, for consumers without dependence-aware replay).
+pub const MIN_FORMAT_VERSION: u16 = 1;
 
 /// Magic bytes opening every trace file.
 pub const MAGIC: [u8; 4] = *b"ETPT";
@@ -43,15 +65,27 @@ pub struct TraceMeta {
     pub workload: String,
     /// Input scale the trace was captured at (`"tiny"`, `"small"`, ...).
     pub scale: String,
+    /// Total cycles of the capture run (v2 headers; 0 = unknown/v1).
+    /// Lets replay consumers report absolute-cycle agreement against
+    /// the cycle core without re-running the capture.
+    pub capture_cycles: u64,
 }
 
 impl TraceMeta {
-    /// Convenience constructor.
+    /// Convenience constructor (capture-cycle count unknown).
     pub fn new(workload: impl Into<String>, scale: impl Into<String>) -> Self {
         TraceMeta {
             workload: workload.into(),
             scale: scale.into(),
+            capture_cycles: 0,
         }
+    }
+
+    /// Attaches the capture run's total cycle count (stored in v2
+    /// headers).
+    pub fn with_capture_cycles(mut self, cycles: u64) -> Self {
+        self.capture_cycles = cycles;
+        self
     }
 }
 
@@ -72,6 +106,11 @@ pub enum TraceRecord {
         value: u64,
         /// Access size in bytes (stores only; 0 for loads).
         size: u8,
+        /// Load→load dependence distance in captured-load ordinals:
+        /// this load's address is fed by the load `dep` load records
+        /// earlier in the stream. 0 = no recorded producer (always 0
+        /// for stores and for streams decoded from version-1 traces).
+        dep: u32,
     },
     /// A retired prefetcher-configuration instruction.
     Config {
@@ -146,12 +185,19 @@ pub fn fnv1a(bytes: &[u8], mut h: u64) -> u64 {
 /// FNV-1a offset basis.
 pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
-/// Content hash of an encoded record stream (what the footer stores).
+/// Content hash of an encoded record stream (what the footer stores),
+/// under the default [`FORMAT_VERSION`] encoding.
 ///
 /// Exposed so callers can key disk caches by trace content without
 /// re-reading files: encode, hash, compare.
 pub fn content_hash(records: &[TraceRecord]) -> u64 {
-    let mut enc = Encoder::new();
+    content_hash_versioned(records, FORMAT_VERSION)
+}
+
+/// [`content_hash`] under a specific format version's encoding (the
+/// footer of a version-`v` file stores the version-`v` hash).
+pub fn content_hash_versioned(records: &[TraceRecord], version: u16) -> u64 {
+    let mut enc = Encoder::new(version);
     let mut buf = Vec::new();
     let mut h = FNV_OFFSET;
     for r in records {
@@ -166,20 +212,32 @@ pub fn content_hash(records: &[TraceRecord]) -> u64 {
 // record encoder/decoder with delta state
 // ---------------------------------------------------------------------------
 
-/// Streaming encoder state: previous cycle/pc/vaddr for delta coding.
-#[derive(Debug, Default, Clone)]
+/// Streaming encoder state: previous cycle/pc/vaddr (and, for v2, the
+/// previous load's dependence distance) for delta coding.
+#[derive(Debug, Clone)]
 pub(crate) struct Encoder {
+    version: u16,
     prev_cycle: u64,
     prev_pc: u32,
     prev_vaddr: u64,
+    prev_dep: u32,
 }
 
 impl Encoder {
-    pub(crate) fn new() -> Self {
-        Encoder::default()
+    pub(crate) fn new(version: u16) -> Self {
+        debug_assert!((MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version));
+        Encoder {
+            version,
+            prev_cycle: 0,
+            prev_pc: 0,
+            prev_vaddr: 0,
+            prev_dep: 0,
+        }
     }
 
-    /// Appends the encoding of `r` to `out`.
+    /// Appends the encoding of `r` to `out`. Encoding a v2 record
+    /// stream at version 1 silently drops the dependence edges (the
+    /// v1 layout has nowhere to put them).
     pub(crate) fn encode(&mut self, r: &TraceRecord, out: &mut Vec<u8>) {
         match r {
             TraceRecord::Access {
@@ -189,6 +247,7 @@ impl Encoder {
                 kind,
                 value,
                 size,
+                dep,
             } => {
                 out.push(match kind {
                     AccessKind::Load => TAG_LOAD,
@@ -197,9 +256,16 @@ impl Encoder {
                 write_varint(out, cycle.wrapping_sub(self.prev_cycle));
                 write_varint(out, zigzag(*pc as i64 - self.prev_pc as i64));
                 write_varint(out, zigzag(vaddr.wrapping_sub(self.prev_vaddr) as i64));
-                if *kind == AccessKind::Store {
-                    out.push(*size);
-                    write_varint(out, *value);
+                match kind {
+                    AccessKind::Store => {
+                        out.push(*size);
+                        write_varint(out, *value);
+                    }
+                    AccessKind::Load if self.version >= 2 => {
+                        write_varint(out, zigzag(*dep as i64 - self.prev_dep as i64));
+                        self.prev_dep = *dep;
+                    }
+                    AccessKind::Load => {}
                 }
                 self.prev_cycle = *cycle;
                 self.prev_pc = *pc;
@@ -216,11 +282,13 @@ impl Encoder {
 }
 
 /// Streaming decoder state mirroring [`Encoder`].
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub(crate) struct Decoder {
+    version: u16,
     prev_cycle: u64,
     prev_pc: u32,
     prev_vaddr: u64,
+    prev_dep: u32,
 }
 
 /// A malformed trace stream.
@@ -268,8 +336,15 @@ impl ByteCursor<'_> {
 }
 
 impl Decoder {
-    pub(crate) fn new() -> Self {
-        Decoder::default()
+    pub(crate) fn new(version: u16) -> Self {
+        debug_assert!((MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version));
+        Decoder {
+            version,
+            prev_cycle: 0,
+            prev_pc: 0,
+            prev_vaddr: 0,
+            prev_dep: 0,
+        }
     }
 
     /// Decodes one record starting at `cur` (tag already consumed).
@@ -283,12 +358,16 @@ impl Decoder {
                 let cycle = self.prev_cycle.wrapping_add(cur.varint()?);
                 let pc = (self.prev_pc as i64 + unzigzag(cur.varint()?)) as u32;
                 let vaddr = self.prev_vaddr.wrapping_add(unzigzag(cur.varint()?) as u64);
-                let (kind, value, size) = if tag == TAG_STORE {
+                let (kind, value, size, dep) = if tag == TAG_STORE {
                     let size = cur.u8()?;
                     let value = cur.varint()?;
-                    (AccessKind::Store, value, size)
+                    (AccessKind::Store, value, size, 0)
+                } else if self.version >= 2 {
+                    let dep = (self.prev_dep as i64 + unzigzag(cur.varint()?)) as u32;
+                    self.prev_dep = dep;
+                    (AccessKind::Load, 0, 0, dep)
                 } else {
-                    (AccessKind::Load, 0, 0)
+                    (AccessKind::Load, 0, 0, 0)
                 };
                 self.prev_cycle = cycle;
                 self.prev_pc = pc;
@@ -300,6 +379,7 @@ impl Decoder {
                     kind,
                     value,
                     size,
+                    dep,
                 })
             }
             TAG_CONFIG => {
@@ -456,7 +536,7 @@ mod tests {
     #[test]
     fn sequential_accesses_encode_small() {
         // A 64-byte-strided stream should cost only a few bytes per record.
-        let mut enc = Encoder::new();
+        let mut enc = Encoder::new(FORMAT_VERSION);
         let mut out = Vec::new();
         for i in 0..1000u64 {
             enc.encode(
@@ -467,16 +547,109 @@ mod tests {
                     kind: AccessKind::Load,
                     value: 0,
                     size: 0,
+                    dep: 0,
                 },
                 &mut out,
             );
         }
-        // tag + 1-byte cycle delta + 1-byte pc delta + 2-byte vaddr delta.
+        // tag + 1-byte cycle delta + 1-byte pc delta + 2-byte vaddr delta
+        // + 1-byte dep delta.
         assert!(
-            out.len() <= 1000 * 5 + 8,
-            "strided loads should be ~5 bytes each, got {} total",
+            out.len() <= 1000 * 6 + 8,
+            "strided loads should be ~6 bytes each, got {} total",
             out.len()
         );
+    }
+
+    #[test]
+    fn pointer_chase_deps_encode_as_single_zero_bytes() {
+        // A dep-distance-1 chain delta-encodes every dep after the first
+        // as zigzag(0) = one zero byte: v2 costs exactly one byte per
+        // load over v1 on this stream.
+        let mk = |dep| TraceRecord::Access {
+            cycle: 0,
+            pc: 0x40,
+            vaddr: 0x1000,
+            kind: AccessKind::Load,
+            value: 0,
+            size: 0,
+            dep,
+        };
+        let records: Vec<TraceRecord> = (0..100).map(|i| mk(if i == 0 { 0 } else { 1 })).collect();
+        let mut v1 = Vec::new();
+        let mut v2 = Vec::new();
+        let mut e1 = Encoder::new(1);
+        let mut e2 = Encoder::new(2);
+        for r in &records {
+            e1.encode(r, &mut v1);
+            e2.encode(r, &mut v2);
+        }
+        assert_eq!(v2.len(), v1.len() + records.len());
+    }
+
+    #[test]
+    fn v2_deps_roundtrip_and_v1_drops_them() {
+        let records: Vec<TraceRecord> = (0..50u64)
+            .map(|i| TraceRecord::Access {
+                cycle: i,
+                pc: 0x40,
+                vaddr: 0x1000 + i * 8,
+                kind: AccessKind::Load,
+                value: 0,
+                size: 0,
+                dep: (i % 7) as u32,
+            })
+            .collect();
+        for version in [MIN_FORMAT_VERSION, FORMAT_VERSION] {
+            let mut enc = Encoder::new(version);
+            let mut dec = Decoder::new(version);
+            let mut buf = Vec::new();
+            for r in &records {
+                enc.encode(r, &mut buf);
+            }
+            let mut cur = ByteCursor {
+                bytes: &buf,
+                pos: 0,
+            };
+            for r in &records {
+                let tag = cur.u8().unwrap();
+                let back = dec.decode(tag, &mut cur).unwrap();
+                if version >= 2 {
+                    assert_eq!(&back, r, "v2 must preserve dependence edges");
+                } else {
+                    match (&back, r) {
+                        (
+                            TraceRecord::Access { dep: got, .. },
+                            TraceRecord::Access {
+                                cycle,
+                                pc,
+                                vaddr,
+                                kind,
+                                value,
+                                size,
+                                ..
+                            },
+                        ) => {
+                            assert_eq!(*got, 0, "v1 has no dependence edges");
+                            assert_eq!(
+                                back,
+                                TraceRecord::Access {
+                                    cycle: *cycle,
+                                    pc: *pc,
+                                    vaddr: *vaddr,
+                                    kind: *kind,
+                                    value: *value,
+                                    size: *size,
+                                    dep: 0,
+                                }
+                            );
+                        }
+                        _ => panic!("expected access"),
+                    }
+                }
+            }
+            assert_eq!(cur.pos, buf.len());
+        }
     }
 
     #[test]
@@ -526,6 +699,7 @@ mod tests {
             kind: AccessKind::Load,
             value: 0,
             size: 0,
+            dep: 0,
         };
         let b = TraceRecord::Access {
             cycle: 2,
@@ -534,7 +708,31 @@ mod tests {
             kind: AccessKind::Load,
             value: 0,
             size: 0,
+            dep: 0,
         };
         assert_ne!(content_hash(&[a.clone(), b.clone()]), content_hash(&[b, a]));
+    }
+
+    #[test]
+    fn content_hash_versions_diverge_only_when_deps_matter() {
+        let mk = |dep| TraceRecord::Access {
+            cycle: 3,
+            pc: 9,
+            vaddr: 0x140,
+            kind: AccessKind::Load,
+            value: 0,
+            size: 0,
+            dep,
+        };
+        // v1 ignores the dep field entirely...
+        assert_eq!(
+            content_hash_versioned(&[mk(0)], 1),
+            content_hash_versioned(&[mk(5)], 1)
+        );
+        // ...while v2 hashes it.
+        assert_ne!(
+            content_hash_versioned(&[mk(0)], 2),
+            content_hash_versioned(&[mk(5)], 2)
+        );
     }
 }

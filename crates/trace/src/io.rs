@@ -8,7 +8,7 @@
 
 use crate::format::{
     fnv1a, ByteCursor, CapturedTrace, Decoder, Encoder, FormatError, TraceMeta, TraceRecord,
-    FNV_OFFSET, FORMAT_VERSION, MAGIC, TAG_END,
+    FNV_OFFSET, FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION, TAG_END,
 };
 use std::io::{self, Read, Write};
 
@@ -48,28 +48,78 @@ fn fmt_err<T>(msg: impl Into<String>) -> Result<T, TraceIoError> {
     Err(TraceIoError::Format(FormatError(msg.into())))
 }
 
+/// Seed of the footer hash. Version 2 folds the header metadata
+/// (version, workload, scale, capture-cycle count) into the seed, so a
+/// corrupted header field fails the same loud check as a flipped
+/// record byte; version 1 keeps the legacy records-only hash so files
+/// written by older builds stay readable.
+fn header_seed(version: u16, meta: &TraceMeta) -> u64 {
+    if version < 2 {
+        return FNV_OFFSET;
+    }
+    let mut bytes = Vec::with_capacity(meta.workload.len() + meta.scale.len() + 16);
+    bytes.extend_from_slice(&version.to_le_bytes());
+    for s in [&meta.workload, &meta.scale] {
+        bytes.extend_from_slice(&(s.len() as u16).to_le_bytes());
+        bytes.extend_from_slice(s.as_bytes());
+    }
+    crate::format::write_varint(&mut bytes, meta.capture_cycles);
+    fnv1a(&bytes, FNV_OFFSET)
+}
+
 /// Streaming writer for the versioned trace format.
 pub struct TraceWriter<W: Write> {
     out: W,
     enc: Encoder,
     buf: Vec<u8>,
+    /// Records-only content hash (seed [`FNV_OFFSET`]): the value
+    /// [`TraceWriter::finish`] returns, comparable with
+    /// [`crate::format::content_hash_versioned`].
     hash: u64,
+    /// Footer hash: records folded over [`header_seed`], so v2 headers
+    /// are integrity-checked too.
+    file_hash: u64,
     count: u64,
     finished: bool,
 }
 
 impl<W: Write> TraceWriter<W> {
-    /// Writes the header and returns a writer ready for records.
-    pub fn new(mut out: W, meta: &TraceMeta) -> io::Result<Self> {
+    /// Writes a [`FORMAT_VERSION`] header and returns a writer ready
+    /// for records.
+    pub fn new(out: W, meta: &TraceMeta) -> io::Result<Self> {
+        Self::with_version(out, meta, FORMAT_VERSION)
+    }
+
+    /// Writes the header at a specific format version.
+    ///
+    /// Version [`MIN_FORMAT_VERSION`] (1) drops the dependence edges
+    /// and the capture-cycle count — it exists so consumers without
+    /// dependence-aware replay can still be fed.
+    ///
+    /// # Panics
+    /// Panics when `version` is outside
+    /// [`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`].
+    pub fn with_version(mut out: W, meta: &TraceMeta, version: u16) -> io::Result<Self> {
+        assert!(
+            (MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version),
+            "cannot write trace version {version} (this build writes \
+             {MIN_FORMAT_VERSION}..={FORMAT_VERSION})"
+        );
         out.write_all(&MAGIC)?;
-        out.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        out.write_all(&version.to_le_bytes())?;
         write_str(&mut out, &meta.workload)?;
         write_str(&mut out, &meta.scale)?;
+        if version >= 2 {
+            let mut buf = Vec::with_capacity(10);
+            crate::format::write_varint(&mut buf, meta.capture_cycles);
+            out.write_all(&buf)?;
+        }
         Ok(TraceWriter {
             out,
-            enc: Encoder::new(),
+            enc: Encoder::new(version),
             buf: Vec::with_capacity(32),
             hash: FNV_OFFSET,
+            file_hash: header_seed(version, meta),
             count: 0,
             finished: false,
         })
@@ -81,6 +131,7 @@ impl<W: Write> TraceWriter<W> {
         self.buf.clear();
         self.enc.encode(r, &mut self.buf);
         self.hash = fnv1a(&self.buf, self.hash);
+        self.file_hash = fnv1a(&self.buf, self.file_hash);
         self.count += 1;
         self.out.write_all(&self.buf)
     }
@@ -90,8 +141,9 @@ impl<W: Write> TraceWriter<W> {
         self.count
     }
 
-    /// Writes the footer (end marker, count, content hash) and returns the
-    /// underlying writer plus the content hash.
+    /// Writes the footer (end marker, count, header-seeded file hash)
+    /// and returns the underlying writer plus the records-only content
+    /// hash (the cache-key value; identical to the footer's on v1).
     pub fn finish(mut self) -> io::Result<(W, u64)> {
         self.finished = true;
         self.out.write_all(&[TAG_END])?;
@@ -99,7 +151,7 @@ impl<W: Write> TraceWriter<W> {
         crate::format::write_varint(&mut self.buf, self.count);
         let buf = std::mem::take(&mut self.buf);
         self.out.write_all(&buf)?;
-        self.out.write_all(&self.hash.to_le_bytes())?;
+        self.out.write_all(&self.file_hash.to_le_bytes())?;
         self.out.flush()?;
         Ok((self.out, self.hash))
     }
@@ -123,6 +175,25 @@ fn read_str<R: Read>(src: &mut R) -> Result<String, TraceIoError> {
     }
 }
 
+/// Reads one LEB128 varint directly off the stream (header fields only;
+/// record varints decode from the buffered bytes).
+fn read_varint<R: Read>(src: &mut R) -> Result<u64, TraceIoError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut b = [0u8; 1];
+        src.read_exact(&mut b)?;
+        if shift >= 64 {
+            return fmt_err("varint overflow in header");
+        }
+        v |= ((b[0] & 0x7F) as u64) << shift;
+        if b[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
 /// Streaming reader: parses the header eagerly, then iterates records.
 ///
 /// The reader slurps the remaining stream into memory in 64 KiB chunks as
@@ -131,6 +202,7 @@ fn read_str<R: Read>(src: &mut R) -> Result<String, TraceIoError> {
 pub struct TraceReader<R: Read> {
     src: R,
     meta: TraceMeta,
+    version: u16,
     bytes: Vec<u8>,
     pos: usize,
     dec: Decoder,
@@ -142,6 +214,10 @@ pub struct TraceReader<R: Read> {
 
 impl<R: Read> TraceReader<R> {
     /// Parses the header; fails on bad magic or unsupported version.
+    /// Any version in [`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`] is
+    /// accepted — the record decoder dispatches on the header version,
+    /// so v1 traces stay readable (their dependence distances and
+    /// capture-cycle count decode as zero).
     pub fn new(mut src: R) -> Result<Self, TraceIoError> {
         let mut magic = [0u8; 4];
         src.read_exact(&mut magic)?;
@@ -151,20 +227,35 @@ impl<R: Read> TraceReader<R> {
         let mut ver = [0u8; 2];
         src.read_exact(&mut ver)?;
         let version = u16::from_le_bytes(ver);
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return fmt_err(format!(
-                "unsupported trace version {version} (this build reads {FORMAT_VERSION})"
+                "unsupported trace version {version} (this build reads versions \
+                 {MIN_FORMAT_VERSION}..={FORMAT_VERSION})"
             ));
         }
         let workload = read_str(&mut src)?;
         let scale = read_str(&mut src)?;
+        let capture_cycles = if version >= 2 {
+            read_varint(&mut src)?
+        } else {
+            0
+        };
+        let meta = TraceMeta {
+            workload,
+            scale,
+            capture_cycles,
+        };
+        // Footer hash accumulator, seeded so v2 header corruption
+        // fails verification exactly like a flipped record byte.
+        let hash = header_seed(version, &meta);
         Ok(TraceReader {
             src,
-            meta: TraceMeta { workload, scale },
+            meta,
+            version,
             bytes: Vec::new(),
             pos: 0,
-            dec: Decoder::new(),
-            hash: FNV_OFFSET,
+            dec: Decoder::new(version),
+            hash,
             count: 0,
             done: false,
             src_exhausted: false,
@@ -174,6 +265,12 @@ impl<R: Read> TraceReader<R> {
     /// Header metadata.
     pub fn meta(&self) -> &TraceMeta {
         &self.meta
+    }
+
+    /// The file's format version (within
+    /// [`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`]).
+    pub fn version(&self) -> u16 {
+        self.version
     }
 
     /// Reads every remaining record, verifying the footer.
@@ -256,7 +353,7 @@ impl<R: Read> TraceReader<R> {
             ));
         }
         if hash != self.hash {
-            return fmt_err("content hash mismatch: trace corrupted");
+            return fmt_err("content hash mismatch: trace corrupted (header or records)");
         }
         self.pos = pos + 8;
         Ok(())
@@ -301,6 +398,7 @@ mod tests {
                 },
                 value: if i % 5 == 0 { i * 3 } else { 0 },
                 size: if i % 5 == 0 { 8 } else { 0 },
+                dep: if i % 5 == 0 { 0 } else { (i % 4) as u32 },
             });
         }
         v
@@ -309,7 +407,7 @@ mod tests {
     #[test]
     fn roundtrip_with_meta_and_footer() {
         let records = sample_records();
-        let meta = TraceMeta::new("HJ-8", "tiny");
+        let meta = TraceMeta::new("HJ-8", "tiny").with_capture_cycles(123_456);
         let mut buf = Vec::new();
         let mut w = TraceWriter::new(&mut buf, &meta).unwrap();
         for r in &records {
@@ -320,9 +418,104 @@ mod tests {
 
         let r = TraceReader::new(buf.as_slice()).unwrap();
         assert_eq!(r.meta().workload, "HJ-8");
+        assert_eq!(r.version(), crate::format::FORMAT_VERSION);
         let back = r.read_to_end().unwrap();
         assert_eq!(back.records, records);
         assert_eq!(back.meta, meta);
+    }
+
+    #[test]
+    fn v1_roundtrip_drops_deps_and_capture_cycles() {
+        let records = sample_records();
+        let meta = TraceMeta::new("HJ-8", "tiny").with_capture_cycles(99);
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::with_version(&mut buf, &meta, 1).unwrap();
+        for r in &records {
+            w.record(r).unwrap();
+        }
+        let (_, hash) = w.finish().unwrap();
+        assert_eq!(hash, crate::format::content_hash_versioned(&records, 1));
+
+        let r = TraceReader::new(buf.as_slice()).unwrap();
+        assert_eq!(r.version(), 1);
+        let back = r.read_to_end().unwrap();
+        assert_eq!(back.meta.capture_cycles, 0, "v1 headers carry no cycles");
+        let stripped: Vec<TraceRecord> = records
+            .iter()
+            .map(|r| match r.clone() {
+                TraceRecord::Access {
+                    cycle,
+                    pc,
+                    vaddr,
+                    kind,
+                    value,
+                    size,
+                    ..
+                } => TraceRecord::Access {
+                    cycle,
+                    pc,
+                    vaddr,
+                    kind,
+                    value,
+                    size,
+                    dep: 0,
+                },
+                c => c,
+            })
+            .collect();
+        assert_eq!(back.records, stripped);
+    }
+
+    #[test]
+    fn corrupted_v2_header_field_is_detected() {
+        // capture_cycles = 777 encodes as the 2-byte varint [0x89,
+        // 0x06] right after the two header strings. Flip its low bits
+        // so it still parses as a valid varint (to 649): the footer
+        // hash is seeded with the header metadata, so the corruption
+        // must fail verification like any flipped record byte.
+        let records = sample_records();
+        let meta = TraceMeta::new("HJ-8", "tiny").with_capture_cycles(777);
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf, &meta).unwrap();
+        for r in &records {
+            w.record(r).unwrap();
+        }
+        w.finish().unwrap();
+        let field_at = MAGIC.len() + 2 + (2 + "HJ-8".len()) + (2 + "tiny".len());
+        assert_eq!(&buf[field_at..field_at + 2], &[0x89, 0x06]);
+        buf[field_at + 1] = 0x05;
+        let r = TraceReader::new(buf.as_slice()).unwrap();
+        assert_eq!(r.meta().capture_cycles, 649, "corrupted field parses");
+        let res = r.read_to_end();
+        assert!(
+            res.is_err(),
+            "header corruption must not produce a validated trace"
+        );
+    }
+
+    #[test]
+    fn unsupported_version_names_accepted_range() {
+        // MAGIC + version 99 + empty workload/scale strings.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&crate::format::MAGIC);
+        buf.extend_from_slice(&99u16.to_le_bytes());
+        buf.extend_from_slice(&[0, 0, 0, 0]);
+        let Err(err) = TraceReader::new(buf.as_slice()) else {
+            panic!("version 99 must be rejected");
+        };
+        let msg = err.to_string();
+        assert!(
+            msg.contains("unsupported trace version 99"),
+            "message must name the file's version: {msg}"
+        );
+        assert!(
+            msg.contains(&format!(
+                "{}..={}",
+                crate::format::MIN_FORMAT_VERSION,
+                crate::format::FORMAT_VERSION
+            )),
+            "message must name the accepted range: {msg}"
+        );
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //!
 //! * [`format`] — a compact, versioned, delta-encoded binary record format
 //!   for retired demand accesses (PC, vaddr, kind, cycle, store data) and
-//!   prefetcher-configuration operations, with workload metadata;
+//!   prefetcher-configuration operations, with workload metadata; version
+//!   2 additionally records load→load dependence edges and the capture
+//!   run's cycle count (v1 traces stay readable);
 //! * [`io`] — a streaming [`TraceWriter`]/[`TraceReader`] pair over any
 //!   `Write`/`Read`, with an integrity hash covering every record;
 //! * [`capture`] — an in-memory capture buffer fed by the hooks in
@@ -35,8 +37,9 @@
 //! let mut image = MemoryImage::new();
 //! let base = image.alloc(4096, 64);
 //! let mut cap = CaptureBuffer::new(TraceMeta::new("demo", "tiny"));
-//! cap.access(10, 0x400, base, AccessKind::Load, 0, 0);
-//! cap.access(14, 0x404, base + 64, AccessKind::Load, 0, 0);
+//! cap.access(10, 0x400, base, AccessKind::Load, 0, 0, 0);
+//! cap.access(14, 0x404, base + 64, AccessKind::Load, 0, 0, 1); // fed by the first load
+//! assert_eq!(cap.len(), 2);
 //! let trace = cap.finish();
 //! let mut buf = Vec::new();
 //! let mut w = TraceWriter::new(&mut buf, &trace.meta).unwrap();
@@ -63,6 +66,9 @@ pub mod io;
 pub mod replay;
 
 pub use capture::CaptureBuffer;
-pub use format::{content_hash, CapturedTrace, TraceMeta, TraceRecord, FORMAT_VERSION};
+pub use format::{
+    content_hash, content_hash_versioned, CapturedTrace, TraceMeta, TraceRecord, FORMAT_VERSION,
+    MIN_FORMAT_VERSION,
+};
 pub use io::{TraceReader, TraceWriter};
 pub use replay::{replay, ReplayParams, ReplayResult};

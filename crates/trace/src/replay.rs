@@ -13,8 +13,17 @@
 //! prefetcher benefit). Instead the front end issues up to one access per
 //! cycle, `window` outstanding, and the replayed cycle count reflects how
 //! the memory system — including the prefetcher under test — services the
-//! stream. Relative speedups between prefetchers are preserved; absolute
-//! cycle counts are not comparable with the cycle-level core's.
+//! stream. Relative speedups between prefetchers are preserved.
+//!
+//! With a format-v2 trace the front end is additionally
+//! *dependence-aware* ([`ReplayParams::dependence_aware`]): a load whose
+//! recorded address producer is still in flight waits for that producer's
+//! fill before issuing, exactly the serialisation that makes pointer
+//! chases slow on the real core. This replaces the purely optimistic
+//! fixed-window model for traversal workloads and brings replay's
+//! *absolute* cycle counts within a pinned tolerance of the cycle-level
+//! core (see `tests/replay_fidelity.rs`); v1 traces carry no edges and
+//! replay exactly as before.
 //!
 //! The clock never ticks through dead cycles: each iteration jumps
 //! straight to the earliest *event horizon* across the memory system
@@ -62,6 +71,12 @@ pub struct ReplayParams {
     /// pre-batching simulator did. Slow; exists so the equivalence
     /// tests can pin the fast path against a unit-tick reference.
     pub per_cycle_reference: bool,
+    /// Honour recorded load→load dependence edges (trace format v2): a
+    /// load whose address producer's fill has not completed does not
+    /// issue, modelling pointer-chase serialisation instead of the
+    /// optimistic fixed window. No-op on v1 streams (no edges
+    /// recorded); `false` replays a v2 stream as if it were v1.
+    pub dependence_aware: bool,
 }
 
 impl Default for ReplayParams {
@@ -73,6 +88,7 @@ impl Default for ReplayParams {
             gap_cap: 0,
             max_cycles: 20_000_000_000,
             per_cycle_reference: false,
+            dependence_aware: true,
         }
     }
 }
@@ -90,6 +106,12 @@ pub struct ReplayResult {
     pub accesses: u64,
     /// Configuration records applied to the engine.
     pub configs: u64,
+    /// Loads whose issue was serialised by a recorded dependence edge:
+    /// they issued at exactly the cycle their address producer's fill
+    /// completed (dependence-aware replay only; 0 on v1 streams).
+    /// Deterministic and identical between the fast path and the
+    /// per-cycle reference.
+    pub dep_stalls: u64,
     /// Memory-side statistics (hits, misses, DRAM traffic, prefetch
     /// accounting) — directly comparable with a cycle-level run over the
     /// same stream.
@@ -102,6 +124,52 @@ impl ReplayResult {
     /// L1 read hit rate over the replayed stream.
     pub fn l1_read_hit_rate(&self) -> f64 {
         self.mem.l1.read_hit_rate()
+    }
+}
+
+/// Completed-load ring for dependence tracking. Sized for the common
+/// case (in-ROB producers sit tens of load records back); distances
+/// beyond the ring — a base pointer loaded once feeding addresses much
+/// later — fall back to an exact scan of the (window-bounded) in-flight
+/// set, so the ring size never changes scheduling semantics.
+const DEP_RING: usize = 1024;
+
+/// Ring slot value while the load's fill is still in flight.
+const DEP_INFLIGHT: u64 = u64::MAX;
+
+/// When the load `dep` load-records before the next ordinal
+/// (`issued_loads + 1`) completed its fill: `Some(cycle)` if complete,
+/// `None` if still in flight. Distances of 0 or pointing before the
+/// stream start are trivially satisfied; producers beyond the ring are
+/// complete unless the in-flight set still holds their ordinal (the
+/// ring slot has been reused, so their completion cycle is reported as
+/// the distant past — fine, any issue after it is then window-gated,
+/// not dependence-gated).
+#[inline]
+fn dep_completed_at(
+    load_done_at: &[u64],
+    inflight_ord: &etpp_mem::FastHashMap<u64, u64>,
+    issued_loads: u64,
+    dep: u32,
+) -> Option<u64> {
+    let dep = dep as u64;
+    if dep == 0 {
+        return Some(0);
+    }
+    let next_ord = issued_loads + 1;
+    if dep >= next_ord {
+        return Some(0);
+    }
+    let producer = next_ord - dep;
+    if dep >= DEP_RING as u64 {
+        if inflight_ord.values().any(|&o| o == producer) {
+            return None;
+        }
+        return Some(0);
+    }
+    match load_done_at[(producer as usize) & (DEP_RING - 1)] {
+        DEP_INFLIGHT => None,
+        at => Some(at),
     }
 }
 
@@ -137,6 +205,19 @@ pub fn replay(
     let mut store_q: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
     let mut stores_in_mem: etpp_mem::FastHashSet<u64> = etpp_mem::FastHashSet::default();
     let mut due: Vec<etpp_mem::Completion> = Vec::new();
+    // Dependence tracking (v2 streams only — a pure-v1 stream carries no
+    // edges, so the per-load bookkeeping is skipped entirely and replay
+    // behaves bit-for-bit as before): load records get 1-based issue
+    // ordinals, `load_done` rings their completion state, and
+    // `inflight_ord` maps an in-flight access id back to its ordinal.
+    let track_deps = params.dependence_aware
+        && records
+            .iter()
+            .any(|r| matches!(r, TraceRecord::Access { dep, .. } if *dep > 0));
+    let mut load_done_at = vec![0u64; if track_deps { DEP_RING } else { 0 }];
+    let mut issued_loads: u64 = 0;
+    let mut inflight_ord: etpp_mem::FastHashMap<u64, u64> = etpp_mem::FastHashMap::default();
+    let mut dep_stalls: u64 = 0;
 
     loop {
         host_iters += 1;
@@ -146,6 +227,11 @@ pub fn replay(
         for c in &due {
             if !stores_in_mem.remove(&c.id.0) {
                 inflight -= 1;
+                if track_deps {
+                    if let Some(o) = inflight_ord.remove(&c.id.0) {
+                        load_done_at[(o as usize) & (DEP_RING - 1)] = now;
+                    }
+                }
             }
         }
 
@@ -185,6 +271,7 @@ pub fn replay(
                     kind,
                     value,
                     size,
+                    dep,
                 } => {
                     if now < next_issue_at {
                         break;
@@ -228,10 +315,41 @@ pub fn replay(
                             if inflight >= params.window {
                                 break;
                             }
+                            // Dependence gate: the recorded address
+                            // producer's fill must have completed, as
+                            // the real core cannot compute this address
+                            // before its feeding load returns. The wake
+                            // is that producer's completion, on which
+                            // `advance_to` hands control back.
+                            let producer_done_at = if track_deps {
+                                match dep_completed_at(
+                                    &load_done_at,
+                                    &inflight_ord,
+                                    issued_loads,
+                                    *dep,
+                                ) {
+                                    Some(at) => at,
+                                    None => break,
+                                }
+                            } else {
+                                0
+                            };
                             match mem.try_access(now, *vaddr, AccessKind::Load, *pc) {
-                                Ok(_) => {
+                                Ok(id) => {
                                     inflight += 1;
                                     accesses += 1;
+                                    if track_deps {
+                                        // Issued the very cycle the producer's
+                                        // fill returned: the dependence edge,
+                                        // not the window, gated this issue.
+                                        if *dep > 0 && producer_done_at == now {
+                                            dep_stalls += 1;
+                                        }
+                                        issued_loads += 1;
+                                        load_done_at[(issued_loads as usize) & (DEP_RING - 1)] =
+                                            DEP_INFLIGHT;
+                                        inflight_ord.insert(id.0, issued_loads);
+                                    }
                                     // Charge the recorded compute gap to the
                                     // next issue, clipped so capture-run
                                     // stalls do not leak into replayed time.
@@ -276,14 +394,25 @@ pub fn replay(
                 // Only a record that can actually issue pins the issue
                 // horizon: the phase above leaves `i` at an access (it
                 // applies configs inline), so ask whether *that* access
-                // has capacity — a load needs a window slot, a store a
+                // has capacity — a load needs a window slot (and, with
+                // dependence edges, its producer's fill), a store a
                 // buffer slot. A blocked head record wakes with the
                 // demand completion that frees its resource, on which
                 // `advance_to` stops.
                 let can_issue = match &records[i] {
                     TraceRecord::Config { .. } => true,
-                    TraceRecord::Access { kind, .. } => match kind {
-                        AccessKind::Load => inflight < params.window,
+                    TraceRecord::Access { kind, dep, .. } => match kind {
+                        AccessKind::Load => {
+                            inflight < params.window
+                                && (!track_deps
+                                    || dep_completed_at(
+                                        &load_done_at,
+                                        &inflight_ord,
+                                        issued_loads,
+                                        *dep,
+                                    )
+                                    .is_some())
+                        }
                         AccessKind::Store => store_q.len() < params.store_buffer,
                     },
                 };
@@ -342,6 +471,7 @@ pub fn replay(
         host_iters,
         accesses,
         configs,
+        dep_stalls,
         mem: stats,
         image,
     }
@@ -353,6 +483,10 @@ mod tests {
     use etpp_mem::NullEngine;
 
     fn mk_records(n: u64, stride: u64, base: u64) -> Vec<TraceRecord> {
+        mk_dep_records(n, stride, base, 0)
+    }
+
+    fn mk_dep_records(n: u64, stride: u64, base: u64, dep: u32) -> Vec<TraceRecord> {
         (0..n)
             .map(|i| TraceRecord::Access {
                 cycle: i,
@@ -361,6 +495,7 @@ mod tests {
                 kind: AccessKind::Load,
                 value: 0,
                 size: 0,
+                dep: if i == 0 { 0 } else { dep },
             })
             .collect()
     }
@@ -408,6 +543,7 @@ mod tests {
             kind: AccessKind::Store,
             value: 0xdead_beef,
             size: 8,
+            dep: 0,
         }];
         let mut engine = NullEngine;
         let r = replay(
@@ -457,6 +593,156 @@ mod tests {
             "window 2 ({}) should be much slower than window 16 ({})",
             narrow.cycles,
             wide.cycles
+        );
+    }
+
+    #[test]
+    fn beyond_ring_producers_consult_the_inflight_set() {
+        // A producer more than DEP_RING load-records back has lost its
+        // ring slot; satisfaction must fall back to the exact in-flight
+        // scan rather than assume completion (issue_gap 0 + cache hits
+        // can run through >1024 ordinals while a DRAM miss is pending).
+        let ring = vec![0u64; DEP_RING];
+        let mut inflight: etpp_mem::FastHashMap<u64, u64> = Default::default();
+        let issued: u64 = 3000;
+        let dep = (DEP_RING + 100) as u32; // producer ordinal 3001 - 1124 = 1877
+        assert_eq!(dep_completed_at(&ring, &inflight, issued, dep), Some(0));
+        inflight.insert(42, 1877);
+        assert_eq!(
+            dep_completed_at(&ring, &inflight, issued, dep),
+            None,
+            "an in-flight beyond-ring producer must still gate issue"
+        );
+        inflight.remove(&42);
+        inflight.insert(42, 1878);
+        assert_eq!(dep_completed_at(&ring, &inflight, issued, dep), Some(0));
+        // Distances past the stream start are trivially satisfied.
+        assert_eq!(dep_completed_at(&ring, &inflight, 5, 9), Some(0));
+    }
+
+    #[test]
+    fn dependence_edges_serialise_pointer_chases() {
+        // 64 loads to distinct DRAM lines. Independent (dep 0) they
+        // overlap up to the window; as a recorded chase (dep 1 each)
+        // every load must wait for the previous fill — replay must
+        // approach 64 serial round trips.
+        let (image, base) = image_with(1 << 22);
+        let indep = mk_records(64, 4096, base);
+        let chase = mk_dep_records(64, 4096, base, 1);
+        let mut e1 = NullEngine;
+        let overlapped = replay(
+            &ReplayParams::default(),
+            MemParams::paper(),
+            image.clone(),
+            &indep,
+            &mut e1,
+        );
+        let mut e2 = NullEngine;
+        let serialised = replay(
+            &ReplayParams::default(),
+            MemParams::paper(),
+            image,
+            &chase,
+            &mut e2,
+        );
+        assert_eq!(serialised.accesses, 64);
+        assert!(serialised.dep_stalls > 32, "chase must stall on producers");
+        assert_eq!(overlapped.dep_stalls, 0);
+        assert!(
+            serialised.cycles > overlapped.cycles * 3,
+            "dependent chase ({}) must be much slower than independent loads ({})",
+            serialised.cycles,
+            overlapped.cycles
+        );
+    }
+
+    #[test]
+    fn dependence_edges_are_ignored_when_disabled() {
+        let (image, base) = image_with(1 << 22);
+        let chase = mk_dep_records(64, 4096, base, 1);
+        let mut e1 = NullEngine;
+        let v1_like = replay(
+            &ReplayParams {
+                dependence_aware: false,
+                ..ReplayParams::default()
+            },
+            MemParams::paper(),
+            image.clone(),
+            &chase,
+            &mut e1,
+        );
+        let mut e2 = NullEngine;
+        let indep = replay(
+            &ReplayParams::default(),
+            MemParams::paper(),
+            image,
+            &mk_records(64, 4096, base),
+            &mut e2,
+        );
+        assert_eq!(v1_like.dep_stalls, 0);
+        assert_eq!(
+            v1_like.cycles, indep.cycles,
+            "dependence_aware=false must replay a v2 stream exactly like v1"
+        );
+    }
+
+    #[test]
+    fn dependence_aware_fast_path_matches_per_cycle_reference() {
+        // Mixed dep distances + interleaved stores: the event-horizon
+        // fast-forward must stay bit-identical to unit ticking when the
+        // front end parks on producer fills.
+        let (image, base) = image_with(1 << 22);
+        let mut recs = Vec::new();
+        for i in 0..200u64 {
+            recs.push(TraceRecord::Access {
+                cycle: i,
+                pc: 0x40,
+                vaddr: base + (i * 2657) % (1 << 21),
+                kind: AccessKind::Load,
+                value: 0,
+                size: 0,
+                dep: match i % 5 {
+                    0 => 0,
+                    1 => 1,
+                    2 => 2,
+                    _ => (i % 4) as u32,
+                },
+            });
+            if i % 7 == 0 {
+                recs.push(TraceRecord::Access {
+                    cycle: i,
+                    pc: 0x44,
+                    vaddr: base + (i * 389) % (1 << 21),
+                    kind: AccessKind::Store,
+                    value: i,
+                    size: 8,
+                    dep: 0,
+                });
+            }
+        }
+        let run = |per_cycle_reference: bool, image: MemoryImage| {
+            let mut engine = NullEngine;
+            replay(
+                &ReplayParams {
+                    per_cycle_reference,
+                    ..ReplayParams::default()
+                },
+                MemParams::paper(),
+                image,
+                &recs,
+                &mut engine,
+            )
+        };
+        let fast = run(false, image.clone());
+        let reference = run(true, image);
+        assert_eq!(fast.cycles, reference.cycles, "cycle counts must match");
+        assert_eq!(fast.mem, reference.mem, "memory stats must match");
+        assert_eq!(fast.dep_stalls, reference.dep_stalls);
+        assert!(
+            fast.host_iters < reference.host_iters,
+            "fast path must skip cycles ({} vs {})",
+            fast.host_iters,
+            reference.host_iters
         );
     }
 

@@ -62,6 +62,7 @@ fn materialise(raw: Vec<RawRec>) -> Vec<TraceRecord> {
                 kind: AccessKind::Store,
                 value,
                 size: [1u8, 4, 8][size_sel as usize % 3],
+                dep: 0,
             },
             _ => TraceRecord::Access {
                 cycle,
@@ -70,6 +71,9 @@ fn materialise(raw: Vec<RawRec>) -> Vec<TraceRecord> {
                 kind: AccessKind::Load,
                 value: 0,
                 size: 0,
+                // Arbitrary dependence distances (far beyond real ROB
+                // bounds too) must survive the v2 encoding.
+                dep: (value >> 32) as u32 % 1000,
             },
         };
         out.push(rec);

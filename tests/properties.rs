@@ -3,6 +3,9 @@
 use etpp::cpu::{Core, CoreParams, TraceBuilder};
 use etpp::isa::{run_kernel, EventCtx, Inst, Kernel};
 use etpp::mem::{AccessKind, Cache, CacheParams, MemParams, MemoryImage, MemorySystem, NullEngine};
+use etpp::trace::{
+    content_hash_versioned, TraceMeta, TraceReader, TraceRecord, TraceWriter, FORMAT_VERSION,
+};
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------------------
@@ -191,4 +194,192 @@ proptest! {
         }
         let _ = AccessKind::Load;
     }
+}
+
+// ---------------------------------------------------------------------------
+// Trace format v2: dependence-annotated streams round-trip exactly
+// ---------------------------------------------------------------------------
+
+/// Raw generator output folded into a well-formed v2 record stream:
+/// cycles non-decreasing, loads carrying dependence distances (far
+/// beyond real ROB bounds too), stores carrying payloads but no edges.
+/// Raw v2 generator output: `((dcycle, pc, vaddr), (selector, value, dep))`.
+type RawV2 = ((u64, u32, u64), (u8, u64, u32));
+
+fn materialise_v2(raw: Vec<RawV2>) -> Vec<TraceRecord> {
+    let mut cycle = 0u64;
+    let mut out = Vec::with_capacity(raw.len());
+    for ((dcycle, pc, vaddr), (sel, value, dep)) in raw {
+        cycle += dcycle;
+        out.push(if sel % 4 == 0 {
+            TraceRecord::Access {
+                cycle,
+                pc,
+                vaddr,
+                kind: AccessKind::Store,
+                value,
+                size: [1u8, 4, 8][sel as usize % 3],
+                dep: 0,
+            }
+        } else {
+            TraceRecord::Access {
+                cycle,
+                pc,
+                vaddr,
+                kind: AccessKind::Load,
+                value: 0,
+                size: 0,
+                dep,
+            }
+        });
+    }
+    out
+}
+
+proptest! {
+    /// Arbitrary dependence-annotated streams survive the v2 encoding
+    /// bit-identically: write → read is the identity (edges included),
+    /// re-encoding is byte-stable, and the content hash agrees between
+    /// writer, reader and the standalone hasher.
+    #[test]
+    fn v2_streams_roundtrip_with_dependence_edges(
+        raw in proptest::collection::vec(
+            ((0u64..10_000, any::<u32>(), any::<u64>()), (0u8..8, any::<u64>(), 0u32..5_000)),
+            0..300,
+        )
+    ) {
+        let records = materialise_v2(raw);
+        let meta = TraceMeta::new("prop-v2", "tiny").with_capture_cycles(records.len() as u64);
+
+        let write = || {
+            let mut buf = Vec::new();
+            let mut w = TraceWriter::new(&mut buf, &meta).unwrap();
+            for r in &records {
+                w.record(r).unwrap();
+            }
+            let (_, hash) = w.finish().unwrap();
+            (buf, hash)
+        };
+        let (bytes, written_hash) = write();
+        prop_assert_eq!(write().0, bytes.clone(), "encoding must be deterministic");
+        prop_assert_eq!(written_hash, content_hash_versioned(&records, FORMAT_VERSION));
+
+        let reader = TraceReader::new(bytes.as_slice()).unwrap();
+        prop_assert_eq!(reader.version(), FORMAT_VERSION);
+        prop_assert_eq!(reader.meta(), &meta);
+        let back = reader.read_to_end().unwrap();
+        prop_assert_eq!(back.records, records);
+        prop_assert_eq!(&back.meta, &meta);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backward compatibility: the checked-in v1 golden fixture stays readable
+// ---------------------------------------------------------------------------
+
+/// The record stream behind `tests/data/golden_v1.etpt`, as captured
+/// (dependence edges included — the v1 encoding drops them, which is
+/// exactly what the fixture pins).
+fn golden_records() -> Vec<TraceRecord> {
+    let mut out = Vec::new();
+    let mut x = 0x2545f4914f6cdd1du64;
+    let mut cycle = 0u64;
+    for i in 0..200u64 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        cycle += x % 7;
+        out.push(if i % 6 == 5 {
+            TraceRecord::Access {
+                cycle,
+                pc: 0x80 + (i as u32 % 4) * 4,
+                vaddr: 0x2_0000 + ((x % 0x1_0000) & !7),
+                kind: AccessKind::Store,
+                value: x,
+                size: 8,
+                dep: 0,
+            }
+        } else {
+            TraceRecord::Access {
+                cycle,
+                pc: 0x40 + (i as u32 % 3) * 4,
+                vaddr: 0x1_0000 + ((x % 0x1_0000) & !7),
+                kind: AccessKind::Load,
+                value: 0,
+                size: 0,
+                dep: (i % 5) as u32,
+            }
+        });
+    }
+    out
+}
+
+/// [`golden_records`] as a version-1 reader must present them: edges
+/// stripped.
+fn golden_records_v1() -> Vec<TraceRecord> {
+    golden_records()
+        .into_iter()
+        .map(|r| match r {
+            TraceRecord::Access {
+                cycle,
+                pc,
+                vaddr,
+                kind,
+                value,
+                size,
+                ..
+            } => TraceRecord::Access {
+                cycle,
+                pc,
+                vaddr,
+                kind,
+                value,
+                size,
+                dep: 0,
+            },
+            c => c,
+        })
+        .collect()
+}
+
+/// A version-2-writing build must keep reading version-1 files exactly:
+/// same records (edges zero), same metadata, verified footer. The
+/// fixture bytes are checked in, so encoder drift cannot silently
+/// rewrite history.
+#[test]
+fn golden_v1_fixture_stays_readable() {
+    let bytes: &[u8] = include_bytes!("data/golden_v1.etpt");
+    let reader = TraceReader::new(bytes).expect("golden v1 header must parse");
+    assert_eq!(reader.version(), 1);
+    assert_eq!(reader.meta().workload, "golden");
+    assert_eq!(reader.meta().scale, "fixture");
+    assert_eq!(reader.meta().capture_cycles, 0, "v1 carries no cycle count");
+    let back = reader.read_to_end().expect("golden v1 body must verify");
+    let expected = golden_records_v1();
+    assert_eq!(back.records.len(), expected.len());
+    assert_eq!(back.records, expected);
+    assert_eq!(
+        content_hash_versioned(&back.records, 1),
+        content_hash_versioned(&expected, 1)
+    );
+}
+
+/// Regenerates the golden fixture from [`golden_records`]. Ignored: run
+/// manually (`cargo test --test properties -- --ignored regenerate`)
+/// only when the v1 layout legitimately needs re-pinning — which it
+/// should not, that is the point of a frozen format version.
+#[test]
+#[ignore = "writes tests/data/golden_v1.etpt; the fixture is meant to stay frozen"]
+fn regenerate_golden_v1_fixture() {
+    let meta = TraceMeta::new("golden", "fixture").with_capture_cycles(777);
+    let mut buf = Vec::new();
+    let mut w = TraceWriter::with_version(&mut buf, &meta, 1).unwrap();
+    for r in &golden_records() {
+        w.record(r).unwrap();
+    }
+    w.finish().unwrap();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/golden_v1.etpt");
+    std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap()).unwrap();
+    std::fs::write(path, &buf).unwrap();
+    eprintln!("wrote {path} ({} bytes)", buf.len());
 }
