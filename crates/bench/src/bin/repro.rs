@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! repro [--scale tiny|small|paper] [--jobs N] \
-//!       [table1|table2|fig7|fig8|fig9a|fig9b|fig10|fig11|traffic|swpf|all]
+//!       [table1|table2|fig7|fig8|fig9a|fig9b|fig10|fig11|traffic|swpf|telemetry|all]
 //! repro --replay [--trace-dir DIR] [--trace-format 1|2] [--jobs N] \
 //!       [--scale tiny|small|paper]
+//! repro --telemetry DIR [--scale tiny|small|paper] [--jobs N]
 //! ```
 //!
 //! `--jobs N` (default: available parallelism) shards every grid —
@@ -24,6 +25,18 @@
 //! absolute-cycle agreement column against the capture run; 1 opts back
 //! into the legacy fixed-window model).
 //!
+//! `--telemetry DIR` enables the observability stack on the telemetry
+//! grid (IntSort + HJ-8 across the main engines): prefetch-lifecycle
+//! classification tables, phase-timeline summaries, and — per cell —
+//! `<wl>-<mode>.phases.json` (the interval counter time-series),
+//! `<wl>-<mode>.registry.json` (all merged counters/histograms) and
+//! `<wl>-<mode>.trace.json` (a Chrome-trace-event span log, loadable in
+//! Perfetto / `chrome://tracing`) written under DIR. On its own it runs
+//! just the `telemetry` experiment; combined with explicit experiment
+//! names (or `all`) it appends the telemetry grid to them. Telemetry
+//! never changes simulation results — runs are bit-identical with it
+//! on or off (pinned by the equivalence suite).
+//!
 //! Output is GitHub-flavoured Markdown on stdout, suitable for pasting into
 //! EXPERIMENTS.md.
 
@@ -38,6 +51,7 @@ fn main() {
     let mut scale = Scale::Small;
     let mut what: Vec<String> = Vec::new();
     let mut replay = false;
+    let mut telemetry_dir: Option<PathBuf> = None;
     let mut trace_dir = PathBuf::from("target/traces");
     let mut trace_format = etpp_trace::FORMAT_VERSION;
     let mut jobs = std::thread::available_parallelism().map_or(4, |n| n.get());
@@ -48,6 +62,8 @@ fn main() {
             scale = etpp_bench::parse_scale(v).expect("scale: tiny|small|paper");
         } else if a == "--replay" {
             replay = true;
+        } else if a == "--telemetry" {
+            telemetry_dir = Some(PathBuf::from(it.next().expect("--telemetry needs a dir")));
         } else if a == "--trace-dir" {
             trace_dir = PathBuf::from(it.next().expect("--trace-dir needs a path"));
         } else if a == "--trace-format" {
@@ -83,7 +99,12 @@ fn main() {
         run_replay(scale, &trace_dir, trace_format, jobs);
         return;
     }
-    if what.is_empty() || what.iter().any(|w| w == "all") {
+    // `--telemetry DIR` alone runs just the telemetry grid; alongside
+    // explicit experiments (or the default `all` expansion) it rides
+    // after them.
+    if what.is_empty() && telemetry_dir.is_some() {
+        what.push("telemetry".to_string());
+    } else if what.is_empty() || what.iter().any(|w| w == "all") {
         what = [
             "table1", "table2", "fig7", "fig8", "fig9a", "fig9b", "fig10", "fig11", "traffic",
             "swpf", "ablate",
@@ -91,6 +112,11 @@ fn main() {
         .into_iter()
         .map(String::from)
         .collect();
+        if telemetry_dir.is_some() {
+            what.push("telemetry".to_string());
+        }
+    } else if telemetry_dir.is_some() && !what.iter().any(|w| w == "telemetry") {
+        what.push("telemetry".to_string());
     }
 
     let cfg = SystemConfig::paper();
@@ -201,9 +227,72 @@ fn main() {
                 );
             }
             "swpf" => println!("{}", report::swpf_table(&ex::swpf_overhead(&workloads))),
+            "telemetry" => {
+                let dir = telemetry_dir
+                    .clone()
+                    .unwrap_or_else(|| PathBuf::from("target/telemetry"));
+                run_telemetry_report(scale, &cfg, &workloads, &dir, jobs);
+            }
             other => eprintln!("unknown experiment: {other}"),
         }
         eprintln!("[{w}] done in {:?}", t.elapsed());
+    }
+}
+
+/// Filename-safe key for a telemetry artifact's mode segment.
+fn mode_file_key(mode: PrefetchMode) -> &'static str {
+    match mode {
+        PrefetchMode::None => "none",
+        PrefetchMode::Stride => "stride",
+        PrefetchMode::GhbRegular => "ghb_regular",
+        PrefetchMode::GhbLarge => "ghb_large",
+        PrefetchMode::Software => "software",
+        PrefetchMode::Pragma => "pragma",
+        PrefetchMode::Converted => "converted",
+        PrefetchMode::Manual => "manual",
+        PrefetchMode::Blocked => "blocked",
+    }
+}
+
+/// The `telemetry` experiment: runs the observability grid (IntSort +
+/// HJ-8 across the main engines), prints the lifecycle and
+/// phase-summary tables, and writes each cell's phase series, merged
+/// registry and Chrome trace under `dir`.
+fn run_telemetry_report(
+    scale: Scale,
+    cfg: &SystemConfig,
+    workloads: &[etpp_workloads::BuiltWorkload],
+    dir: &std::path::Path,
+    jobs: usize,
+) {
+    let targets: Vec<&etpp_workloads::BuiltWorkload> = ["IntSort", "HJ-8"]
+        .iter()
+        .filter_map(|name| workloads.iter().find(|w| w.name == *name))
+        .collect();
+    assert!(!targets.is_empty(), "telemetry workloads not built");
+    let modes = [
+        PrefetchMode::Stride,
+        PrefetchMode::GhbRegular,
+        PrefetchMode::Converted,
+        PrefetchMode::Manual,
+    ];
+    let spec = etpp_sim::TelemetrySpec::full(ex::sample_interval(scale));
+    let cells = ex::telemetry_grid(cfg, &targets, &modes, &spec, jobs);
+
+    println!("{}", report::lifecycle_table(&cells));
+    println!("{}", report::phase_summary_table(&cells));
+
+    std::fs::create_dir_all(dir).expect("create telemetry dir");
+    for c in &cells {
+        let stem = format!("{}-{}", c.workload, mode_file_key(c.mode));
+        let write = |suffix: &str, body: String| {
+            let path = dir.join(format!("{stem}.{suffix}.json"));
+            std::fs::write(&path, body).expect("write telemetry artifact");
+            eprintln!("[telemetry] wrote {}", path.display());
+        };
+        write("phases", c.report.phases_json());
+        write("registry", c.report.registry_json());
+        write("trace", c.report.chrome_trace_json());
     }
 }
 

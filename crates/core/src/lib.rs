@@ -60,5 +60,6 @@ pub use ewma::{Ewma, EwmaBank};
 pub use filter::{FilterEntry, FilterTable};
 pub use ppu::{Ppu, PpuState};
 pub use prefetcher::{
-    PfCounters, PfEngineStats, PrefetchProgramBuilder, PrefetcherParams, ProgrammablePrefetcher,
+    EngineTelemetry, PfCounters, PfEngineStats, PrefetchProgramBuilder, PrefetcherParams,
+    ProgrammablePrefetcher,
 };

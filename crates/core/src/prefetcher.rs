@@ -10,8 +10,30 @@ use crate::filter::{FilterEntry, FilterTable};
 use crate::ppu::Ppu;
 use etpp_isa::{run_kernel, EventCtx, Kernel, KernelId, Program};
 use etpp_mem::{ConfigOp, DemandEvent, Line, PrefetchEngine, PrefetchRequest, TagId};
+use etpp_telemetry::{Hist, Registry};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+
+/// Engine-side observability: occupancy distributions of the
+/// observation and request queues, sampled at each enqueue. Attached
+/// behind an `Option<Box<..>>` (one pointer null-check when disabled);
+/// pure observation, so engine behaviour and [`PfEngineStats`] are
+/// bit-identical with telemetry on or off.
+#[derive(Debug, Default)]
+pub struct EngineTelemetry {
+    /// Observation-queue occupancy after each enqueue.
+    pub obs_q_depth: Hist,
+    /// Request-queue occupancy after each release.
+    pub req_q_depth: Hist,
+}
+
+impl EngineTelemetry {
+    /// Publishes both histograms into a registry under `engine.*`.
+    pub fn publish(&self, reg: &mut Registry) {
+        reg.put_hist("engine.obs_q_depth", &self.obs_q_depth);
+        reg.put_hist("engine.req_q_depth", &self.req_q_depth);
+    }
+}
 
 /// Number of distinct memory-request tags supported.
 const NUM_TAGS: usize = 64;
@@ -281,6 +303,8 @@ pub struct ProgrammablePrefetcher {
     scratch_events: Vec<(KernelId, u64)>,
     /// Scratch: kernel emissions collected per dispatch.
     scratch_emissions: Vec<Emission>,
+    /// Optional observability collector (`None` = disabled, free).
+    tel: Option<Box<EngineTelemetry>>,
     /// Debug builds count scratch-buffer reallocations so tests can
     /// assert the hot path is allocation-free once warm.
     #[cfg(debug_assertions)]
@@ -310,6 +334,7 @@ impl ProgrammablePrefetcher {
             scratch_hits: Vec::with_capacity(params.max_ranges),
             scratch_events: Vec::with_capacity(params.max_ranges + 1),
             scratch_emissions: Vec::with_capacity(16),
+            tel: None,
             #[cfg(debug_assertions)]
             scratch_regrows: 0,
             params,
@@ -360,6 +385,21 @@ impl ProgrammablePrefetcher {
         self.scratch_regrows
     }
 
+    /// Attaches an observability collector (see [`EngineTelemetry`]).
+    pub fn enable_telemetry(&mut self) {
+        self.tel = Some(Box::default());
+    }
+
+    /// The attached collector, if telemetry is enabled.
+    pub fn telemetry(&self) -> Option<&EngineTelemetry> {
+        self.tel.as_deref()
+    }
+
+    /// Detaches the collector for publishing.
+    pub fn take_telemetry(&mut self) -> Option<Box<EngineTelemetry>> {
+        self.tel.take()
+    }
+
     /// Simulates a context switch (§5.3): transient state — queues, PPU
     /// registers, EWMA values — is discarded; the configuration (filter
     /// table, globals, tag bindings) survives.
@@ -387,6 +427,9 @@ impl ProgrammablePrefetcher {
         }
         self.stats.obs_enqueued += 1;
         self.obs_q.push_back(obs);
+        if let Some(tel) = self.tel.as_deref_mut() {
+            tel.obs_q_depth.record(self.obs_q.len() as u64);
+        }
     }
 
     /// Whether a prefetch to `vaddr` with `tag` will trigger a further
@@ -482,6 +525,9 @@ impl ProgrammablePrefetcher {
                 }
             }
             self.req_q.push_back(r.rel);
+            if let Some(tel) = self.tel.as_deref_mut() {
+                tel.req_q_depth.record(self.req_q.len() as u64);
+            }
         }
     }
 

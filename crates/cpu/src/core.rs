@@ -23,8 +23,30 @@
 use crate::bpred::{BranchPredictor, BranchPredictorParams};
 use crate::trace::{OpClass, Trace};
 use etpp_mem::{AccessKind, Completion, ConfigOp, MemorySystem, Rejection};
+use etpp_telemetry::{Hist, Registry};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Core-side observability: occupancy distributions of the load and
+/// store queues, sampled at each issue/enqueue. Attached to a [`Core`]
+/// behind an `Option<Box<..>>` (one pointer null-check when disabled);
+/// pure observation, so timing and [`CoreStats`] are bit-identical with
+/// telemetry on or off.
+#[derive(Debug, Default)]
+pub struct CoreTelemetry {
+    /// Load-queue occupancy after each successful load issue.
+    pub lq_depth: Hist,
+    /// Store-queue occupancy after each store dispatch.
+    pub sq_depth: Hist,
+}
+
+impl CoreTelemetry {
+    /// Publishes both histograms into a registry under `core.*`.
+    pub fn publish(&self, reg: &mut Registry) {
+        reg.put_hist("core.lq_depth", &self.lq_depth);
+        reg.put_hist("core.sq_depth", &self.sq_depth);
+    }
+}
 
 /// Core configuration (Table 1 defaults via [`CoreParams::paper`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -302,6 +324,8 @@ pub struct Core<'t> {
     /// Scratch buffer for draining due memory completions without a
     /// per-cycle allocation.
     completions_scratch: Vec<Completion>,
+    /// Optional observability collector (`None` = disabled, free).
+    tel: Option<Box<CoreTelemetry>>,
     /// Statistics.
     pub stats: CoreStats,
 }
@@ -334,6 +358,7 @@ impl<'t> Core<'t> {
             load_seq: Vec::new(),
             captured_loads: 0,
             completions_scratch: Vec::new(),
+            tel: None,
             stats: CoreStats::default(),
             params,
             trace,
@@ -403,6 +428,21 @@ impl<'t> Core<'t> {
     /// Takes every event captured so far (retirement order).
     pub fn take_captured(&mut self) -> Vec<RetiredEvent> {
         self.captured.take().unwrap_or_default()
+    }
+
+    /// Attaches an observability collector (see [`CoreTelemetry`]).
+    pub fn enable_telemetry(&mut self) {
+        self.tel = Some(Box::default());
+    }
+
+    /// The attached collector, if telemetry is enabled.
+    pub fn telemetry(&self) -> Option<&CoreTelemetry> {
+        self.tel.as_deref()
+    }
+
+    /// Detaches the collector for publishing.
+    pub fn take_telemetry(&mut self) -> Option<Box<CoreTelemetry>> {
+        self.tel.take()
     }
 
     /// Branch predictor accuracy access for reporting.
@@ -865,6 +905,9 @@ impl<'t> Core<'t> {
                             self.lq_inflight += 1;
                             self.inflight_loads.insert(id.0, idx);
                             self.stats.loads_issued += 1;
+                            if let Some(tel) = self.tel.as_deref_mut() {
+                                tel.lq_depth.record(self.lq_inflight as u64);
+                            }
                             issued += 1;
                         }
                         Err(Rejection::Fault) => {
@@ -942,6 +985,9 @@ impl<'t> Core<'t> {
                     state: SqState::WaitRetire,
                     access: u64::MAX,
                 });
+                if let Some(tel) = self.tel.as_deref_mut() {
+                    tel.sq_depth.record(self.sq.len() as u64);
+                }
             }
 
             // Resolve dependencies.

@@ -54,6 +54,7 @@ pub mod image;
 pub mod mshr;
 pub mod stats;
 pub mod system;
+pub mod telemetry;
 pub mod tlb;
 
 pub use addr::{line_of, offset_in_line, page_of, LINE_SIZE, PAGE_SIZE};
@@ -67,4 +68,5 @@ pub use image::{MemoryImage, Region};
 pub use mshr::{MshrFile, MshrId};
 pub use stats::{CacheStats, DramStats, MemStats, TlbStats};
 pub use system::{AccessId, AccessKind, Completion, MemParams, MemorySystem, Rejection};
+pub use telemetry::{LifecycleCounts, LifecycleTracker, MemTelemetry, PcLifecycle};
 pub use tlb::{TlbHierarchy, TlbParams};

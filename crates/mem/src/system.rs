@@ -28,7 +28,9 @@ use crate::fasthash::FastHashMap;
 use crate::image::MemoryImage;
 use crate::mshr::{MshrFile, MshrId, Waiter};
 use crate::stats::MemStats;
+use crate::telemetry::MemTelemetry;
 use crate::tlb::{TlbHierarchy, TlbParams, Translation};
+use etpp_telemetry::{SpanEvent, SpanSink};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -215,6 +217,12 @@ pub struct MemorySystem {
     /// horizon — the pre-batching reference behaviour, used by the
     /// event-horizon equivalence tests.
     engine_batching: bool,
+    /// Optional observability collector. `None` (the default) keeps
+    /// every hook to a single pointer null-check; when attached, the
+    /// collector only *reads* hierarchy state, so simulated timing and
+    /// statistics are bit-identical either way (pinned by the
+    /// equivalence suite).
+    tel: Option<Box<MemTelemetry>>,
 }
 
 impl MemorySystem {
@@ -243,9 +251,35 @@ impl MemorySystem {
             prefetches_issued: 0,
             engine_wake: 0,
             engine_batching: true,
+            tel: None,
             params,
             image,
         }
+    }
+
+    /// Attaches an observability collector. See [`MemTelemetry::new`].
+    pub fn enable_telemetry(&mut self, record_spans: bool, span_cap: usize) {
+        self.tel = Some(Box::new(MemTelemetry::new(record_spans, span_cap)));
+    }
+
+    /// The attached collector, if telemetry is enabled.
+    pub fn telemetry(&self) -> Option<&MemTelemetry> {
+        self.tel.as_deref()
+    }
+
+    /// Detaches and finalizes the collector: unresolved evicted-unused
+    /// prefetches become *useless*, and the still-in-flight /
+    /// still-resident populations are filled in from the hierarchy's
+    /// own accounting.
+    pub fn take_telemetry(&mut self) -> Option<Box<MemTelemetry>> {
+        let mut tel = self.tel.take()?;
+        let inflight = self.pf_buffer.len() as u64;
+        let s = &self.l1.stats;
+        let resident = s
+            .prefetch_fills
+            .saturating_sub(s.prefetches_used + s.prefetches_unused);
+        tel.lifecycle.finalize(inflight, resident);
+        Some(tel)
     }
 
     /// Parameters in use.
@@ -318,6 +352,20 @@ impl MemorySystem {
 
         let result = self.l1.lookup_demand(line);
         let hit = matches!(result, LookupResult::Hit { .. });
+        if let Some(tel) = self.tel.as_deref_mut() {
+            tel.mshr_occupancy.record(self.l1_mshrs.in_use() as u64);
+            tel.issue_at.insert(id.0, now);
+            // A touch of a line whose prefetch was evicted unused
+            // resolves that prefetch to *early-evicted*.
+            tel.lifecycle.on_demand_touch(line);
+            if result
+                == (LookupResult::Hit {
+                    was_prefetched: true,
+                })
+            {
+                tel.lifecycle.on_accurate(pc);
+            }
+        }
         match kind {
             AccessKind::Load => {
                 if hit {
@@ -358,6 +406,9 @@ impl MemorySystem {
             Some(mshr) => {
                 if !self.l1_mshrs.has_demand(mshr) {
                     self.l1.stats.late_prefetch_merges += 1;
+                    if let Some(tel) = self.tel.as_deref_mut() {
+                        tel.lifecycle.on_late(pc);
+                    }
                 }
                 if is_write {
                     self.l1_mshrs.set_dirty_on_fill(mshr);
@@ -371,6 +422,9 @@ impl MemorySystem {
                     if !entry.has_demand {
                         self.l1.stats.late_prefetch_merges += 1;
                         entry.has_demand = true;
+                        if let Some(tel) = self.tel.as_deref_mut() {
+                            tel.lifecycle.on_late(pc);
+                        }
                     }
                     entry.dirty_on_fill |= is_write;
                     entry.waiters.push(Waiter::Demand(id.0));
@@ -406,6 +460,10 @@ impl MemorySystem {
     pub fn try_software_prefetch(&mut self, now: u64, vaddr: u64) -> Result<(), Rejection> {
         let line = line_of(vaddr);
         if self.l1.contains(line) {
+            if let Some(tel) = self.tel.as_deref_mut() {
+                tel.lifecycle.on_issued();
+                tel.lifecycle.on_redundant();
+            }
             return Ok(()); // already present: no-op
         }
         if self.l1_mshrs.find(line).is_some() {
@@ -418,8 +476,17 @@ impl MemorySystem {
         let tlb_latency = match self.tlb.translate(now, vaddr, mapped) {
             Translation::Ready { latency } => latency,
             Translation::WalkerBusy => return Err(Rejection::WalkerBusy),
-            Translation::Fault => return Ok(()), // dropped silently
+            Translation::Fault => {
+                if let Some(tel) = self.tel.as_deref_mut() {
+                    tel.lifecycle.on_issued();
+                    tel.lifecycle.on_dropped();
+                }
+                return Ok(()); // dropped silently
+            }
         };
+        if let Some(tel) = self.tel.as_deref_mut() {
+            tel.lifecycle.on_issued();
+        }
         let mshr = self
             .l1_mshrs
             .allocate(
@@ -443,6 +510,11 @@ impl MemorySystem {
 
     #[inline]
     fn push_completion(&mut self, c: Completion) {
+        if let Some(tel) = self.tel.as_deref_mut() {
+            if let Some(t0) = tel.issue_at.remove(&c.id.0) {
+                tel.load_latency.record(c.at - t0);
+            }
+        }
         self.completions_min = self.completions_min.min(c.at);
         self.completions.push(c);
     }
@@ -506,6 +578,8 @@ impl MemorySystem {
             return;
         }
 
+        self.record_span("engine_round", now, 0, SpanSink::LANE_ENGINE);
+
         // Deliver by draining in place (the engine cannot reach back
         // into these queues), keeping each buffer's capacity instead of
         // reallocating it on every delivery round.
@@ -551,11 +625,18 @@ impl MemorySystem {
     fn inject_prefetch(&mut self, now: u64, vaddr: u64, tag: Option<TagId>, meta: u64) {
         self.prefetches_issued += 1;
         let line = line_of(vaddr);
+        if let Some(tel) = self.tel.as_deref_mut() {
+            tel.lifecycle.on_issued();
+            tel.pf_buf_depth.record(self.pf_buffer.len() as u64);
+        }
         let mapped = self.image.is_mapped(vaddr);
         let tlb_latency = match self.tlb.translate(now, vaddr, mapped) {
             Translation::Ready { latency } => latency,
             Translation::WalkerBusy | Translation::Fault => {
                 self.prefetch_drops += 1;
+                if let Some(tel) = self.tel.as_deref_mut() {
+                    tel.lifecycle.on_dropped();
+                }
                 return;
             }
         };
@@ -563,6 +644,9 @@ impl MemorySystem {
             // Already resident: the chain must still continue, so deliver
             // the fill event with the resident data after a short delay.
             self.prefetch_l1_redundant += 1;
+            if let Some(tel) = self.tel.as_deref_mut() {
+                tel.lifecycle.on_redundant();
+            }
             self.schedule(
                 now + self.params.l1.hit_latency + tlb_latency,
                 EvKind::PfLocalHit { vaddr, tag, meta },
@@ -572,6 +656,11 @@ impl MemorySystem {
         if let Some(mshr) = self.l1_mshrs.find(line) {
             // A demand miss is already fetching this line; ride along so the
             // engine still sees the fill (chains must continue).
+            if self.l1_mshrs.has_demand(mshr) {
+                if let Some(tel) = self.tel.as_deref_mut() {
+                    tel.lifecycle.on_merged_demand();
+                }
+            }
             self.l1_mshrs
                 .merge(mshr, Waiter::Prefetch { vaddr, tag, meta });
             return;
@@ -579,6 +668,9 @@ impl MemorySystem {
         if let Some(entry) = self.pf_buffer.get_mut(&line) {
             entry.waiters.push(Waiter::Prefetch { vaddr, tag, meta });
             return;
+        }
+        if let Some(tel) = self.tel.as_deref_mut() {
+            tel.pf_born.insert(line, now);
         }
         self.pf_buffer.insert(
             line,
@@ -618,9 +710,9 @@ impl MemorySystem {
                 } else if let Some(l2_mshr) =
                     self.l2_mshrs.allocate(line, Waiter::Demand(l1_mshr as u64))
                 {
-                    let done = self
-                        .dram
-                        .access_read(now + self.params.l2.hit_latency, line);
+                    let start = now + self.params.l2.hit_latency;
+                    let done = self.dram.access_read(start, line);
+                    self.record_span("dram:demand", start, done - start, SpanSink::LANE_DRAM);
                     self.schedule(done, EvKind::DramDone { l2_mshr: l2_mshr.0 });
                 } else {
                     // L2 MSHRs exhausted: park until a DRAM return
@@ -656,9 +748,9 @@ impl MemorySystem {
                             meta: 0,
                         },
                     ) {
-                        let done = self
-                            .dram
-                            .access_read(now + self.params.l2.hit_latency, line_addr);
+                        let start = now + self.params.l2.hit_latency;
+                        let done = self.dram.access_read(start, line_addr);
+                        self.record_span("dram:pf", start, done - start, SpanSink::LANE_DRAM);
                         self.schedule(done, EvKind::DramDone { l2_mshr: l2_mshr.0 });
                     } else {
                         self.l2_waiters.push_back(EvKind::PfL2Lookup { line_addr });
@@ -703,7 +795,18 @@ impl MemorySystem {
                 let line = self.l1_mshrs.line_addr(id);
                 let prefetched = !self.l1_mshrs.has_demand(id);
                 let dirty = self.l1_mshrs.dirty_on_fill(id);
+                self.record_span(
+                    if prefetched { "fill:pf" } else { "fill:demand" },
+                    now,
+                    0,
+                    SpanSink::LANE_FILLS,
+                );
                 if let Some(evicted) = self.l1.fill(line, prefetched, dirty) {
+                    if evicted.unused_prefetch {
+                        if let Some(tel) = self.tel.as_deref_mut() {
+                            tel.lifecycle.on_evicted_unused(evicted.line_addr);
+                        }
+                    }
                     if evicted.dirty {
                         // Write back into L2 (allocate on writeback miss).
                         if self.l2.contains(evicted.line_addr) {
@@ -756,7 +859,23 @@ impl MemorySystem {
                     self.engine_wake = now;
                 }
                 let prefetched = !entry.has_demand;
+                if let Some(tel) = self.tel.as_deref_mut() {
+                    if let Some(born) = tel.pf_born.remove(&line_addr) {
+                        tel.pf_buf_residency.record(now - born);
+                    }
+                }
+                self.record_span(
+                    if prefetched { "fill:pf" } else { "fill:demand" },
+                    now,
+                    0,
+                    SpanSink::LANE_FILLS,
+                );
                 if let Some(evicted) = self.l1.fill(line_addr, prefetched, entry.dirty_on_fill) {
+                    if evicted.unused_prefetch {
+                        if let Some(tel) = self.tel.as_deref_mut() {
+                            tel.lifecycle.on_evicted_unused(evicted.line_addr);
+                        }
+                    }
                     if evicted.dirty {
                         if self.l2.contains(evicted.line_addr) {
                             self.l2.mark_dirty(evicted.line_addr);
@@ -822,6 +941,15 @@ impl MemorySystem {
                     };
                     self.process(ev, _engine);
                 }
+            }
+        }
+    }
+
+    #[inline]
+    fn record_span(&mut self, name: &'static str, ts: u64, dur: u64, tid: u32) {
+        if let Some(tel) = self.tel.as_deref_mut() {
+            if tel.record_spans {
+                tel.spans.push(SpanEvent { name, ts, dur, tid });
             }
         }
     }
@@ -1283,6 +1411,123 @@ mod tests {
             mem.tick(now, &mut engine);
         }
         assert_eq!(mem.stats().prefetches_issued, n);
+    }
+
+    /// Prefetch `target`, let the fill land, then drive the taxonomy from
+    /// hand-built demand sequences (see `telemetry::LifecycleTracker`).
+    fn prefetch_and_fill(mem: &mut MemorySystem, target: u64, start: u64) -> u64 {
+        let mut engine = Queued(vec![crate::engine::PrefetchRequest {
+            vaddr: target,
+            tag: None,
+            meta: 0,
+        }]);
+        // The engine is swapped in behind the system's back.
+        mem.wake_engine();
+        for now in start..start + 2000 {
+            mem.tick(now, &mut engine);
+        }
+        start + 2000
+    }
+
+    #[test]
+    fn lifecycle_accurate_on_first_demand_hit() {
+        let (mut mem, base) = setup();
+        mem.enable_telemetry(false, 0);
+        let target = base + 8192;
+        let now = prefetch_and_fill(&mut mem, target, 0);
+        let id = mem.try_access(now, target, AccessKind::Load, 0x44).unwrap();
+        let _ = run_until_complete(&mut mem, id, now);
+        let tel = mem.take_telemetry().expect("telemetry attached");
+        let c = &tel.lifecycle.counts;
+        assert_eq!(c.issued, 1);
+        assert_eq!(c.accurate, 1);
+        assert_eq!(c.late, 0);
+        assert_eq!(tel.lifecycle.per_pc.get(&0x44).unwrap().accurate, 1);
+        assert!(tel.load_latency.count() >= 1);
+        assert!(tel.pf_buf_residency.count() >= 1);
+    }
+
+    #[test]
+    fn lifecycle_late_on_inflight_merge() {
+        let (mut mem, base) = setup();
+        mem.enable_telemetry(false, 0);
+        let target = base + 8192;
+        let mut engine = Queued(vec![crate::engine::PrefetchRequest {
+            vaddr: target,
+            tag: None,
+            meta: 0,
+        }]);
+        mem.tick(0, &mut engine);
+        // Demand arrives while the prefetch is still in flight.
+        let id = mem.try_access(5, target, AccessKind::Load, 0x48).unwrap();
+        let _ = run_until_complete(&mut mem, id, 5);
+        let tel = mem.take_telemetry().expect("telemetry attached");
+        let c = &tel.lifecycle.counts;
+        assert_eq!(c.late, 1, "in-flight merge is a late prefetch");
+        assert_eq!(c.accurate, 0);
+        assert_eq!(tel.lifecycle.per_pc.get(&0x48).unwrap().late, 1);
+    }
+
+    #[test]
+    fn lifecycle_early_vs_useless_after_unused_eviction() {
+        let (mut mem, base) = setup();
+        mem.enable_telemetry(false, 0);
+        // Prefetch two lines that map to the same L1 set (set stride for
+        // the paper L1 = 256 sets * 64B = 16KB), then evict both with
+        // demand fills of two more conflicting lines (2-way).
+        let early = base; // will be demanded after eviction
+        let useless = base + 16384; // never demanded
+        let mut now = prefetch_and_fill(&mut mem, early, 0);
+        now = prefetch_and_fill(&mut mem, useless, now);
+        for i in 2..4u64 {
+            let id = mem
+                .try_access(now, base + 16384 * i, AccessKind::Load, 0)
+                .unwrap();
+            let c = run_until_complete(&mut mem, id, now);
+            now = c.at;
+        }
+        // Touch the early line again: its prefetch was right, just too early.
+        let id = mem.try_access(now, early, AccessKind::Load, 0).unwrap();
+        let _ = run_until_complete(&mut mem, id, now);
+        let tel = mem.take_telemetry().expect("telemetry attached");
+        let c = &tel.lifecycle.counts;
+        assert_eq!(c.issued, 2);
+        assert_eq!(c.early_evicted, 1, "demanded after eviction");
+        assert_eq!(c.useless, 1, "never demanded");
+        assert_eq!(c.accurate, 0);
+        assert_eq!(c.classified(), 2);
+    }
+
+    #[test]
+    fn telemetry_does_not_change_timing_or_stats() {
+        let run = |telemetry: bool| {
+            let (mut mem, base) = setup();
+            if telemetry {
+                mem.enable_telemetry(true, 1024);
+            }
+            let mut completions = Vec::new();
+            let mut now = 0;
+            for i in 0..64u64 {
+                let id = loop {
+                    match mem.try_access(now, base + 64 * i, AccessKind::Load, i as u32) {
+                        Ok(id) => break id,
+                        Err(_) => {
+                            let mut e = NullEngine;
+                            mem.tick(now, &mut e);
+                            now += 1;
+                        }
+                    }
+                };
+                let c = run_until_complete(&mut mem, id, now);
+                now = c.at;
+                completions.push((id, c.at, c.l1_hit));
+            }
+            (completions, mem.stats())
+        };
+        let (c_off, s_off) = run(false);
+        let (c_on, s_on) = run(true);
+        assert_eq!(c_off, c_on, "telemetry must not perturb completions");
+        assert_eq!(s_off, s_on, "telemetry must not perturb stats");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Developer diagnostic: simulation wall-clock speed for the cycle-level
 //! core and the trace-replay fast path across engine modes, with a
-//! machine-readable `BENCH_speedcheck.json` (schema 4) so the perf
+//! machine-readable `BENCH_speedcheck.json` (schema 5) so the perf
 //! trajectory is tracked across PRs.
 //!
 //! ```text
@@ -9,6 +9,7 @@
 //! cargo run --release -p etpp-sim --bin speedcheck -- --jobs 4
 //! cargo run --release -p etpp-sim --bin speedcheck -- --json out.json
 //! cargo run --release -p etpp-sim --bin speedcheck -- --compare prev.json
+//! cargo run --release -p etpp-sim --bin speedcheck -- --telemetry
 //! ```
 //!
 //! Both paths report `accesses_per_s` (host throughput over the demand
@@ -26,7 +27,14 @@
 //! every replay row — replayed cycles over the cycle core's cycles for
 //! the same (workload, mode) — now that dependence-aware replay (trace
 //! format v2) makes absolute cycle counts comparable, plus the
-//! `dep_stalls` serialisation count behind it.
+//! `dep_stalls` serialisation count behind it. Schema 5 puts prefetch
+//! *quality* next to throughput: every cycle row carries
+//! `late_pf_merges` (demand misses that caught an in-flight prefetch),
+//! and `--telemetry` adds the full lifecycle classification
+//! (`issued`/`accurate`/`late`/`early_evicted`/`useless`) from a
+//! second, untimed telemetry-enabled run per cell — untimed because the
+//! timed cells stay telemetry-off, which is what the throughput gates
+//! measure.
 //!
 //! `--jobs N` shards the (workload × path × mode) cell grid across N
 //! worker threads; each cell's `wall_s` is still measured around its
@@ -41,10 +49,16 @@
 //! fast-forward factor shrank too fails the check. Cells present on
 //! only one side (schema drift, skipped modes, coverage changes) are
 //! listed explicitly so mode-coverage drift is visible in CI logs.
+//! `--compare` also applies the *telemetry-off overhead gate*: the
+//! geometric-mean throughput ratio across all compared cells must stay
+//! above 0.98 — per-cell noise averages out across the grid, so a
+//! systematic ≳2% slowdown (the budget for the disabled telemetry
+//! hooks) fails even when no individual cell trips the 20% gate.
 
-use etpp_sim::experiments::map_indexed;
+use etpp_mem::LifecycleCounts;
+use etpp_sim::experiments::{map_indexed, sample_interval};
 use etpp_sim::replay as rp;
-use etpp_sim::{run, PrefetchMode, SystemConfig, VisitCounts};
+use etpp_sim::{run, run_telemetry, PrefetchMode, SystemConfig, TelemetrySpec, VisitCounts};
 use etpp_workloads::{Scale, Workload};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -73,6 +87,13 @@ struct CycleRow {
     accesses_per_s: f64,
     validated: bool,
     visits: VisitCounts,
+    /// Demand misses that merged into an in-flight prefetch (free from
+    /// `MemStats`; prefetch timeliness next to throughput).
+    late_pf_merges: u64,
+    /// Full lifecycle classification from a second, untimed
+    /// telemetry-enabled run (`--telemetry` only; the timed run above
+    /// stays telemetry-off).
+    lifecycle: Option<LifecycleCounts>,
 }
 
 #[derive(Debug)]
@@ -129,7 +150,7 @@ fn render_json(
     reports: &[WorkloadReport],
 ) -> String {
     let mut j = String::new();
-    j.push_str("{\n  \"schema\": 4,\n  \"tool\": \"speedcheck\",\n");
+    j.push_str("{\n  \"schema\": 5,\n  \"tool\": \"speedcheck\",\n");
     let _ = writeln!(j, "  \"scale\": \"{}\",", json_escape(scale));
     let _ = writeln!(j, "  \"jobs\": {jobs},");
     let mode_list = modes
@@ -151,18 +172,27 @@ fn render_json(
                 .map(|(key, count)| format!("\"{key}\": {count}"))
                 .collect::<Vec<_>>()
                 .join(", ");
+            let lifecycle = r.lifecycle.as_ref().map_or(String::from("null"), |l| {
+                format!(
+                    "{{\"issued\": {}, \"accurate\": {}, \"late\": {}, \
+                     \"early_evicted\": {}, \"useless\": {}}}",
+                    l.issued, l.accurate, l.late, l.early_evicted, l.useless
+                )
+            });
             let _ = write!(
                 j,
                 "        {{\"mode\": \"{}\", \"cycles\": {}, \"host_iters\": {}, \
                  \"fast_forward\": {:.3}, \"wall_s\": {:.6}, \"accesses_per_s\": {:.1}, \
-                 \"validated\": {}, \"visits\": {{{visits}}}}}",
+                 \"validated\": {}, \"late_pf_merges\": {}, \"lifecycle\": {lifecycle}, \
+                 \"visits\": {{{visits}}}}}",
                 mode_key(r.mode),
                 r.cycles,
                 r.host_iters,
                 r.ff(),
                 r.wall_s,
                 r.accesses_per_s,
-                r.validated
+                r.validated,
+                r.late_pf_merges
             );
             j.push_str(if i + 1 < w.cycle.len() { ",\n" } else { "\n" });
         }
@@ -314,11 +344,14 @@ fn compare_reports(prev: &str, current: &str, threshold: f64) -> usize {
     const FF_SLACK: f64 = 0.05;
     let mut regressions = 0;
     let mut compared = 0;
+    let mut log_ratio_sum = 0.0f64;
     for cell in &new.cells {
         let Some(old_cell) = old.cells.iter().find(|c| c.key == cell.key) else {
             continue;
         };
         compared += 1;
+        log_ratio_sum +=
+            (cell.accesses_per_s / old_cell.accesses_per_s.max(f64::MIN_POSITIVE)).ln();
         let aps_drop = cell.accesses_per_s < old_cell.accesses_per_s * (1.0 - threshold);
         let ff_confirms = match (cell.fast_forward, old_cell.fast_forward) {
             // Deterministic counter also collapsed: a real regression.
@@ -355,6 +388,30 @@ fn compare_reports(prev: &str, current: &str, threshold: f64) -> usize {
             );
         }
     }
+    // Telemetry-off overhead gate: the per-cell gate tolerates 20%
+    // host noise on tens-of-milliseconds timings, but noise averages
+    // out across the grid — the geometric mean of the throughput
+    // ratios moves far less. A systematic slowdown (e.g. the disabled
+    // telemetry hooks acquiring real cost on the hot paths) drags the
+    // whole grid down together and fails here even when no single
+    // cell trips the 20% gate.
+    const OVERHEAD_GATE: f64 = 0.98;
+    if compared > 0 {
+        let geomean = (log_ratio_sum / compared as f64).exp();
+        if geomean < OVERHEAD_GATE {
+            regressions += 1;
+            eprintln!(
+                "FAIL overhead gate: geomean throughput ratio {geomean:.4} across \
+                 {compared} cells below {OVERHEAD_GATE} (>2% systematic slowdown — \
+                 check hot-path hooks that should be free when telemetry is off)"
+            );
+        } else {
+            eprintln!(
+                "overhead gate: geomean throughput ratio {geomean:.4} across \
+                 {compared} cells (floor {OVERHEAD_GATE})"
+            );
+        }
+    }
     eprintln!(
         "compare: {compared} cells compared, {regressions} regressed (>{:.0}% drop), \
          {} previous cell(s) missing from current, {} new",
@@ -368,6 +425,7 @@ fn compare_reports(prev: &str, current: &str, threshold: f64) -> usize {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let telemetry = args.iter().any(|a| a == "--telemetry");
     let jobs: usize = args
         .iter()
         .position(|a| a == "--jobs")
@@ -487,6 +545,17 @@ fn main() {
                     let l1 = &r.mem.l1;
                     let demand_accesses =
                         l1.read_hits + l1.read_misses + l1.write_hits + l1.write_misses;
+                    // The timed run above stays telemetry-off (that is
+                    // what the throughput gates measure); the lifecycle
+                    // classification comes from a separate, untimed
+                    // telemetry-enabled run over the same cell.
+                    let lifecycle = telemetry.then(|| {
+                        let spec = TelemetrySpec::counters_only(sample_interval(scale));
+                        run_telemetry(&cfg, mode, wl, &spec)
+                            .expect("expressible above")
+                            .1
+                            .lifecycle
+                    });
                     Row::Cycle(CycleRow {
                         mode,
                         cycles: r.cycles,
@@ -495,6 +564,8 @@ fn main() {
                         accesses_per_s: demand_accesses as f64 / wall,
                         validated: r.validated,
                         visits: r.visits,
+                        late_pf_merges: r.mem.l1.late_prefetch_merges,
+                        lifecycle,
                     })
                 }
                 Err(why) => Row::Skipped("cycle", mode, why.to_string()),

@@ -9,7 +9,8 @@
 //! of the worker count or scheduling.
 
 use crate::config::{PrefetchMode, SystemConfig};
-use crate::system::{run, RunResult, Skip};
+use crate::system::{run, run_telemetry, RunResult, Skip};
+use crate::telemetry::{TelemetryReport, TelemetrySpec};
 use etpp_workloads::{all_workloads, BuiltWorkload, Scale};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -140,6 +141,11 @@ pub struct Fig8Row {
     pub l2_hit_nopf: f64,
     /// L2 read hit rate with the prefetcher.
     pub l2_hit_pf: f64,
+    /// Demand misses that merged into an in-flight prefetch — the
+    /// "late prefetch" count behind the telemetry lifecycle's `late`
+    /// class, surfaced next to utilisation so timeliness appears in the
+    /// same table as accuracy.
+    pub late_pf_merges: u64,
 }
 
 /// Figure 8: L1 prefetch utilisation and read hit rates.
@@ -155,6 +161,7 @@ pub fn fig8(cfg: &SystemConfig, workloads: &[BuiltWorkload], jobs: usize) -> Vec
             l1_hit_pf: pf.mem.l1.read_hit_rate(),
             l2_hit_nopf: base.mem.l2.read_hit_rate(),
             l2_hit_pf: pf.mem.l2.read_hit_rate(),
+            late_pf_merges: pf.mem.l1.late_prefetch_merges,
         })
     })
     .into_iter()
@@ -351,6 +358,60 @@ pub fn swpf_overhead(workloads: &[BuiltWorkload]) -> Vec<SwpfOverheadRow> {
         .collect()
 }
 
+/// One telemetry-enabled (workload × mode) cell: the run result plus
+/// everything the observability stack collected during it.
+#[derive(Debug)]
+pub struct TelemetryCell {
+    /// Benchmark.
+    pub workload: &'static str,
+    /// Prefetching scheme.
+    pub mode: PrefetchMode,
+    /// The (telemetry-transparent) run result.
+    pub result: RunResult,
+    /// Counters, histograms, lifecycle classes, phase series, spans.
+    pub report: TelemetryReport,
+}
+
+/// Phase-sample interval per scale, sized so a run yields tens of
+/// samples rather than thousands (the series is meant for eyeballing
+/// phases, not cycle-accurate archaeology).
+pub fn sample_interval(scale: Scale) -> u64 {
+    match scale {
+        Scale::Tiny => 10_000,
+        Scale::Small => 100_000,
+        Scale::Paper => 2_000_000,
+    }
+}
+
+/// Runs the telemetry grid: every (workload × mode) cell with full
+/// collection per `spec`, sharded across `jobs` workers. Inexpressible
+/// cells are skipped, as in the figure grids. Cell registries are
+/// returned in index order, so any cross-cell merge (`Registry::merge`)
+/// is byte-identical for every worker count.
+pub fn telemetry_grid(
+    cfg: &SystemConfig,
+    workloads: &[&BuiltWorkload],
+    modes: &[PrefetchMode],
+    spec: &TelemetrySpec,
+    jobs: usize,
+) -> Vec<TelemetryCell> {
+    map_indexed(jobs, workloads.len() * modes.len(), |k| {
+        let w = workloads[k / modes.len()];
+        let mode = modes[k % modes.len()];
+        run_telemetry(cfg, mode, w, spec)
+            .ok()
+            .map(|(result, report)| TelemetryCell {
+                workload: w.name,
+                mode,
+                result,
+                report,
+            })
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 /// Geometric mean of the speedups for one mode.
 pub fn geomean(cells: &[SpeedupCell], mode: PrefetchMode) -> f64 {
     let vals: Vec<f64> = cells
@@ -425,6 +486,26 @@ mod tests {
         assert_eq!(
             serial, sharded,
             "worker count must never change rendered tables"
+        );
+
+        // Telemetry snapshots merged across shards must be just as
+        // worker-count-proof: merge each cell's registry in index order
+        // and compare the rendered JSON byte-for-byte.
+        let spec = TelemetrySpec::counters_only(10_000);
+        let refs: Vec<&BuiltWorkload> = workloads.iter().collect();
+        let merged_json = |jobs: usize| {
+            let cells = telemetry_grid(&cfg, &refs, &modes, &spec, jobs);
+            assert_eq!(cells.len(), refs.len() * modes.len());
+            let mut merged = etpp_telemetry::Registry::new();
+            for c in &cells {
+                merged.merge(&c.report.registry);
+            }
+            merged.to_json()
+        };
+        assert_eq!(
+            merged_json(1),
+            merged_json(4),
+            "merged telemetry registries must be byte-identical for any worker count"
         );
     }
 

@@ -16,8 +16,12 @@ pub mod experiments;
 pub mod replay;
 pub mod report;
 pub mod system;
+pub mod telemetry;
 
 pub use config::{PrefetchMode, SystemConfig};
 pub use etpp_cpu::HorizonSource;
 pub use replay::{load_or_capture, replay_grid, replay_run, ReplayRun};
-pub use system::{make_engine, run, run_captured, Engine, RunResult, Skip, VisitCounts};
+pub use system::{
+    make_engine, run, run_captured, run_telemetry, Engine, RunResult, Skip, VisitCounts,
+};
+pub use telemetry::{TelemetryReport, TelemetrySpec};

@@ -1,7 +1,9 @@
 //! Plain-text rendering of experiment results in the paper's layout.
 
 use crate::config::PrefetchMode;
-use crate::experiments::{Fig10Row, Fig8Row, Fig9aRow, SpeedupCell, SwpfOverheadRow, TrafficRow};
+use crate::experiments::{
+    Fig10Row, Fig8Row, Fig9aRow, SpeedupCell, SwpfOverheadRow, TelemetryCell, TrafficRow,
+};
 
 fn fmt_speedup(s: Option<f64>) -> String {
     match s {
@@ -51,13 +53,76 @@ pub fn speedup_table(title: &str, cells: &[SpeedupCell], modes: &[PrefetchMode])
 pub fn fig8_table(rows: &[Fig8Row]) -> String {
     let mut out = String::from(
         "## Figure 8: prefetch utilisation and hit rates (Manual)\n\n\
-         | Benchmark | L1 PF utilisation | L1 hit (no PF) | L1 hit (PF) | L2 hit (no PF) | L2 hit (PF) |\n\
-         |---|---|---|---|---|---|\n",
+         | Benchmark | L1 PF utilisation | L1 hit (no PF) | L1 hit (PF) | L2 hit (no PF) | L2 hit (PF) | Late PF merges |\n\
+         |---|---|---|---|---|---|---|\n",
     );
     for r in rows {
         out += &format!(
-            "| {} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} |\n",
-            r.workload, r.l1_utilisation, r.l1_hit_nopf, r.l1_hit_pf, r.l2_hit_nopf, r.l2_hit_pf
+            "| {} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {} |\n",
+            r.workload,
+            r.l1_utilisation,
+            r.l1_hit_nopf,
+            r.l1_hit_pf,
+            r.l2_hit_nopf,
+            r.l2_hit_pf,
+            r.late_pf_merges
+        );
+    }
+    out
+}
+
+/// Renders the prefetch lifecycle classification per (workload, engine):
+/// what fraction of classified prefetches were accurate, late,
+/// early-evicted or useless (see `etpp_mem::LifecycleCounts`).
+pub fn lifecycle_table(cells: &[TelemetryCell]) -> String {
+    let mut out = String::from(
+        "## Prefetch lifecycle (telemetry)\n\n\
+         Percentages are of *classified* prefetches (reached a terminal class);\n\
+         `issued` also counts dropped/redundant/demand-merged requests and\n\
+         prefetches still in flight or resident-unused at run end.\n\n\
+         | Benchmark | Engine | Issued | Accurate | Late | Early-evicted | Useless | Late PF merges |\n\
+         |---|---|---|---|---|---|---|---|\n",
+    );
+    for c in cells {
+        let l = &c.report.lifecycle;
+        out += &format!(
+            "| {} | {} | {} | {:.1}% | {:.1}% | {:.1}% | {:.1}% | {} |\n",
+            c.workload,
+            c.mode.label(),
+            l.issued,
+            l.pct(l.accurate),
+            l.pct(l.late),
+            l.pct(l.early_evicted),
+            l.pct(l.useless),
+            c.result.mem.l1.late_prefetch_merges,
+        );
+    }
+    out
+}
+
+/// Renders a summary of each cell's phase time-series and span log: how
+/// much the sampler and the trace exporter actually captured, plus the
+/// end-of-run load-latency distribution as a quick-look.
+pub fn phase_summary_table(cells: &[TelemetryCell]) -> String {
+    let mut out = String::from(
+        "## Phase timelines and trace spans (telemetry)\n\n\
+         | Benchmark | Engine | Cycles | Samples | Interval | Load-lat p50 | Load-lat p99 | Spans | Dropped |\n\
+         |---|---|---|---|---|---|---|---|---|\n",
+    );
+    for c in cells {
+        let lat = c.report.registry.hist("mem.load_latency");
+        let (p50, p99) = lat.map_or((0, 0), |h| (h.quantile(0.5), h.quantile(0.99)));
+        out += &format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            c.workload,
+            c.mode.label(),
+            c.result.cycles,
+            c.report.phases.samples.len(),
+            c.report.phases.interval,
+            p50,
+            p99,
+            c.report.spans.len(),
+            c.report.spans_dropped,
         );
     }
     out

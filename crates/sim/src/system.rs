@@ -6,10 +6,12 @@
 //! across an entire parameter sweep.
 
 use crate::config::{PrefetchMode, SystemConfig};
+use crate::telemetry::{hist_columns, PhaseSampler, TelemetryReport, TelemetrySpec};
 use etpp_baselines::{GhbParams, GhbPrefetcher, StrideParams, StridePrefetcher};
 use etpp_core::{PfEngineStats, PrefetcherParams, ProgrammablePrefetcher};
 use etpp_cpu::{Core, CoreStats, HorizonSource, RetiredEvent, Trace};
 use etpp_mem::{MemStats, MemorySystem, NullEngine, PrefetchEngine};
+use etpp_telemetry::{Registry, SpanEvent, SpanSink};
 use etpp_workloads::{checksum_region, BuiltWorkload, PrefetchSetup};
 
 /// Per-source driver-visit attribution: how many visited cycles each
@@ -221,7 +223,27 @@ fn select<'w>(
 /// Panics if the simulation exceeds `cfg.max_cycles` (deadlock guard) or
 /// the trace accesses unmapped memory (workload generator bug).
 pub fn run(cfg: &SystemConfig, mode: PrefetchMode, wl: &BuiltWorkload) -> Result<RunResult, Skip> {
-    Ok(run_inner(cfg, mode, wl, false)?.0)
+    Ok(run_inner(cfg, mode, wl, false, None)?.0)
+}
+
+/// Simulates `wl` under `mode` with observability enabled, returning
+/// the usual [`RunResult`] plus a [`TelemetryReport`] (merged counter
+/// registry, phase time-series, prefetch lifecycle classification and —
+/// when `spec.chrome_spans` — the span log for a Chrome trace).
+///
+/// Telemetry is pure observation: the `RunResult` is bit-identical to a
+/// [`run`] of the same inputs (pinned by the equivalence suite).
+///
+/// # Errors
+/// [`Skip`] when the mode is impossible for this workload.
+pub fn run_telemetry(
+    cfg: &SystemConfig,
+    mode: PrefetchMode,
+    wl: &BuiltWorkload,
+    spec: &TelemetrySpec,
+) -> Result<(RunResult, TelemetryReport), Skip> {
+    let (result, _, report) = run_inner(cfg, mode, wl, false, Some(spec))?;
+    Ok((result, report.expect("telemetry was requested")))
 }
 
 /// Simulates `wl` under `mode` while recording the retired demand-access
@@ -238,7 +260,7 @@ pub fn run_captured(
     wl: &BuiltWorkload,
     scale_label: &str,
 ) -> Result<(RunResult, etpp_trace::CapturedTrace), Skip> {
-    let (result, events) = run_inner(cfg, mode, wl, true)?;
+    let (result, events, _) = run_inner(cfg, mode, wl, true, None)?;
     // The capture run's cycle count rides in the (v2) trace metadata so
     // replay consumers can report absolute-cycle agreement without
     // re-running the cycle core.
@@ -261,12 +283,46 @@ pub fn run_captured(
     Ok((result, cap.finish()))
 }
 
+/// Phase-sample values, aligned with [`crate::telemetry::PHASE_COLUMNS`].
+fn phase_values(core: &CoreStats, mem: &MemorySystem) -> Vec<u64> {
+    let ms = mem.stats();
+    let tel = mem.telemetry();
+    let (ll, mo, lc) = match tel {
+        Some(t) => (
+            hist_columns(&t.load_latency),
+            hist_columns(&t.mshr_occupancy),
+            t.lifecycle.counts.clone(),
+        ),
+        None => ((0, 0, 0), (0, 0, 0), Default::default()),
+    };
+    vec![
+        core.insts_retired,
+        core.loads_issued,
+        core.load_retries,
+        ms.l1.read_hits,
+        ms.l1.read_misses,
+        ms.l1.late_prefetch_merges,
+        ms.l1.prefetch_fills,
+        ms.l1.prefetches_used,
+        ms.dram.reads,
+        lc.issued,
+        lc.accurate,
+        lc.late,
+        ll.0,
+        ll.1,
+        ll.2,
+        mo.0,
+        mo.2,
+    ]
+}
+
 fn run_inner(
     cfg: &SystemConfig,
     mode: PrefetchMode,
     wl: &BuiltWorkload,
     capture: bool,
-) -> Result<(RunResult, Vec<RetiredEvent>), Skip> {
+    tel: Option<&TelemetrySpec>,
+) -> Result<(RunResult, Vec<RetiredEvent>, Option<TelemetryReport>), Skip> {
     let (trace, mut engine) = select(cfg, mode, wl)?;
     let mut mem = MemorySystem::new(cfg.mem, wl.image.clone());
     if cfg.per_cycle_reference {
@@ -275,6 +331,15 @@ fn run_inner(
     let mut core = Core::new(cfg.core, trace);
     if capture {
         core.enable_capture();
+    }
+    let mut sampler = tel.map(|s| PhaseSampler::new(s.sample_interval));
+    let mut visit_spans = tel.and_then(|s| s.chrome_spans.then(|| SpanSink::new(s.span_cap)));
+    if let Some(spec) = tel {
+        mem.enable_telemetry(spec.chrome_spans, spec.span_cap);
+        core.enable_telemetry();
+        if let Engine::Prog(p) = &mut engine {
+            p.enable_telemetry();
+        }
     }
 
     // Horizon-aware driver loop: one *driver visit* per iteration. A
@@ -297,6 +362,7 @@ fn run_inner(
     let mut visits = VisitCounts::default();
     while !core.finished() {
         host_iters += 1;
+        let visit_start = now;
         loop {
             mem.tick(now, engine.as_dyn());
             core.tick(now, &mut mem);
@@ -309,6 +375,15 @@ fn run_inner(
                 // back; invalidate its cached event horizon.
                 mem.wake_engine();
             }
+            // Phase sampler: snapshot the cumulative counters on the
+            // first tick at/after each interval boundary. `None` when
+            // telemetry is off — one Option check per visited cycle.
+            if let Some(s) = sampler.as_mut() {
+                if s.due(now) {
+                    let values = phase_values(&core.stats, &mem);
+                    s.sample(now, values);
+                }
+            }
             if cfg.per_cycle_reference {
                 now += 1;
                 break;
@@ -318,6 +393,14 @@ fn run_inner(
                 // after the last retirement: the reference loop exits
                 // one cycle after the finishing tick, and so must we.
                 visits.0[HorizonSource::Finish as usize] += 1;
+                if let Some(sink) = visit_spans.as_mut() {
+                    sink.push(SpanEvent {
+                        name: HorizonSource::Finish.key(),
+                        ts: visit_start,
+                        dur: now + 1 - visit_start,
+                        tid: SpanSink::LANE_VISITS,
+                    });
+                }
                 now += 1;
                 break;
             }
@@ -348,6 +431,14 @@ fn run_inner(
                 core.horizon_source()
             };
             visits.0[src as usize] += 1;
+            if let Some(sink) = visit_spans.as_mut() {
+                sink.push(SpanEvent {
+                    name: src.key(),
+                    ts: visit_start,
+                    dur: next - visit_start,
+                    tid: SpanSink::LANE_VISITS,
+                });
+            }
             now = next;
             break;
         }
@@ -361,6 +452,61 @@ fn run_inner(
     }
 
     let validated = checksum_region(mem.image(), wl.check_region) == wl.expected;
+
+    // Assemble the telemetry report before reading engine stats (the
+    // engine collector detaches mutably). `take_telemetry` finalizes
+    // the lifecycle tracker: unresolved evicted-unused prefetches
+    // become useless, in-flight/resident populations are counted.
+    let report = tel.map(|_| {
+        let mut registry = Registry::new();
+        let mem_tel = mem.take_telemetry();
+        let core_tel = core.take_telemetry();
+        let engine_tel = match &mut engine {
+            Engine::Prog(p) => p.take_telemetry(),
+            _ => None,
+        };
+        if let Some(t) = &mem_tel {
+            t.publish(&mut registry);
+        }
+        if let Some(t) = &core_tel {
+            t.publish(&mut registry);
+        }
+        if let Some(t) = &engine_tel {
+            t.publish(&mut registry);
+        }
+        for (key, count) in visits.iter() {
+            registry.set_counter(&format!("driver.visits.{key}"), count);
+        }
+        registry.set_counter("driver.host_iters", host_iters);
+        registry.set_counter("run.cycles", now);
+        let mut spans = Vec::new();
+        let mut spans_dropped = 0;
+        if let Some(sink) = visit_spans.take() {
+            spans_dropped += sink.dropped();
+            spans.extend(sink.into_events());
+        }
+        let (lifecycle, per_pc) = match mem_tel {
+            Some(t) => {
+                spans_dropped += t.spans.dropped();
+                spans.extend(t.spans.into_events());
+                (t.lifecycle.counts, t.lifecycle.per_pc)
+            }
+            None => Default::default(),
+        };
+        registry.set_counter("trace.spans_dropped", spans_dropped);
+        TelemetryReport {
+            registry,
+            phases: sampler
+                .take()
+                .expect("sampler exists with telemetry")
+                .series,
+            lifecycle,
+            per_pc,
+            spans,
+            spans_dropped,
+        }
+    });
+
     let pf = engine.pf_stats();
     let final_lookahead = match &engine {
         Engine::Prog(p) => p.lookahead(0),
@@ -387,6 +533,7 @@ fn run_inner(
             visits,
         },
         events,
+        report,
     ))
 }
 
@@ -445,6 +592,46 @@ mod tests {
             run(&cfg, PrefetchMode::Software, &wl),
             Err(Skip::NotExpressible(_))
         ));
+    }
+
+    #[test]
+    fn telemetry_run_is_bit_identical_and_collects() {
+        let wl = etpp_workloads::intsort::IntSort.build(Scale::Tiny);
+        let cfg = SystemConfig::paper();
+        let plain = run(&cfg, PrefetchMode::Manual, &wl).unwrap();
+        let spec = TelemetrySpec::full(10_000);
+        let (r, rep) = run_telemetry(&cfg, PrefetchMode::Manual, &wl, &spec).unwrap();
+        // Pure observation: the run itself must not change at all.
+        assert_eq!(plain.cycles, r.cycles);
+        assert_eq!(plain.core, r.core);
+        assert_eq!(plain.mem, r.mem);
+        assert_eq!(plain.visits, r.visits);
+        assert_eq!(plain.pf, r.pf);
+        // ...while the report actually collected things.
+        assert!(
+            rep.phases.samples.len() >= 2,
+            "expected multiple phase samples, got {}",
+            rep.phases.samples.len()
+        );
+        assert!(rep.registry.hist("mem.load_latency").unwrap().count() > 0);
+        assert!(rep.registry.hist("mem.l1_mshr_occupancy").unwrap().count() > 0);
+        assert!(rep.registry.hist("engine.req_q_depth").unwrap().count() > 0);
+        assert!(rep.lifecycle.issued > 0);
+        assert!(rep.lifecycle.classified() > 0);
+        assert_eq!(
+            rep.lifecycle.late, r.mem.l1.late_prefetch_merges,
+            "lifecycle late class must agree with the stats seam"
+        );
+        assert!(!rep.spans.is_empty());
+        let json = rep.chrome_trace_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        // Phase samples are cumulative: monotone non-decreasing.
+        let col = |i: usize, name: &str| rep.phases.value(i, name).unwrap();
+        for i in 1..rep.phases.samples.len() {
+            assert!(col(i, "core.insts_retired") >= col(i - 1, "core.insts_retired"));
+            assert!(col(i, "pf.issued") >= col(i - 1, "pf.issued"));
+        }
     }
 
     #[test]

@@ -361,6 +361,79 @@ fn pf_buffer_backlog_is_horizon_equivalent_and_faster() {
     );
 }
 
+/// Telemetry is pure observation: a run with the full observability
+/// stack enabled (histograms, lifecycle tracking, phase sampling *and*
+/// span recording) must be bit-identical to a telemetry-off run in
+/// every externally visible respect — cycles, core/memory statistics,
+/// engine counters, visit attribution and EWMA state — across engine
+/// families (none / table-driven / programmable / blocked), on both
+/// stall-density extremes.
+#[test]
+fn telemetry_is_observationally_transparent() {
+    use etpp::sim::{run, run_telemetry, TelemetrySpec};
+    // A deliberately aggressive sampling interval: more samples means
+    // more chances for a sampling hook to perturb the run if it ever
+    // stopped being read-only.
+    let spec = TelemetrySpec::full(5_000);
+    for wl_name in ["IntSort", "HJ-8"] {
+        let wl = workload_by_name(wl_name).unwrap().build(Scale::Tiny);
+        let cfg = SystemConfig::paper();
+        for mode in [
+            PrefetchMode::None,
+            PrefetchMode::Stride,
+            PrefetchMode::GhbRegular,
+            PrefetchMode::Manual,
+            PrefetchMode::Blocked,
+        ] {
+            let Ok(plain) = run(&cfg, mode, &wl) else {
+                continue; // mode not expressible for this workload
+            };
+            let (teled, report) = run_telemetry(&cfg, mode, &wl, &spec).expect("expressible above");
+            assert_eq!(
+                plain.cycles, teled.cycles,
+                "{wl_name}/{mode:?}: telemetry must not change the cycle count"
+            );
+            assert_eq!(
+                plain.core, teled.core,
+                "{wl_name}/{mode:?}: core statistics must be bit-identical"
+            );
+            assert_eq!(
+                plain.mem, teled.mem,
+                "{wl_name}/{mode:?}: memory statistics must be bit-identical"
+            );
+            assert_eq!(
+                plain.pf, teled.pf,
+                "{wl_name}/{mode:?}: engine counters must be bit-identical"
+            );
+            assert_eq!(
+                plain.visits, teled.visits,
+                "{wl_name}/{mode:?}: visit attribution must be bit-identical"
+            );
+            assert_eq!(
+                plain.host_iters, teled.host_iters,
+                "{wl_name}/{mode:?}: the driver must visit the same cycles"
+            );
+            assert_eq!(
+                plain.final_lookahead, teled.final_lookahead,
+                "{wl_name}/{mode:?}: EWMA look-ahead must match"
+            );
+            assert!(
+                plain.validated && teled.validated,
+                "{wl_name}/{mode:?}: both runs must reproduce the reference output"
+            );
+            // And the observation itself must have substance.
+            assert!(
+                report.registry.hist("mem.load_latency").unwrap().count() > 0,
+                "{wl_name}/{mode:?}: load-latency histogram must be populated"
+            );
+            assert!(
+                !report.phases.samples.is_empty(),
+                "{wl_name}/{mode:?}: phase sampler must have fired"
+            );
+        }
+    }
+}
+
 /// Benchmark-scale spot check (the scale `BENCH_speedcheck.json` is
 /// recorded at): the per-cycle reference takes seconds per run in
 /// release and minutes in debug, so this is ignored by default — run it
