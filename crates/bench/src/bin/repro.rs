@@ -6,6 +6,9 @@
 //! repro --replay [--trace-dir DIR] [--trace-format 1|2] [--jobs N] \
 //!       [--scale tiny|small|paper]
 //! repro --telemetry DIR [--scale tiny|small|paper] [--jobs N]
+//! repro --sweep [--shard K/N] [--sweep-dir DIR] [--cache-dir DIR] \
+//!       [--scale tiny|small|paper] [--trace-dir DIR] [--trace-format 1|2] [--jobs N]
+//! repro --sweep-merge DIR
 //! ```
 //!
 //! `--jobs N` (default: available parallelism) shards every grid —
@@ -25,6 +28,23 @@
 //! absolute-cycle agreement column against the capture run; 1 opts back
 //! into the legacy fixed-window model).
 //!
+//! `--sweep` runs the composed ablation grid (observation-queue depth ×
+//! EWMA look-ahead scale × prefetch-buffer capacity × engine mode, on
+//! IntSort and HJ-8) through the sweep farm: every cell replays the
+//! captured demand stream, escalating to the cycle core only where the
+//! stream-level agreement gate fails, and every cell result is memoized
+//! in the `--cache-dir` content-hash result cache (default
+//! `target/sweep-cache`) so warm re-runs are near-free. `--shard K/N`
+//! runs only jobs `i ≡ K (mod N)` and writes
+//! `--sweep-dir`/shard-K-of-N.json (default `target/sweeps`); a full
+//! `--sweep` (no `--shard`) also prints the merged tables.
+//! `--sweep-merge DIR` parses every shard JSON in DIR, verifies exact
+//! job coverage, and prints tables that are byte-identical for any
+//! (jobs, shard-count) split of the same sweep.
+//!
+//! Unknown flags and experiment names are fatal (exit 2): a typo'd
+//! `--shard` must never silently run the full grid.
+//!
 //! `--telemetry DIR` enables the observability stack on the telemetry
 //! grid (IntSort + HJ-8 across the main engines): prefetch-lifecycle
 //! classification tables, phase-timeline summaries, and — per cell —
@@ -40,17 +60,45 @@
 //! Output is GitHub-flavoured Markdown on stdout, suitable for pasting into
 //! EXPERIMENTS.md.
 
-use etpp_sim::{ablations, experiments as ex, replay as rp};
+use etpp_sim::{ablations, experiments as ex, replay as rp, sweeps};
 use etpp_sim::{report, PrefetchMode, SystemConfig};
 use etpp_workloads::{all_workloads, Scale};
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// Every experiment name the positional argument accepts.
+const EXPERIMENTS: [&str; 13] = [
+    "table1",
+    "table2",
+    "fig7",
+    "fig8",
+    "fig9a",
+    "fig9b",
+    "fig10",
+    "fig11",
+    "traffic",
+    "swpf",
+    "ablate",
+    "telemetry",
+    "all",
+];
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("see the doc comment at the top of crates/bench/src/bin/repro.rs for usage");
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Small;
     let mut what: Vec<String> = Vec::new();
     let mut replay = false;
+    let mut sweep = false;
+    let mut shard: Option<(usize, usize)> = None;
+    let mut sweep_dir = PathBuf::from("target/sweeps");
+    let mut cache_dir = PathBuf::from("target/sweep-cache");
+    let mut sweep_merge: Option<PathBuf> = None;
     let mut telemetry_dir: Option<PathBuf> = None;
     let mut trace_dir = PathBuf::from("target/traces");
     let mut trace_format = etpp_trace::FORMAT_VERSION;
@@ -62,6 +110,24 @@ fn main() {
             scale = etpp_bench::parse_scale(v).expect("scale: tiny|small|paper");
         } else if a == "--replay" {
             replay = true;
+        } else if a == "--sweep" {
+            sweep = true;
+        } else if a == "--shard" {
+            let v = it.next().expect("--shard needs K/N");
+            let (k, n) = v
+                .split_once('/')
+                .and_then(|(k, n)| Some((k.parse().ok()?, n.parse().ok()?)))
+                .unwrap_or_else(|| usage_error(&format!("--shard: expected K/N, got {v:?}")));
+            if n == 0 || k >= n {
+                usage_error(&format!("--shard: index {k} out of range for {n} shards"));
+            }
+            shard = Some((k, n));
+        } else if a == "--sweep-dir" {
+            sweep_dir = PathBuf::from(it.next().expect("--sweep-dir needs a path"));
+        } else if a == "--cache-dir" {
+            cache_dir = PathBuf::from(it.next().expect("--cache-dir needs a path"));
+        } else if a == "--sweep-merge" {
+            sweep_merge = Some(PathBuf::from(it.next().expect("--sweep-merge needs a dir")));
         } else if a == "--telemetry" {
             telemetry_dir = Some(PathBuf::from(it.next().expect("--telemetry needs a dir")));
         } else if a == "--trace-dir" {
@@ -85,9 +151,44 @@ fn main() {
                 .expect("--jobs needs a count")
                 .parse()
                 .expect("--jobs: positive integer");
+        } else if a.starts_with('-') {
+            usage_error(&format!("unknown flag: {a}"));
         } else {
             what.push(a.clone());
         }
+    }
+    for w in &what {
+        if !EXPERIMENTS.contains(&w.as_str()) {
+            usage_error(&format!(
+                "unknown experiment: {w} (expected one of {})",
+                EXPERIMENTS.join(", ")
+            ));
+        }
+    }
+    if shard.is_some() && !sweep {
+        usage_error("--shard only applies to --sweep");
+    }
+    if let Some(dir) = sweep_merge {
+        if sweep || replay || !what.is_empty() {
+            usage_error("--sweep-merge runs alone");
+        }
+        run_sweep_merge(&dir);
+        return;
+    }
+    if sweep {
+        if replay || !what.is_empty() {
+            usage_error("--sweep runs alone (it has its own grid)");
+        }
+        run_sweep_cmd(
+            scale,
+            &trace_dir,
+            trace_format,
+            jobs,
+            shard.unwrap_or((0, 1)),
+            &cache_dir,
+            &sweep_dir,
+        );
+        return;
     }
     if replay {
         if !what.is_empty() {
@@ -233,24 +334,9 @@ fn main() {
                     .unwrap_or_else(|| PathBuf::from("target/telemetry"));
                 run_telemetry_report(scale, &cfg, &workloads, &dir, jobs);
             }
-            other => eprintln!("unknown experiment: {other}"),
+            other => unreachable!("experiment names validated up front: {other}"),
         }
         eprintln!("[{w}] done in {:?}", t.elapsed());
-    }
-}
-
-/// Filename-safe key for a telemetry artifact's mode segment.
-fn mode_file_key(mode: PrefetchMode) -> &'static str {
-    match mode {
-        PrefetchMode::None => "none",
-        PrefetchMode::Stride => "stride",
-        PrefetchMode::GhbRegular => "ghb_regular",
-        PrefetchMode::GhbLarge => "ghb_large",
-        PrefetchMode::Software => "software",
-        PrefetchMode::Pragma => "pragma",
-        PrefetchMode::Converted => "converted",
-        PrefetchMode::Manual => "manual",
-        PrefetchMode::Blocked => "blocked",
     }
 }
 
@@ -284,7 +370,7 @@ fn run_telemetry_report(
 
     std::fs::create_dir_all(dir).expect("create telemetry dir");
     for c in &cells {
-        let stem = format!("{}-{}", c.workload, mode_file_key(c.mode));
+        let stem = format!("{}-{}", c.workload, c.mode.key());
         let write = |suffix: &str, body: String| {
             let path = dir.join(format!("{stem}.{suffix}.json"));
             std::fs::write(&path, body).expect("write telemetry artifact");
@@ -301,6 +387,120 @@ fn scale_label(scale: Scale) -> &'static str {
         Scale::Tiny => "tiny",
         Scale::Small => "small",
         Scale::Paper => "paper",
+    }
+}
+
+/// `--sweep [--shard K/N]`: run one shard of the composed grid through
+/// the sweep farm, write its shard JSON, and (when unsharded) print the
+/// merged tables — via the same parse-and-merge path `--sweep-merge`
+/// uses, so a 1-shard run and any N-shard merge are byte-identical.
+fn run_sweep_cmd(
+    scale: Scale,
+    trace_dir: &std::path::Path,
+    trace_format: u16,
+    jobs: usize,
+    shard: (usize, usize),
+    cache_dir: &std::path::Path,
+    sweep_dir: &std::path::Path,
+) {
+    let cfg = SystemConfig::paper();
+    let label = scale_label(scale);
+    let spec = sweeps::composed_grid();
+
+    let t0 = Instant::now();
+    let names = ["IntSort", "HJ-8"];
+    let workloads: Vec<etpp_workloads::BuiltWorkload> = ex::map_indexed(jobs, names.len(), |i| {
+        etpp_workloads::workload_by_name(names[i])
+            .expect("sweep workload exists")
+            .build(scale)
+    });
+    eprintln!(
+        "[build] {} workloads in {:?}",
+        workloads.len(),
+        t0.elapsed()
+    );
+
+    let t0 = Instant::now();
+    let captures: Vec<rp::KeyedCapture> = ex::map_indexed(jobs, workloads.len(), |i| {
+        rp::load_or_capture_keyed(Some(trace_dir), &cfg, &workloads[i], label, trace_format)
+    });
+    eprintln!("[capture] {} traces in {:?}", captures.len(), t0.elapsed());
+
+    let opts = sweeps::SweepOptions {
+        cache_dir: Some(cache_dir.to_path_buf()),
+        jobs,
+        shard,
+        gate: sweeps::DEFAULT_AGREEMENT_GATE,
+        scale_label: label.to_string(),
+    };
+    let t0 = Instant::now();
+    let run = sweeps::run_sweep(&spec, &workloads, &captures, &opts);
+    eprintln!(
+        "[sweep] shard {}/{}: {} of {} jobs in {:?}; {}",
+        shard.0,
+        shard.1,
+        run.cells.len(),
+        run.total_jobs,
+        t0.elapsed(),
+        run.cache_summary()
+    );
+
+    std::fs::create_dir_all(sweep_dir).expect("create sweep dir");
+    let path = sweep_dir.join(format!("shard-{}-of-{}.json", shard.0, shard.1));
+    std::fs::write(&path, run.to_json()).expect("write shard file");
+    eprintln!("[sweep] wrote {}", path.display());
+
+    if shard == (0, 1) {
+        let parsed = sweeps::parse_shard(&std::fs::read_to_string(&path).expect("read shard"))
+            .unwrap_or_else(|e| panic!("re-parse own shard file: {e}"));
+        let merged = sweeps::merge_shards(&[parsed]).expect("single shard covers the sweep");
+        println!("{}", sweeps::render_merged(&merged));
+    } else {
+        eprintln!(
+            "[sweep] partial shard; merge with `repro --sweep-merge {}` once all {} shards exist",
+            sweep_dir.display(),
+            shard.1
+        );
+    }
+}
+
+/// `--sweep-merge DIR`: parse every shard JSON in DIR, verify exact job
+/// coverage, and print the merged tables. Exits 1 on coverage gaps or
+/// mismatched shards.
+fn run_sweep_merge(dir: &std::path::Path) {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| {
+            usage_error(&format!(
+                "--sweep-merge: cannot read {}: {e}",
+                dir.display()
+            ))
+        })
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        usage_error(&format!(
+            "--sweep-merge: no shard JSONs in {}",
+            dir.display()
+        ));
+    }
+    let mut files = Vec::new();
+    for p in &paths {
+        let body = std::fs::read_to_string(p)
+            .unwrap_or_else(|e| usage_error(&format!("cannot read {}: {e}", p.display())));
+        match sweeps::parse_shard(&body) {
+            Ok(f) => files.push(f),
+            Err(e) => usage_error(&format!("{}: {e}", p.display())),
+        }
+    }
+    eprintln!("[merge] {} shard files from {}", files.len(), dir.display());
+    match sweeps::merge_shards(&files) {
+        Ok(m) => println!("{}", sweeps::render_merged(&m)),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     }
 }
 

@@ -71,7 +71,10 @@ impl EwmaBank {
     /// Creates a bank for `ranges` filter entries. `scale` multiplies the
     /// chain/iteration ratio: the paper notes distances "must be
     /// overestimated relative to the EWMAs" (§7.2) since a chain's later
-    /// links only start once earlier links return.
+    /// links only start once earlier links return. `scale == 0` requests
+    /// the *raw* (unscaled) ratio — the ablation point that measures
+    /// what the safety multiplier buys — and is equivalent to `scale ==
+    /// 1` by arithmetic, never a degenerate constant look-ahead of 1.
     pub fn new(ranges: usize, default_lookahead: u64, max_lookahead: u64, scale: u64) -> Self {
         EwmaBank {
             iteration: vec![Ewma::new(); ranges],
@@ -111,7 +114,11 @@ impl EwmaBank {
         if iter == 0 {
             return self.max_lookahead;
         }
-        (self.scale * chain)
+        // `scale == 0` means "use the raw ratio": without this floor the
+        // multiplication would collapse the look-ahead to a constant 1,
+        // silently measuring nothing (the bug the ablation sweep used to
+        // paper over by clamping its input).
+        (self.scale.max(1) * chain)
             .div_ceil(iter)
             .clamp(1, self.max_lookahead)
     }
@@ -195,6 +202,27 @@ mod tests {
             bank.record_chain(100_000);
         }
         assert_eq!(bank.lookahead(0), 64);
+    }
+
+    #[test]
+    fn scale_zero_is_the_raw_ratio() {
+        // The documented "0 = use the raw ratio" ablation point: a
+        // zero scale must behave exactly like the unit multiplier, not
+        // collapse to a constant look-ahead of 1.
+        let mut raw = EwmaBank::new(1, 8, 64, 0);
+        let mut unit = EwmaBank::new(1, 8, 64, 1);
+        let mut t = 0;
+        for _ in 0..50 {
+            raw.record_iteration(0, t);
+            unit.record_iteration(0, t);
+            t += 10;
+        }
+        for _ in 0..50 {
+            raw.record_chain(200);
+            unit.record_chain(200);
+        }
+        assert_eq!(raw.lookahead(0), unit.lookahead(0));
+        assert!(raw.lookahead(0) > 1, "raw ratio must still be measured");
     }
 
     #[test]

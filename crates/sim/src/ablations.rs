@@ -5,11 +5,15 @@
 //! look-ahead. These drivers vary one parameter at a time on a benchmark
 //! that stresses it, quantifying how much each design choice contributes —
 //! the "ablation benches for the design choices DESIGN.md calls out".
+//!
+//! Each grid is a single-axis [`crate::sweeps::SweepSpec`] over the
+//! Manual engine, so ablations inherit the sweep farm's replay-first
+//! execution and agreement-gated escalation instead of paying for a
+//! cycle-level simulation per point.
 
 use crate::config::{PrefetchMode, SystemConfig};
-use crate::experiments::map_indexed;
-use crate::system::run;
-use etpp_core::PrefetcherParams;
+use crate::replay::load_or_capture_keyed;
+use crate::sweeps::{axes, run_sweep, Axis, SweepOptions, SweepSpec};
 use etpp_workloads::BuiltWorkload;
 
 /// One ablation point: a parameter value and the speedup achieved with it.
@@ -21,79 +25,62 @@ pub struct AblationPoint {
     pub speedup: f64,
 }
 
-fn speedup_with(cfg: &SystemConfig, wl: &BuiltWorkload, base: u64) -> f64 {
-    let r = run(cfg, PrefetchMode::Manual, wl).expect("manual program");
-    assert!(r.validated, "{} ablation corrupted output", wl.name);
-    base as f64 / r.cycles as f64
-}
-
-/// Runs one cycle-level Manual simulation per parameter value, sharded
-/// across `jobs` workers (ablation points only differ in configuration,
-/// so they are perfectly independent).
-fn sweep(
-    wl: &BuiltWorkload,
-    values: &[u64],
-    jobs: usize,
-    configure: impl Fn(u64) -> SystemConfig + Sync,
-) -> Vec<AblationPoint> {
-    let base = run(&SystemConfig::paper(), PrefetchMode::None, wl)
-        .expect("baseline")
-        .cycles;
-    map_indexed(jobs, values.len(), |i| AblationPoint {
-        value: values[i],
-        speedup: speedup_with(&configure(values[i]), wl, base),
-    })
+/// Runs a one-axis Manual-mode sweep over `wl`, replay-first: the
+/// demand stream is captured once (one cycle-level run), then every
+/// point replays against it, escalating to the cycle core only when the
+/// stream-agreement gate says replay cannot be trusted at this scale.
+fn single_axis(wl: &BuiltWorkload, axis: Axis, jobs: usize) -> Vec<AblationPoint> {
+    let spec = SweepSpec {
+        name: "ablation",
+        base: SystemConfig::paper(),
+        modes: vec![PrefetchMode::Manual],
+        axes: vec![axis],
+    };
+    let cap = load_or_capture_keyed(None, &spec.base, wl, "ablation", etpp_trace::FORMAT_VERSION);
+    let shard = run_sweep(
+        &spec,
+        std::slice::from_ref(wl),
+        &[cap],
+        &SweepOptions::new(jobs, "ablation"),
+    );
+    shard
+        .cells
+        .iter()
+        .map(|c| {
+            assert!(c.validated, "{} ablation corrupted output", wl.name);
+            AblationPoint {
+                value: c.settings[0].1,
+                speedup: c.speedup.expect("manual program"),
+            }
+        })
+        .collect()
 }
 
 /// Sweeps the observation-queue depth (paper: 40 entries; overflow drops
 /// the oldest observation).
 pub fn observation_queue(wl: &BuiltWorkload, depths: &[usize], jobs: usize) -> Vec<AblationPoint> {
     let values: Vec<u64> = depths.iter().map(|&d| d as u64).collect();
-    sweep(wl, &values, jobs, |d| {
-        let mut cfg = SystemConfig::paper();
-        cfg.pf = PrefetcherParams {
-            observation_queue: d as usize,
-            ..cfg.pf
-        };
-        cfg
-    })
+    single_axis(wl, axes::obs_queue(&values), jobs)
 }
 
 /// Sweeps the prefetch-request-queue depth (paper: 200 entries).
 pub fn request_queue(wl: &BuiltWorkload, depths: &[usize], jobs: usize) -> Vec<AblationPoint> {
     let values: Vec<u64> = depths.iter().map(|&d| d as u64).collect();
-    sweep(wl, &values, jobs, |d| {
-        let mut cfg = SystemConfig::paper();
-        cfg.pf = PrefetcherParams {
-            request_queue: d as usize,
-            ..cfg.pf
-        };
-        cfg
-    })
+    single_axis(wl, axes::req_queue(&values), jobs)
 }
 
 /// Sweeps the EWMA look-ahead safety multiplier (§7.2's "overestimated
-/// relative to the EWMAs"; 0 = use the raw ratio).
+/// relative to the EWMAs"; 0 = use the raw ratio, honoured end-to-end
+/// by `EwmaBank` — no caller-side clamping).
 pub fn lookahead_scale(wl: &BuiltWorkload, scales: &[u64], jobs: usize) -> Vec<AblationPoint> {
-    sweep(wl, scales, jobs, |s| {
-        let mut cfg = SystemConfig::paper();
-        cfg.pf = PrefetcherParams {
-            lookahead_scale: s.max(1),
-            ..cfg.pf
-        };
-        cfg
-    })
+    single_axis(wl, axes::lookahead_scale(scales), jobs)
 }
 
 /// Sweeps the prefetch-buffer capacity (DESIGN.md's L2-issue
 /// interpretation; 0 entries disables prefetching entirely).
 pub fn prefetch_buffer(wl: &BuiltWorkload, sizes: &[usize], jobs: usize) -> Vec<AblationPoint> {
     let values: Vec<u64> = sizes.iter().map(|&n| n as u64).collect();
-    sweep(wl, &values, jobs, |n| {
-        let mut cfg = SystemConfig::paper();
-        cfg.mem.pf_buffer_entries = n as usize;
-        cfg
-    })
+    single_axis(wl, axes::pf_buffer(&values), jobs)
 }
 
 /// Renders an ablation sweep as a Markdown table.
@@ -133,5 +120,16 @@ mod tests {
             pts[1].speedup >= pts[0].speedup - 0.05,
             "40-entry queue should not lose to 1-entry: {pts:?}"
         );
+    }
+
+    #[test]
+    fn raw_lookahead_scale_is_swept_not_clamped() {
+        // `0` must reach the EWMA bank as the raw-ratio request, not be
+        // rewritten to 1 on the way in: the two points may legitimately
+        // tie (0 ≡ 1 arithmetically) but both must run and validate.
+        let wl = workload_by_name("IntSort").unwrap().build(Scale::Tiny);
+        let pts = lookahead_scale(&wl, &[0, 4], 2);
+        assert_eq!(pts[0].value, 0);
+        assert!(pts.iter().all(|p| p.speedup > 0.0), "{pts:?}");
     }
 }

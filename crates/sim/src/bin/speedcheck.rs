@@ -1,6 +1,6 @@
 //! Developer diagnostic: simulation wall-clock speed for the cycle-level
 //! core and the trace-replay fast path across engine modes, with a
-//! machine-readable `BENCH_speedcheck.json` (schema 5) so the perf
+//! machine-readable `BENCH_speedcheck.json` (schema 6) so the perf
 //! trajectory is tracked across PRs.
 //!
 //! ```text
@@ -34,7 +34,12 @@
 //! (`issued`/`accurate`/`late`/`early_evicted`/`useless`) from a
 //! second, untimed telemetry-enabled run per cell — untimed because the
 //! timed cells stay telemetry-off, which is what the throughput gates
-//! measure.
+//! measure. Schema 6 adds the `sweep` stanza: a small composed sweep
+//! (see `etpp_sim::sweeps`) run twice against a scratch result cache —
+//! cold then warm — recording the `sweep.cache.{hit,miss,escalated}`
+//! counters and wall time of each pass. The stanza is its own gate: the
+//! warm pass must hit on every lookup (one stale-keyed cell would
+//! silently resimulate on every farm run) and must not escalate.
 //!
 //! `--jobs N` shards the (workload × path × mode) cell grid across N
 //! worker threads; each cell's `wall_s` is still measured around its
@@ -58,25 +63,11 @@
 use etpp_mem::LifecycleCounts;
 use etpp_sim::experiments::{map_indexed, sample_interval};
 use etpp_sim::replay as rp;
+use etpp_sim::sweeps;
 use etpp_sim::{run, run_telemetry, PrefetchMode, SystemConfig, TelemetrySpec, VisitCounts};
-use etpp_workloads::{Scale, Workload};
+use etpp_workloads::{BuiltWorkload, Scale, Workload};
 use std::fmt::Write as _;
 use std::time::Instant;
-
-/// Stable machine-readable key for a mode (JSON field material).
-fn mode_key(mode: PrefetchMode) -> &'static str {
-    match mode {
-        PrefetchMode::None => "none",
-        PrefetchMode::Stride => "stride",
-        PrefetchMode::GhbRegular => "ghb_regular",
-        PrefetchMode::GhbLarge => "ghb_large",
-        PrefetchMode::Software => "software",
-        PrefetchMode::Pragma => "pragma",
-        PrefetchMode::Converted => "converted",
-        PrefetchMode::Manual => "manual",
-        PrefetchMode::Blocked => "blocked",
-    }
-}
 
 #[derive(Debug)]
 struct CycleRow {
@@ -143,22 +134,128 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Cache-effectiveness counters of one sweep pass (cold or warm) over
+/// the schema-6 mini sweep.
+#[derive(Debug)]
+struct SweepPass {
+    hit: u64,
+    miss: u64,
+    escalated: u64,
+    wall_s: f64,
+}
+
+/// The schema-6 `sweep` stanza: the same mini composed sweep run cold
+/// then warm against a scratch result cache.
+#[derive(Debug)]
+struct SweepStanza {
+    cells: usize,
+    cold: SweepPass,
+    warm: SweepPass,
+}
+
+/// Runs the mini composed sweep twice against a scratch cache dir and
+/// returns both passes' counters. The scratch dir is removed first (a
+/// leftover from a previous run must not turn the cold pass warm) and
+/// cleaned up after.
+fn run_sweep_stanza(
+    cfg: &SystemConfig,
+    workloads: &[BuiltWorkload],
+    captures: &[(
+        etpp_trace::CapturedTrace,
+        rp::CaptureSource,
+        std::time::Duration,
+    )],
+    scale_label: &str,
+    jobs: usize,
+) -> SweepStanza {
+    let spec = sweeps::SweepSpec {
+        name: "speedcheck-mini",
+        base: *cfg,
+        modes: vec![PrefetchMode::Stride, PrefetchMode::Manual],
+        axes: vec![sweeps::axes::obs_queue(&[10, 40])],
+    };
+    let keyed: Vec<rp::KeyedCapture> = workloads
+        .iter()
+        .zip(captures)
+        .map(|(_, (trace, source, _))| rp::KeyedCapture {
+            content_hash: etpp_trace::content_hash_versioned(
+                &trace.records,
+                etpp_trace::FORMAT_VERSION,
+            ),
+            trace: trace.clone(),
+            source: *source,
+            trace_format: etpp_trace::FORMAT_VERSION,
+        })
+        .collect();
+    let cache = std::env::temp_dir().join(format!("etpp-speedcheck-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache);
+    let opts = sweeps::SweepOptions {
+        cache_dir: Some(cache.clone()),
+        jobs,
+        shard: (0, 1),
+        gate: sweeps::DEFAULT_AGREEMENT_GATE,
+        scale_label: scale_label.to_string(),
+    };
+    let pass = || {
+        let t = Instant::now();
+        let run = sweeps::run_sweep(&spec, workloads, &keyed, &opts);
+        (
+            SweepPass {
+                hit: run.cache_hits(),
+                miss: run.cache_misses(),
+                escalated: run.escalations(),
+                wall_s: t.elapsed().as_secs_f64(),
+            },
+            run.cells.len(),
+        )
+    };
+    let (cold, cells) = pass();
+    let (warm, _) = pass();
+    let _ = std::fs::remove_dir_all(&cache);
+    eprintln!(
+        "sweep stanza: {cells} cells; cold {}h/{}m/{}e in {:.3}s, warm {}h/{}m/{}e in {:.3}s",
+        cold.hit,
+        cold.miss,
+        cold.escalated,
+        cold.wall_s,
+        warm.hit,
+        warm.miss,
+        warm.escalated,
+        warm.wall_s
+    );
+    SweepStanza { cells, cold, warm }
+}
+
 fn render_json(
     scale: &str,
     jobs: usize,
     modes: &[PrefetchMode],
     reports: &[WorkloadReport],
+    sweep: &SweepStanza,
 ) -> String {
     let mut j = String::new();
-    j.push_str("{\n  \"schema\": 5,\n  \"tool\": \"speedcheck\",\n");
+    j.push_str("{\n  \"schema\": 6,\n  \"tool\": \"speedcheck\",\n");
     let _ = writeln!(j, "  \"scale\": \"{}\",", json_escape(scale));
     let _ = writeln!(j, "  \"jobs\": {jobs},");
     let mode_list = modes
         .iter()
-        .map(|m| format!("\"{}\"", mode_key(*m)))
+        .map(|m| format!("\"{}\"", m.key()))
         .collect::<Vec<_>>()
         .join(", ");
     let _ = writeln!(j, "  \"modes\": [{mode_list}],");
+    let sweep_pass = |p: &SweepPass| {
+        format!(
+            "{{\"hit\": {}, \"miss\": {}, \"escalated\": {}, \"wall_s\": {:.6}}}",
+            p.hit, p.miss, p.escalated, p.wall_s
+        )
+    };
+    let _ = writeln!(
+        j,
+        "  \"sweep\": {{\"cells\": {}, \"cold\": {}, \"warm\": {}}},",
+        sweep.cells,
+        sweep_pass(&sweep.cold),
+        sweep_pass(&sweep.warm)
+    );
     j.push_str("  \"workloads\": [\n");
     for (wi, w) in reports.iter().enumerate() {
         let _ = writeln!(j, "    {{\n      \"name\": \"{}\",", json_escape(w.name));
@@ -185,7 +282,7 @@ fn render_json(
                  \"fast_forward\": {:.3}, \"wall_s\": {:.6}, \"accesses_per_s\": {:.1}, \
                  \"validated\": {}, \"late_pf_merges\": {}, \"lifecycle\": {lifecycle}, \
                  \"visits\": {{{visits}}}}}",
-                mode_key(r.mode),
+                r.mode.key(),
                 r.cycles,
                 r.host_iters,
                 r.ff(),
@@ -210,7 +307,7 @@ fn render_json(
                  \"fast_forward\": {:.3}, \"wall_s\": {:.6}, \"accesses_per_s\": {:.1}, \
                  \"host_speedup\": {}, \"cycle_agreement\": {}, \"dep_stalls\": {}, \
                  \"validated\": {}}}",
-                mode_key(r.mode),
+                r.mode.key(),
                 r.cycles,
                 r.host_iters,
                 r.ff(),
@@ -508,10 +605,10 @@ fn main() {
     }
     let captures = map_indexed(jobs, workloads.len(), |i| {
         let t = Instant::now();
-        let (trace, _) = rp::load_or_capture(None, &cfg, &workloads[i], scale_label);
-        (trace, t.elapsed())
+        let (trace, src) = rp::load_or_capture(None, &cfg, &workloads[i], scale_label);
+        (trace, src, t.elapsed())
     });
-    for (wl, (trace, took)) in workloads.iter().zip(&captures) {
+    for (wl, (trace, _, took)) in workloads.iter().zip(&captures) {
         eprintln!(
             "{}: capture {} records ({} accesses) in {took:?}",
             wl.name,
@@ -648,7 +745,8 @@ fn main() {
         });
     }
 
-    let json = render_json(scale_label, jobs, &modes, &reports);
+    let sweep = run_sweep_stanza(&cfg, &workloads, &captures, scale_label, jobs);
+    let json = render_json(scale_label, jobs, &modes, &reports, &sweep);
     match std::fs::write(&json_path, &json) {
         Ok(()) => eprintln!("wrote {json_path}"),
         Err(e) => {
@@ -678,7 +776,7 @@ fn main() {
                      (horizon-aware core not skipping stall cycles)",
                     w.name,
                     r.ff(),
-                    mode_key(r.mode),
+                    r.mode.key(),
                 );
                 ok = false;
             }
@@ -712,6 +810,20 @@ fn main() {
             eprintln!("FAIL {}: programmable-mode replay never ran", w.name);
             ok = false;
         }
+    }
+    // Sweep-cache gate: the warm pass over an untouched cache must hit
+    // on every lookup and never escalate — a single miss means a cell
+    // key is unstable (e.g. nondeterministic config hashing) and the
+    // whole farm silently resimulates on every run.
+    if sweep.warm.miss > 0 || sweep.warm.escalated > 0 {
+        eprintln!(
+            "FAIL sweep cache: warm pass missed {} and escalated {} of {} lookups \
+             (expected 100% hits — cell keys are unstable)",
+            sweep.warm.miss,
+            sweep.warm.escalated,
+            sweep.warm.hit + sweep.warm.miss,
+        );
+        ok = false;
     }
     if let Some(prev_path) = compare_path {
         match std::fs::read_to_string(&prev_path) {

@@ -54,6 +54,21 @@ where
         .collect()
 }
 
+/// The job indices shard `k` of `n` owns out of a flat `total`-job
+/// list: every `i ≡ k (mod n)`, ascending. The cross-*process* analogue
+/// of [`map_indexed`]'s cross-thread partition — the sweep farm hands
+/// each CI runner one shard and merges the shard outputs by index, so
+/// the merged tables are byte-identical for any (jobs, shard) split.
+///
+/// # Panics
+/// Panics when `n == 0` or `k >= n` (a typo'd `--shard` must never
+/// silently run the full grid).
+pub fn shard_indices(total: usize, k: usize, n: usize) -> Vec<usize> {
+    assert!(n > 0, "shard count must be positive");
+    assert!(k < n, "shard index {k} out of range for {n} shards");
+    (k..total).step_by(n).collect()
+}
+
 /// A (workload × mode) speedup cell for Figure 7 / 11-style tables.
 #[derive(Debug, Clone)]
 pub struct SpeedupCell {
@@ -507,6 +522,29 @@ mod tests {
             merged_json(4),
             "merged telemetry registries must be byte-identical for any worker count"
         );
+    }
+
+    #[test]
+    fn shard_indices_partition_exactly() {
+        // Every index lands in exactly one shard, ascending per shard.
+        for n in 1..=5usize {
+            let mut seen = vec![0u32; 17];
+            for k in 0..n {
+                let idx = shard_indices(17, k, n);
+                assert!(idx.windows(2).all(|w| w[0] < w[1]));
+                for i in idx {
+                    seen[i] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "n={n}: {seen:?}");
+        }
+        assert_eq!(shard_indices(0, 0, 4), Vec::<usize>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_index_out_of_range_panics() {
+        shard_indices(10, 4, 4);
     }
 
     #[test]

@@ -15,12 +15,19 @@ pub mod config;
 pub mod experiments;
 pub mod replay;
 pub mod report;
+pub mod sweeps;
 pub mod system;
 pub mod telemetry;
 
 pub use config::{PrefetchMode, SystemConfig};
 pub use etpp_cpu::HorizonSource;
-pub use replay::{load_or_capture, replay_grid, replay_run, ReplayRun};
+pub use replay::{
+    load_or_capture, load_or_capture_keyed, replay_grid, replay_run, KeyedCapture, ReplayRun,
+};
+pub use sweeps::{
+    composed_grid, merge_shards, parse_shard, render_merged, run_sweep, MergedSweep, ShardRun,
+    SweepOptions, SweepSpec,
+};
 pub use system::{
     make_engine, run, run_captured, run_telemetry, Engine, RunResult, Skip, VisitCounts,
 };

@@ -147,6 +147,44 @@ pub fn load_or_capture_as(
     (trace, CaptureSource::Captured)
 }
 
+/// A captured trace bundled with the identity the sweep-farm result
+/// cache keys on: the *content* hash of the record stream under its
+/// on-disk encoding (not the workload name — regenerating a workload
+/// with different data invalidates every dependent sweep cell), plus
+/// the format version that encoding used.
+#[derive(Debug)]
+pub struct KeyedCapture {
+    /// The captured (or cache-loaded) trace.
+    pub trace: CapturedTrace,
+    /// How the capture was obtained.
+    pub source: CaptureSource,
+    /// `etpp_trace::content_hash_versioned(records, trace_format)`,
+    /// computed once at load so sweep cells don't re-hash millions of
+    /// records per cache probe.
+    pub content_hash: u64,
+    /// The on-disk format version the hash was computed under.
+    pub trace_format: u16,
+}
+
+/// [`load_or_capture_as`] plus the content-hash identity sweep result
+/// caches key cells on (see [`crate::sweeps`]).
+pub fn load_or_capture_keyed(
+    dir: Option<&Path>,
+    cfg: &SystemConfig,
+    wl: &BuiltWorkload,
+    scale_label: &str,
+    trace_format: u16,
+) -> KeyedCapture {
+    let (trace, source) = load_or_capture_as(dir, cfg, wl, scale_label, trace_format);
+    let content_hash = etpp_trace::content_hash_versioned(&trace.records, trace_format);
+    KeyedCapture {
+        trace,
+        source,
+        content_hash,
+        trace_format,
+    }
+}
+
 fn persist(
     dir: &Path,
     wl: &BuiltWorkload,

@@ -1,0 +1,1330 @@
+//! The sweep farm: composed ablation grids, replay-first, with a
+//! content-hash result cache and shardable job partitions.
+//!
+//! A [`SweepSpec`] expresses any cross product of [`SystemConfig`]
+//! mutations ([`Axis`] values × engine [`PrefetchMode`]s × workloads) as
+//! one **flat, index-addressable job list**. Every cell runs
+//! **replay-first** over the workload's captured demand stream — the
+//! fast path — and only *disagreeing* streams escalate to the
+//! cycle-level core, gated by the per-workload `cycle_agreement` the v2
+//! trace format records at capture (`TraceMeta::capture_cycles`):
+//!
+//! * stream agreement `|replay/capture − 1| ≤ gate` → every cell of
+//!   that workload replays (the common case; the cycle core does no
+//!   work);
+//! * the gate fails, or the baseline replay itself breaks → the
+//!   workload's cells run on the cycle core, compared against the
+//!   capture run's own cycle count so speedups stay like-for-like;
+//! * an individual cell whose replay is impossible (e.g. Software mode)
+//!   or corrupts the image escalates alone — the only *per-cell*
+//!   disagreement signal replay can produce without a reference run.
+//!
+//! Every cell is memoized in a **content-hash result cache** on disk,
+//! keyed by `(trace content hash, canonical config hash, schema
+//! version)` — see [`cell_config_hash`] — so warm re-runs are
+//! near-free and a workload regeneration or config change invalidates
+//! exactly the affected cells.
+//!
+//! The job list is **partitionable across processes**: shard `k` of `n`
+//! runs jobs `i ≡ k (mod n)` ([`crate::experiments::shard_indices`])
+//! and writes a shard JSON ([`ShardRun::to_json`]); [`merge_shards`]
+//! reassembles any complete set of shards into tables
+//! ([`render_merged`]) that are byte-identical for every (jobs,
+//! shard-count) split — the same determinism contract
+//! [`crate::experiments::map_indexed`] pins for threads, extended to
+//! processes.
+
+use crate::config::{PrefetchMode, SystemConfig};
+use crate::experiments::{map_indexed, shard_indices};
+use crate::replay::{replay_params, replay_run, KeyedCapture};
+use crate::system::run;
+use etpp_telemetry::Registry;
+use etpp_trace::format::{fnv1a, FNV_OFFSET};
+use etpp_workloads::BuiltWorkload;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Version of the result-cache record and shard-file layout. Part of
+/// every cache key and file name: bumping it orphans (never corrupts)
+/// old entries.
+pub const SWEEP_SCHEMA_VERSION: u32 = 1;
+
+/// Default escalation gate on the stream-level absolute-cycle
+/// agreement: a baseline replay within ±15% of the capture run's cycle
+/// count is trusted for the whole grid (Small-scale v2 agreement is
+/// 0.86–0.99, see `tests/replay_fidelity.rs`; Tiny-scale streams may
+/// escalate, which is exactly the gate doing its job).
+pub const DEFAULT_AGREEMENT_GATE: f64 = 0.15;
+
+// ---------------------------------------------------------------------------
+// Spec: axes, cross products, flat job indexing
+// ---------------------------------------------------------------------------
+
+/// One mutation axis of a sweep: a named parameter and the values it
+/// takes. `apply` is a plain fn pointer so axes stay `Clone` and the
+/// mutation is a pure function of `(axis, value)`.
+#[derive(Clone)]
+pub struct Axis {
+    /// Parameter name (settings strings, tables, cache-key material
+    /// only via the mutated config itself).
+    pub name: &'static str,
+    /// The values this axis sweeps.
+    pub values: Vec<u64>,
+    /// Applies one value to a configuration.
+    pub apply: fn(&mut SystemConfig, u64),
+}
+
+impl std::fmt::Debug for Axis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Axis")
+            .field("name", &self.name)
+            .field("values", &self.values)
+            .finish()
+    }
+}
+
+/// Axis constructors for the prefetcher parameters the paper ablates.
+pub mod axes {
+    use super::Axis;
+    use crate::config::SystemConfig;
+
+    fn set_obs_queue(cfg: &mut SystemConfig, v: u64) {
+        cfg.pf.observation_queue = v as usize;
+    }
+    fn set_req_queue(cfg: &mut SystemConfig, v: u64) {
+        cfg.pf.request_queue = v as usize;
+    }
+    fn set_lookahead_scale(cfg: &mut SystemConfig, v: u64) {
+        cfg.pf.lookahead_scale = v;
+    }
+    fn set_pf_buffer(cfg: &mut SystemConfig, v: u64) {
+        cfg.mem.pf_buffer_entries = v as usize;
+    }
+
+    /// Observation-queue depth (paper: 40 entries).
+    pub fn obs_queue(values: &[u64]) -> Axis {
+        Axis {
+            name: "obs_queue",
+            values: values.to_vec(),
+            apply: set_obs_queue,
+        }
+    }
+
+    /// Prefetch-request-queue depth (paper: 200 entries).
+    pub fn req_queue(values: &[u64]) -> Axis {
+        Axis {
+            name: "req_queue",
+            values: values.to_vec(),
+            apply: set_req_queue,
+        }
+    }
+
+    /// EWMA look-ahead safety multiplier; 0 = the raw ratio (honoured
+    /// by `EwmaBank` since the sweep farm landed — no caller-side
+    /// clamping).
+    pub fn lookahead_scale(values: &[u64]) -> Axis {
+        Axis {
+            name: "lookahead_scale",
+            values: values.to_vec(),
+            apply: set_lookahead_scale,
+        }
+    }
+
+    /// Prefetch-buffer capacity (0 disables prefetching entirely).
+    pub fn pf_buffer(values: &[u64]) -> Axis {
+        Axis {
+            name: "pf_buffer",
+            values: values.to_vec(),
+            apply: set_pf_buffer,
+        }
+    }
+}
+
+/// A composed sweep: the cross product of every axis value with every
+/// engine mode, per workload.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Sweep name (shard-file identity; merges refuse to mix sweeps).
+    pub name: &'static str,
+    /// Base configuration the axes mutate.
+    pub base: SystemConfig,
+    /// Engine modes (the paper's Figure 7 axis).
+    pub modes: Vec<PrefetchMode>,
+    /// Mutation axes; the first axis varies slowest in job order.
+    pub axes: Vec<Axis>,
+}
+
+impl SweepSpec {
+    /// Cells per workload: `modes × Π |axis values|`.
+    pub fn cells_per_workload(&self) -> usize {
+        self.modes.len() * self.axes.iter().map(|a| a.values.len()).product::<usize>()
+    }
+
+    /// Total flat job count across `n_workloads` workloads.
+    pub fn total_jobs(&self, n_workloads: usize) -> usize {
+        self.cells_per_workload() * n_workloads
+    }
+
+    /// Decodes a flat job index into (workload index, mode index, one
+    /// value index per axis). Workload-major, then mode, then axes in
+    /// declaration order (last axis fastest) — the addressing contract
+    /// shard partitions rely on.
+    pub fn decode(&self, job: usize) -> (usize, usize, Vec<usize>) {
+        let cpw = self.cells_per_workload();
+        let (wi, mut cell) = (job / cpw, job % cpw);
+        let mut value_idx = vec![0usize; self.axes.len()];
+        for (ai, axis) in self.axes.iter().enumerate().rev() {
+            value_idx[ai] = cell % axis.values.len();
+            cell /= axis.values.len();
+        }
+        (wi, cell, value_idx)
+    }
+
+    /// The fully-mutated configuration for one cell.
+    pub fn config_for(&self, value_idx: &[usize]) -> SystemConfig {
+        let mut cfg = self.base;
+        for (axis, &vi) in self.axes.iter().zip(value_idx) {
+            (axis.apply)(&mut cfg, axis.values[vi]);
+        }
+        cfg
+    }
+
+    /// The cell's axis settings as `(name, value)` pairs.
+    pub fn settings_for(&self, value_idx: &[usize]) -> Vec<(&'static str, u64)> {
+        self.axes
+            .iter()
+            .zip(value_idx)
+            .map(|(a, &vi)| (a.name, a.values[vi]))
+            .collect()
+    }
+}
+
+/// Renders settings pairs as the canonical table/shard-file string
+/// (`"obs_queue=10 pf_buffer=8"`; `"-"` for an axis-free sweep).
+pub fn settings_string(settings: &[(&'static str, u64)]) -> String {
+    if settings.is_empty() {
+        return "-".to_string();
+    }
+    settings
+        .iter()
+        .map(|(n, v)| format!("{n}={v}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// The ROADMAP's composed grid: observation-queue depth × EWMA
+/// look-ahead scale (0 = raw ratio) × prefetch-buffer capacity × engine
+/// mode — 256 configurations per workload, all replay-first.
+pub fn composed_grid() -> SweepSpec {
+    SweepSpec {
+        name: "composed",
+        base: SystemConfig::paper(),
+        modes: vec![
+            PrefetchMode::Stride,
+            PrefetchMode::GhbRegular,
+            PrefetchMode::Converted,
+            PrefetchMode::Manual,
+        ],
+        axes: vec![
+            axes::obs_queue(&[10, 20, 40, 80]),
+            axes::lookahead_scale(&[0, 2, 4, 8]),
+            axes::pf_buffer(&[8, 16, 32, 64]),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Result cache
+// ---------------------------------------------------------------------------
+
+/// Canonical configuration hash for one cell: FNV-1a over the `Debug`
+/// rendering of the *fully-mutated* [`SystemConfig`] (every field, so
+/// any config drift invalidates), the mode key, the escalation
+/// decision the cell executed under, the replay front-end parameters,
+/// and [`SWEEP_SCHEMA_VERSION`]. Two sweeps that arrive at the same
+/// configuration by different axis paths share cache entries.
+pub fn cell_config_hash(cfg: &SystemConfig, mode: PrefetchMode, escalate: bool) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = fnv1a(b"etpp-sweep-cell", h);
+    h = fnv1a(format!("{cfg:?}").as_bytes(), h);
+    h = fnv1a(mode.key().as_bytes(), h);
+    h = fnv1a(&[escalate as u8], h);
+    h = fnv1a(format!("{:?}", replay_params()).as_bytes(), h);
+    h = fnv1a(&u64::from(SWEEP_SCHEMA_VERSION).to_le_bytes(), h);
+    h
+}
+
+/// On-disk path of a cell's cached result inside `dir`.
+pub fn cell_cache_path(dir: &Path, trace_hash: u64, config_hash: u64) -> PathBuf {
+    dir.join(format!(
+        "{trace_hash:016x}-{config_hash:016x}-s{SWEEP_SCHEMA_VERSION}.json"
+    ))
+}
+
+/// Which execution path produced a cell's numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellPath {
+    /// Trace replay (the fast path).
+    Replay,
+    /// Escalated to the cycle-level core.
+    Cycle,
+    /// Not runnable on either path (e.g. no program for the mode).
+    Skip,
+}
+
+impl CellPath {
+    fn as_str(self) -> &'static str {
+        match self {
+            CellPath::Replay => "replay",
+            CellPath::Cycle => "cycle",
+            CellPath::Skip => "skip",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<CellPath> {
+        match s {
+            "replay" => Some(CellPath::Replay),
+            "cycle" => Some(CellPath::Cycle),
+            "skip" => Some(CellPath::Skip),
+            _ => None,
+        }
+    }
+}
+
+/// The cached payload of one executed cell (identity lives in the file
+/// name; speedups are derived at assembly from the workload baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CellData {
+    path: CellPath,
+    cycles: u64,
+    host_iters: u64,
+    dep_stalls: u64,
+    validated: bool,
+}
+
+fn cell_data_json(d: &CellData) -> String {
+    format!(
+        "{{\"schema\": {SWEEP_SCHEMA_VERSION}, \"path\": \"{}\", \"cycles\": {}, \
+         \"host_iters\": {}, \"dep_stalls\": {}, \"validated\": {}}}\n",
+        d.path.as_str(),
+        d.cycles,
+        d.host_iters,
+        d.dep_stalls,
+        d.validated
+    )
+}
+
+fn parse_cell_data(json: &str) -> Option<CellData> {
+    if field_num(json, "schema")? as u32 != SWEEP_SCHEMA_VERSION {
+        return None;
+    }
+    Some(CellData {
+        path: CellPath::from_str(&field_str(json, "path")?)?,
+        cycles: field_num(json, "cycles")? as u64,
+        host_iters: field_num(json, "host_iters")? as u64,
+        dep_stalls: field_num(json, "dep_stalls")? as u64,
+        validated: field_bool(json, "validated")?,
+    })
+}
+
+fn write_cell_data(path: &Path, d: &CellData) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    // Write-then-rename so concurrent shards on a shared cache dir can
+    // only ever observe complete records.
+    let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+    fs::write(&tmp, cell_data_json(d))?;
+    fs::rename(&tmp, path)
+}
+
+// ---------------------------------------------------------------------------
+// Running a sweep shard
+// ---------------------------------------------------------------------------
+
+/// How a sweep runs: cache location, worker threads, shard partition,
+/// escalation gate.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Result-cache directory (`None` disables memoization).
+    pub cache_dir: Option<PathBuf>,
+    /// Worker threads for this process's share of the job list.
+    pub jobs: usize,
+    /// `(k, n)`: run jobs `i ≡ k (mod n)` only. `(0, 1)` = everything.
+    pub shard: (usize, usize),
+    /// Stream-agreement escalation gate (see [`DEFAULT_AGREEMENT_GATE`]).
+    pub gate: f64,
+    /// Scale label recorded in the shard header (merges refuse to mix
+    /// scales).
+    pub scale_label: String,
+}
+
+impl SweepOptions {
+    /// Cache-less, unsharded options at the default gate.
+    pub fn new(jobs: usize, scale_label: &str) -> Self {
+        SweepOptions {
+            cache_dir: None,
+            jobs,
+            shard: (0, 1),
+            gate: DEFAULT_AGREEMENT_GATE,
+            scale_label: scale_label.to_string(),
+        }
+    }
+}
+
+/// Per-workload baseline: the replay-first no-prefetch run the
+/// agreement gate judges, and the denominator every cell speedup uses.
+#[derive(Debug, Clone)]
+pub struct WorkloadBaseline {
+    /// Benchmark name.
+    pub workload: &'static str,
+    /// Baseline (no-prefetch, base-config) cycles on the path the gate
+    /// chose — replay cycles normally, cycle-core cycles if the
+    /// baseline replay itself broke.
+    pub replay_cycles: u64,
+    /// The capture run's cycle-core cycle count (v2 streams; 0 on v1).
+    pub capture_cycles: u64,
+    /// `replay_cycles / capture_cycles` (`None` without a v2 reference).
+    pub agreement: Option<f64>,
+    /// Whether this workload's cells escalate to the cycle core.
+    pub escalate: bool,
+    /// The speedup denominator: replay cycles when the stream is
+    /// trusted, the capture run's cycle count when escalated.
+    pub reference_cycles: u64,
+}
+
+/// One assembled sweep cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Flat job index (globally unique across shards).
+    pub index: usize,
+    /// Benchmark name.
+    pub workload: &'static str,
+    /// Engine mode.
+    pub mode: PrefetchMode,
+    /// Axis settings applied on top of the base config.
+    pub settings: Vec<(&'static str, u64)>,
+    /// Which path produced the numbers.
+    pub path: CellPath,
+    /// Simulated cycles (0 when skipped).
+    pub cycles: u64,
+    /// Host driver iterations.
+    pub host_iters: u64,
+    /// Dependence-edge stalls (replay path only).
+    pub dep_stalls: u64,
+    /// Post-run image checksum matched.
+    pub validated: bool,
+    /// Speedup over the workload baseline (None when skipped).
+    pub speedup: Option<f64>,
+    /// Served from the result cache.
+    pub cached: bool,
+}
+
+/// The output of one sweep shard: its cells, the baselines behind
+/// them, and the cache-effectiveness counters.
+#[derive(Debug)]
+pub struct ShardRun {
+    /// Sweep name (from the spec).
+    pub sweep: &'static str,
+    /// Scale label (from the options).
+    pub scale: String,
+    /// Trace format the captures were keyed under.
+    pub trace_format: u16,
+    /// `(k, n)` shard identity.
+    pub shard: (usize, usize),
+    /// Total jobs in the *full* sweep (all shards).
+    pub total_jobs: usize,
+    /// Baselines for every workload this shard touched.
+    pub baselines: Vec<WorkloadBaseline>,
+    /// This shard's cells, ascending by flat index.
+    pub cells: Vec<CellResult>,
+    /// `sweep.cache.{hit,miss,escalated}` counters.
+    pub registry: Registry,
+}
+
+impl ShardRun {
+    /// Cache hits this run.
+    pub fn cache_hits(&self) -> u64 {
+        self.registry.counter("sweep.cache.hit")
+    }
+
+    /// Cache misses (cells executed fresh) this run.
+    pub fn cache_misses(&self) -> u64 {
+        self.registry.counter("sweep.cache.miss")
+    }
+
+    /// Fresh cells that ran the cycle core this run.
+    pub fn escalations(&self) -> u64 {
+        self.registry.counter("sweep.cache.escalated")
+    }
+
+    /// One-line cache-effectiveness summary (repro stderr).
+    pub fn cache_summary(&self) -> String {
+        let (h, m, e) = (self.cache_hits(), self.cache_misses(), self.escalations());
+        format!(
+            "cache: {h} hit / {m} miss / {e} escalated ({:.1}% hit)",
+            100.0 * h as f64 / (h + m).max(1) as f64
+        )
+    }
+}
+
+/// Looks a cell up in the cache (when enabled), else executes it and
+/// stores the result. Returns the data plus whether it was a hit.
+#[allow(clippy::too_many_arguments)]
+fn cached_exec(
+    cache_dir: Option<&Path>,
+    trace_hash: u64,
+    cfg: &SystemConfig,
+    mode: PrefetchMode,
+    wl: &BuiltWorkload,
+    records: &[etpp_trace::TraceRecord],
+    escalate: bool,
+    counters: &CacheCounters,
+) -> (CellData, bool) {
+    let path =
+        cache_dir.map(|d| cell_cache_path(d, trace_hash, cell_config_hash(cfg, mode, escalate)));
+    if let Some(p) = &path {
+        if let Some(d) = fs::read_to_string(p).ok().and_then(|s| parse_cell_data(&s)) {
+            counters.hits.fetch_add(1, Ordering::Relaxed);
+            return (d, true);
+        }
+    }
+    counters.misses.fetch_add(1, Ordering::Relaxed);
+    let d = exec_cell(cfg, mode, wl, records, escalate);
+    if d.path == CellPath::Cycle {
+        counters.escalated.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Some(p) = &path {
+        if let Err(e) = write_cell_data(p, &d) {
+            eprintln!("[sweep] could not cache {}: {e}", p.display());
+        }
+    }
+    (d, false)
+}
+
+/// Replay-first cell execution with per-cell escalation: replay unless
+/// the stream-level gate already escalated; fall back to the cycle
+/// core when replay is impossible for the mode or corrupts the image.
+fn exec_cell(
+    cfg: &SystemConfig,
+    mode: PrefetchMode,
+    wl: &BuiltWorkload,
+    records: &[etpp_trace::TraceRecord],
+    escalate: bool,
+) -> CellData {
+    if !escalate {
+        if let Ok(r) = replay_run(cfg, mode, wl, records) {
+            if r.validated {
+                return CellData {
+                    path: CellPath::Replay,
+                    cycles: r.cycles,
+                    host_iters: r.host_iters,
+                    dep_stalls: r.dep_stalls,
+                    validated: true,
+                };
+            }
+        }
+    }
+    match run(cfg, mode, wl) {
+        Ok(r) => CellData {
+            path: CellPath::Cycle,
+            cycles: r.cycles,
+            host_iters: r.host_iters,
+            dep_stalls: 0,
+            validated: r.validated,
+        },
+        Err(_) => CellData {
+            path: CellPath::Skip,
+            cycles: 0,
+            host_iters: 0,
+            dep_stalls: 0,
+            validated: true,
+        },
+    }
+}
+
+struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    escalated: AtomicU64,
+}
+
+/// Runs one shard of `spec` over `workloads` (with `captures[i]` the
+/// keyed trace of `workloads[i]`) and returns its cells, baselines and
+/// cache counters. Deterministic: the cells of a given flat index are
+/// identical for every (jobs, shard) split, which is what makes
+/// [`merge_shards`]' output byte-identical.
+pub fn run_sweep(
+    spec: &SweepSpec,
+    workloads: &[BuiltWorkload],
+    captures: &[KeyedCapture],
+    opts: &SweepOptions,
+) -> ShardRun {
+    assert_eq!(workloads.len(), captures.len());
+    let trace_format = captures
+        .first()
+        .map_or(etpp_trace::FORMAT_VERSION, |c| c.trace_format);
+    assert!(
+        captures.iter().all(|c| c.trace_format == trace_format),
+        "one sweep must not mix trace formats"
+    );
+    let (k, n) = opts.shard;
+    let total = spec.total_jobs(workloads.len());
+    let my_jobs = shard_indices(total, k, n);
+    let counters = CacheCounters {
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+        escalated: AtomicU64::new(0),
+    };
+    let cache_dir = opts.cache_dir.as_deref();
+
+    // Baselines first, for every workload this shard touches: the
+    // no-prefetch replay whose agreement against the capture run's
+    // cycle count decides escalation, and whose cycles denominate
+    // every speedup. Baselines are cells too — same cache, same keys —
+    // so across shards only the first process pays for each.
+    let used: Vec<usize> = {
+        let cpw = spec.cells_per_workload().max(1);
+        let mut seen = vec![false; workloads.len()];
+        for &j in &my_jobs {
+            seen[j / cpw] = true;
+        }
+        (0..workloads.len()).filter(|&i| seen[i]).collect()
+    };
+    let baselines_used: Vec<WorkloadBaseline> = map_indexed(opts.jobs, used.len(), |ui| {
+        let wi = used[ui];
+        let (wl, cap) = (&workloads[wi], &captures[wi]);
+        let (base, _) = cached_exec(
+            cache_dir,
+            cap.content_hash,
+            &spec.base,
+            PrefetchMode::None,
+            wl,
+            &cap.trace.records,
+            false,
+            &counters,
+        );
+        let capture_cycles = cap.trace.meta.capture_cycles;
+        let agreement = (base.path == CellPath::Replay && capture_cycles > 0)
+            .then(|| base.cycles as f64 / capture_cycles as f64);
+        let escalate = match (base.path, agreement) {
+            // v2 stream replayed fine: trust it iff it agrees.
+            (CellPath::Replay, Some(a)) => (a - 1.0).abs() > opts.gate,
+            // v1 stream (no reference): trust replay — there is nothing
+            // to disagree with, and escalating everything would defeat
+            // the farm. Orderings remain valid; absolutes are not.
+            (CellPath::Replay, None) => false,
+            // The baseline replay itself failed: the stream is broken
+            // for this config, run everything on the cycle core.
+            _ => true,
+        };
+        let reference_cycles = if !escalate {
+            base.cycles
+        } else if capture_cycles > 0 {
+            capture_cycles
+        } else {
+            // Escalated with no recorded reference (v1 stream whose
+            // replay broke): measure the cycle baseline, cached like
+            // any other escalated cell.
+            cached_exec(
+                cache_dir,
+                cap.content_hash,
+                &spec.base,
+                PrefetchMode::None,
+                wl,
+                &cap.trace.records,
+                true,
+                &counters,
+            )
+            .0
+            .cycles
+        };
+        WorkloadBaseline {
+            workload: wl.name,
+            replay_cycles: base.cycles,
+            capture_cycles,
+            agreement,
+            escalate,
+            reference_cycles,
+        }
+    });
+    let mut baselines: Vec<Option<&WorkloadBaseline>> = vec![None; workloads.len()];
+    for (ui, &wi) in used.iter().enumerate() {
+        baselines[wi] = Some(&baselines_used[ui]);
+    }
+
+    let cells = map_indexed(opts.jobs, my_jobs.len(), |j| {
+        let job = my_jobs[j];
+        let (wi, mi, value_idx) = spec.decode(job);
+        let mode = spec.modes[mi];
+        let cfg = spec.config_for(&value_idx);
+        let (wl, cap) = (&workloads[wi], &captures[wi]);
+        let bl = baselines[wi].expect("baseline computed for every used workload");
+        let (d, hit) = cached_exec(
+            cache_dir,
+            cap.content_hash,
+            &cfg,
+            mode,
+            wl,
+            &cap.trace.records,
+            bl.escalate,
+            &counters,
+        );
+        CellResult {
+            index: job,
+            workload: wl.name,
+            mode,
+            settings: spec.settings_for(&value_idx),
+            path: d.path,
+            cycles: d.cycles,
+            host_iters: d.host_iters,
+            dep_stalls: d.dep_stalls,
+            validated: d.validated,
+            speedup: (d.path != CellPath::Skip)
+                .then(|| bl.reference_cycles as f64 / d.cycles.max(1) as f64),
+            cached: hit,
+        }
+    });
+
+    let mut registry = Registry::new();
+    registry.set_counter("sweep.cache.hit", counters.hits.load(Ordering::Relaxed));
+    registry.set_counter("sweep.cache.miss", counters.misses.load(Ordering::Relaxed));
+    registry.set_counter(
+        "sweep.cache.escalated",
+        counters.escalated.load(Ordering::Relaxed),
+    );
+    ShardRun {
+        sweep: spec.name,
+        scale: opts.scale_label.clone(),
+        trace_format,
+        shard: (k, n),
+        total_jobs: total,
+        baselines: baselines_used,
+        cells,
+        registry,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard files: serialisation, parsing, merging, rendering
+// ---------------------------------------------------------------------------
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map_or("null".to_string(), |x| format!("{x:.4}"))
+}
+
+impl ShardRun {
+    /// Serialises the shard for cross-process merging. One cell per
+    /// line (the parser is line-oriented, like the speedcheck report).
+    pub fn to_json(&self) -> String {
+        let mut j = String::new();
+        let _ = writeln!(j, "{{");
+        let _ = writeln!(j, "  \"schema\": {SWEEP_SCHEMA_VERSION},");
+        let _ = writeln!(j, "  \"sweep\": \"{}\",", self.sweep);
+        let _ = writeln!(j, "  \"scale\": \"{}\",", self.scale);
+        let _ = writeln!(j, "  \"trace_format\": {},", self.trace_format);
+        let _ = writeln!(j, "  \"shard\": {},", self.shard.0);
+        let _ = writeln!(j, "  \"of\": {},", self.shard.1);
+        let _ = writeln!(j, "  \"total_jobs\": {},", self.total_jobs);
+        j.push_str("  \"baselines\": [\n");
+        for (i, b) in self.baselines.iter().enumerate() {
+            let _ = write!(
+                j,
+                "    {{\"workload\": \"{}\", \"replay_cycles\": {}, \"capture_cycles\": {}, \
+                 \"agreement\": {}, \"escalate\": {}, \"reference_cycles\": {}}}",
+                b.workload,
+                b.replay_cycles,
+                b.capture_cycles,
+                fmt_opt(b.agreement),
+                b.escalate,
+                b.reference_cycles
+            );
+            j.push_str(if i + 1 < self.baselines.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        j.push_str("  ],\n  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let _ = write!(
+                j,
+                "    {{\"index\": {}, \"workload\": \"{}\", \"mode\": \"{}\", \
+                 \"settings\": \"{}\", \"path\": \"{}\", \"cycles\": {}, \
+                 \"host_iters\": {}, \"dep_stalls\": {}, \"validated\": {}, \
+                 \"speedup\": {}, \"cache\": \"{}\"}}",
+                c.index,
+                c.workload,
+                c.mode.key(),
+                settings_string(&c.settings),
+                c.path.as_str(),
+                c.cycles,
+                c.host_iters,
+                c.dep_stalls,
+                c.validated,
+                fmt_opt(c.speedup),
+                if c.cached { "hit" } else { "miss" }
+            );
+            j.push_str(if i + 1 < self.cells.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        j.push_str("  ]\n}\n");
+        j
+    }
+}
+
+/// Extracts `"key": <number>` from one line of sweep JSON.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts `"key": "<string>"` from one line of sweep JSON.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extracts `"key": true|false` from one line of sweep JSON.
+fn field_bool(line: &str, key: &str) -> Option<bool> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// A parsed shard-file baseline row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedBaseline {
+    /// Benchmark name.
+    pub workload: String,
+    /// Baseline cycles on the chosen path.
+    pub replay_cycles: u64,
+    /// Capture run's cycle count (0 = v1).
+    pub capture_cycles: u64,
+    /// Stream agreement (None without a reference).
+    pub agreement: Option<f64>,
+    /// Whether the workload escalated.
+    pub escalate: bool,
+}
+
+/// A parsed shard-file cell row.
+#[derive(Debug, Clone)]
+pub struct ParsedCell {
+    /// Flat job index.
+    pub index: usize,
+    /// Benchmark name.
+    pub workload: String,
+    /// Mode key (see [`PrefetchMode::key`]).
+    pub mode: String,
+    /// Canonical settings string.
+    pub settings: String,
+    /// Execution path (`replay`/`cycle`/`skip`).
+    pub path: String,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Speedup over the workload baseline.
+    pub speedup: Option<f64>,
+    /// Validation outcome.
+    pub validated: bool,
+}
+
+/// A parsed shard file.
+#[derive(Debug)]
+pub struct ShardFile {
+    /// Sweep name.
+    pub sweep: String,
+    /// Scale label.
+    pub scale: String,
+    /// Trace format.
+    pub trace_format: u16,
+    /// Shard index.
+    pub shard: usize,
+    /// Shard count.
+    pub of: usize,
+    /// Full-sweep job count.
+    pub total_jobs: usize,
+    /// Baselines this shard recorded.
+    pub baselines: Vec<ParsedBaseline>,
+    /// Cells this shard ran.
+    pub cells: Vec<ParsedCell>,
+}
+
+/// Parses one shard file written by [`ShardRun::to_json`].
+///
+/// # Errors
+/// A human-readable message naming the missing or malformed field.
+pub fn parse_shard(json: &str) -> Result<ShardFile, String> {
+    let mut sweep = None;
+    let mut scale = None;
+    let mut trace_format = None;
+    let mut shard = None;
+    let mut of = None;
+    let mut total_jobs = None;
+    let mut schema = None;
+    let mut baselines = Vec::new();
+    let mut cells = Vec::new();
+    let mut section = "";
+    for line in json.lines() {
+        let t = line.trim_start();
+        if t.starts_with("\"baselines\": [") {
+            section = "baselines";
+        } else if t.starts_with("\"cells\": [") {
+            section = "cells";
+        } else if section == "baselines" && t.starts_with('{') {
+            baselines.push(ParsedBaseline {
+                workload: field_str(line, "workload").ok_or("baseline missing workload")?,
+                replay_cycles: field_num(line, "replay_cycles")
+                    .ok_or("baseline missing replay_cycles")? as u64,
+                capture_cycles: field_num(line, "capture_cycles")
+                    .ok_or("baseline missing capture_cycles")?
+                    as u64,
+                agreement: field_num(line, "agreement"),
+                escalate: field_bool(line, "escalate").ok_or("baseline missing escalate")?,
+            });
+        } else if section == "cells" && t.starts_with('{') {
+            cells.push(ParsedCell {
+                index: field_num(line, "index").ok_or("cell missing index")? as usize,
+                workload: field_str(line, "workload").ok_or("cell missing workload")?,
+                mode: field_str(line, "mode").ok_or("cell missing mode")?,
+                settings: field_str(line, "settings").ok_or("cell missing settings")?,
+                path: field_str(line, "path").ok_or("cell missing path")?,
+                cycles: field_num(line, "cycles").ok_or("cell missing cycles")? as u64,
+                speedup: field_num(line, "speedup"),
+                validated: field_bool(line, "validated").ok_or("cell missing validated")?,
+            });
+        } else {
+            if let Some(v) = field_str(line, "sweep") {
+                sweep = Some(v);
+            }
+            if let Some(v) = field_str(line, "scale") {
+                scale = Some(v);
+            }
+            if let Some(v) = field_num(line, "trace_format") {
+                trace_format = Some(v as u16);
+            }
+            if let Some(v) = field_num(line, "schema") {
+                schema = Some(v as u32);
+            }
+            if let Some(v) = field_num(line, "shard") {
+                shard = Some(v as usize);
+            }
+            if let Some(v) = field_num(line, "of") {
+                of = Some(v as usize);
+            }
+            if let Some(v) = field_num(line, "total_jobs") {
+                total_jobs = Some(v as usize);
+            }
+        }
+    }
+    if schema != Some(SWEEP_SCHEMA_VERSION) {
+        return Err(format!(
+            "shard schema {schema:?} != supported {SWEEP_SCHEMA_VERSION}"
+        ));
+    }
+    Ok(ShardFile {
+        sweep: sweep.ok_or("missing sweep name")?,
+        scale: scale.ok_or("missing scale")?,
+        trace_format: trace_format.ok_or("missing trace_format")?,
+        shard: shard.ok_or("missing shard index")?,
+        of: of.ok_or("missing shard count")?,
+        total_jobs: total_jobs.ok_or("missing total_jobs")?,
+        baselines,
+        cells,
+    })
+}
+
+/// A complete, coverage-checked sweep reassembled from shard files.
+#[derive(Debug)]
+pub struct MergedSweep {
+    /// Sweep name.
+    pub sweep: String,
+    /// Scale label.
+    pub scale: String,
+    /// Trace format.
+    pub trace_format: u16,
+    /// Number of shards merged.
+    pub shards: usize,
+    /// Baselines, deduped, sorted by workload name.
+    pub baselines: Vec<ParsedBaseline>,
+    /// All cells, ascending by flat index, exactly `0..total_jobs`.
+    pub cells: Vec<ParsedCell>,
+}
+
+fn approx_eq(a: Option<f64>, b: Option<f64>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(x), Some(y)) => format!("{x:.4}") == format!("{y:.4}"),
+        _ => false,
+    }
+}
+
+/// Merges a set of shard files into one coverage-checked sweep.
+///
+/// # Errors
+/// * inconsistent headers (different sweep/scale/format/total/shard
+///   count), duplicate shard ids;
+/// * **coverage gaps**: any flat index in `0..total_jobs` not present
+///   exactly once (the error lists the missing indices — this is the
+///   check the nightly merge job fails on);
+/// * baselines recorded differently by two shards (stale-cache mixing).
+pub fn merge_shards(files: &[ShardFile]) -> Result<MergedSweep, String> {
+    let first = files.first().ok_or("no shard files to merge")?;
+    let mut seen_shards = Vec::new();
+    for f in files {
+        if (
+            f.sweep.as_str(),
+            f.scale.as_str(),
+            f.trace_format,
+            f.total_jobs,
+            f.of,
+        ) != (
+            first.sweep.as_str(),
+            first.scale.as_str(),
+            first.trace_format,
+            first.total_jobs,
+            first.of,
+        ) {
+            return Err(format!(
+                "shard {}/{} ({} @ {}) does not match shard {}/{} ({} @ {})",
+                f.shard, f.of, f.sweep, f.scale, first.shard, first.of, first.sweep, first.scale
+            ));
+        }
+        if f.shard >= f.of {
+            return Err(format!("shard index {} out of range for {}", f.shard, f.of));
+        }
+        if seen_shards.contains(&f.shard) {
+            return Err(format!("shard {} appears twice", f.shard));
+        }
+        seen_shards.push(f.shard);
+    }
+
+    // Coverage: every flat index exactly once.
+    let total = first.total_jobs;
+    let mut cells: Vec<&ParsedCell> = files.iter().flat_map(|f| &f.cells).collect();
+    cells.sort_by_key(|c| c.index);
+    let mut missing = Vec::new();
+    let mut dup = Vec::new();
+    let mut it = cells.iter().peekable();
+    for want in 0..total {
+        match it.peek() {
+            Some(c) if c.index == want => {
+                it.next();
+                while matches!(it.peek(), Some(c) if c.index == want) {
+                    dup.push(want);
+                    it.next();
+                }
+            }
+            _ => missing.push(want),
+        }
+    }
+    let extra: Vec<usize> = it.map(|c| c.index).collect();
+    if !missing.is_empty() || !dup.is_empty() || !extra.is_empty() {
+        return Err(format!(
+            "shard coverage broken: {} missing {:?}, {} duplicated {:?}, {} out of range {:?} \
+             (of {total} jobs across {} shard files)",
+            missing.len(),
+            &missing[..missing.len().min(20)],
+            dup.len(),
+            &dup[..dup.len().min(20)],
+            extra.len(),
+            &extra[..extra.len().min(20)],
+            files.len(),
+        ));
+    }
+
+    // Baselines: shards sharing a workload must agree exactly — a
+    // mismatch means shards ran against different caches or configs.
+    let mut by_wl: BTreeMap<&str, &ParsedBaseline> = BTreeMap::new();
+    for b in files.iter().flat_map(|f| &f.baselines) {
+        if let Some(prev) = by_wl.get(b.workload.as_str()) {
+            let same = prev.replay_cycles == b.replay_cycles
+                && prev.capture_cycles == b.capture_cycles
+                && prev.escalate == b.escalate
+                && approx_eq(prev.agreement, b.agreement);
+            if !same {
+                return Err(format!(
+                    "inconsistent baselines for {} across shards: {prev:?} vs {b:?}",
+                    b.workload
+                ));
+            }
+        } else {
+            by_wl.insert(&b.workload, b);
+        }
+    }
+
+    Ok(MergedSweep {
+        sweep: first.sweep.clone(),
+        scale: first.scale.clone(),
+        trace_format: first.trace_format,
+        shards: files.len(),
+        baselines: by_wl.into_values().cloned().collect(),
+        cells: cells.into_iter().cloned().collect(),
+    })
+}
+
+fn mode_label_for_key(key: &str) -> String {
+    PrefetchMode::from_key(key).map_or_else(|| key.to_string(), |m| m.label().to_string())
+}
+
+/// Renders the merged sweep as Markdown tables. Deliberately contains
+/// **only deterministic simulation data** — no cache status, no wall
+/// times — so the output is byte-identical for any (jobs, shard-count)
+/// split of the same sweep (pinned by `tests/sweep_farm.rs`).
+pub fn render_merged(m: &MergedSweep) -> String {
+    let mut out = format!(
+        "# Sweep: {} — scale {}, trace v{}, {} jobs\n\n",
+        m.sweep,
+        m.scale,
+        m.trace_format,
+        m.cells.len()
+    );
+
+    out += "## Stream agreement (replay baseline vs capture run)\n\n";
+    out += "| Benchmark | Capture cycles | Replay cycles | Agreement | Escalated |\n";
+    out += "|---|---|---|---|---|\n";
+    for b in &m.baselines {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} |",
+            b.workload,
+            if b.capture_cycles > 0 {
+                b.capture_cycles.to_string()
+            } else {
+                "n/a (v1)".to_string()
+            },
+            b.replay_cycles,
+            b.agreement.map_or("n/a".to_string(), |a| format!("{a:.4}")),
+            if b.escalate { "yes" } else { "no" }
+        );
+    }
+    out += "\n## Cells\n\n";
+    out += "| # | Benchmark | Mode | Settings | Path | Cycles | Speedup | OK |\n";
+    out += "|---|---|---|---|---|---|---|---|\n";
+    for c in &m.cells {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {} |",
+            c.index,
+            c.workload,
+            mode_label_for_key(&c.mode),
+            c.settings,
+            c.path,
+            c.cycles,
+            c.speedup.map_or("-".to_string(), |s| format!("{s:.4}")),
+            if c.validated { "yes" } else { "NO" }
+        );
+    }
+
+    out += "\n## Summary (per workload × mode)\n\n";
+    out += "| Benchmark | Mode | Cells | Geomean | Best | Best settings |\n";
+    out += "|---|---|---|---|---|---|\n";
+    // First-appearance order over index-sorted cells: deterministic.
+    let mut groups: Vec<(String, String)> = Vec::new();
+    for c in &m.cells {
+        let g = (c.workload.clone(), c.mode.clone());
+        if !groups.contains(&g) {
+            groups.push(g);
+        }
+    }
+    for (wl, mode) in &groups {
+        let members: Vec<&ParsedCell> = m
+            .cells
+            .iter()
+            .filter(|c| &c.workload == wl && &c.mode == mode)
+            .collect();
+        let speedups: Vec<f64> = members.iter().filter_map(|c| c.speedup).collect();
+        let geomean = if speedups.is_empty() {
+            0.0
+        } else {
+            (speedups.iter().map(|v| v.ln()).sum::<f64>() / speedups.len() as f64).exp()
+        };
+        let best =
+            members
+                .iter()
+                .filter(|c| c.speedup.is_some())
+                .fold(None::<&&ParsedCell>, |acc, c| match acc {
+                    Some(b) if b.speedup >= c.speedup => Some(b),
+                    _ => Some(c),
+                });
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {:.4} | {} | {} |",
+            wl,
+            mode_label_for_key(mode),
+            members.len(),
+            geomean,
+            best.and_then(|c| c.speedup)
+                .map_or("-".to_string(), |s| format!("{s:.4}")),
+            best.map_or("-".to_string(), |c| c.settings.clone()),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe_spec() -> SweepSpec {
+        SweepSpec {
+            name: "probe",
+            base: SystemConfig::paper(),
+            modes: vec![PrefetchMode::Stride, PrefetchMode::Manual],
+            axes: vec![axes::obs_queue(&[10, 40]), axes::pf_buffer(&[8, 16, 32])],
+        }
+    }
+
+    #[test]
+    fn decode_addresses_every_cell_once() {
+        let spec = probe_spec();
+        assert_eq!(spec.cells_per_workload(), 2 * 2 * 3);
+        let total = spec.total_jobs(2);
+        let mut seen = std::collections::HashSet::new();
+        for job in 0..total {
+            let (wi, mi, vi) = spec.decode(job);
+            assert!(wi < 2 && mi < 2 && vi[0] < 2 && vi[1] < 3);
+            assert!(seen.insert((wi, mi, vi.clone())), "duplicate {job}");
+            let cfg = spec.config_for(&vi);
+            assert_eq!(cfg.pf.observation_queue as u64, spec.axes[0].values[vi[0]]);
+            assert_eq!(cfg.mem.pf_buffer_entries as u64, spec.axes[1].values[vi[1]]);
+        }
+        assert_eq!(seen.len(), total);
+        // Last axis fastest: consecutive jobs differ in pf_buffer first.
+        let (_, _, v0) = spec.decode(0);
+        let (_, _, v1) = spec.decode(1);
+        assert_eq!(v0[0], v1[0]);
+        assert_ne!(v0[1], v1[1]);
+    }
+
+    #[test]
+    fn config_hash_separates_cells() {
+        let spec = probe_spec();
+        let a = cell_config_hash(&spec.config_for(&[0, 0]), PrefetchMode::Manual, false);
+        let b = cell_config_hash(&spec.config_for(&[1, 0]), PrefetchMode::Manual, false);
+        let c = cell_config_hash(&spec.config_for(&[0, 0]), PrefetchMode::Stride, false);
+        let d = cell_config_hash(&spec.config_for(&[0, 0]), PrefetchMode::Manual, true);
+        assert_ne!(a, b, "axis value must change the key");
+        assert_ne!(a, c, "mode must change the key");
+        assert_ne!(a, d, "escalation path must change the key");
+        // Same config via different construction shares the entry.
+        let again = cell_config_hash(&spec.config_for(&[0, 0]), PrefetchMode::Manual, false);
+        assert_eq!(a, again);
+    }
+
+    #[test]
+    fn cell_data_round_trips_through_cache_record() {
+        let d = CellData {
+            path: CellPath::Replay,
+            cycles: 123_456,
+            host_iters: 789,
+            dep_stalls: 42,
+            validated: true,
+        };
+        assert_eq!(parse_cell_data(&cell_data_json(&d)), Some(d));
+        // A schema bump orphans the record.
+        let stale = cell_data_json(&d).replace(
+            &format!("\"schema\": {SWEEP_SCHEMA_VERSION}"),
+            "\"schema\": 0",
+        );
+        assert_eq!(parse_cell_data(&stale), None);
+    }
+
+    #[test]
+    fn merge_rejects_coverage_gaps_and_mismatches() {
+        let cell = |index: usize| ParsedCell {
+            index,
+            workload: "W".into(),
+            mode: "manual".into(),
+            settings: "-".into(),
+            path: "replay".into(),
+            cycles: 1,
+            speedup: Some(1.0),
+            validated: true,
+        };
+        let file = |shard: usize, of: usize, idx: &[usize]| ShardFile {
+            sweep: "s".into(),
+            scale: "tiny".into(),
+            trace_format: 2,
+            shard,
+            of,
+            total_jobs: 4,
+            baselines: vec![],
+            cells: idx.iter().map(|&i| cell(i)).collect(),
+        };
+        // Complete 2-shard split merges.
+        let ok = merge_shards(&[file(0, 2, &[0, 2]), file(1, 2, &[1, 3])]).unwrap();
+        assert_eq!(ok.cells.len(), 4);
+        // A missing shard is a coverage error naming the gap.
+        let err = merge_shards(&[file(0, 2, &[0, 2])]).unwrap_err();
+        assert!(err.contains("missing [1, 3]"), "{err}");
+        // Duplicate indices are rejected.
+        let err = merge_shards(&[file(0, 2, &[0, 1, 2]), file(1, 2, &[1, 3])]).unwrap_err();
+        assert!(err.contains("duplicated"), "{err}");
+        // Mixed shard universes are rejected.
+        let err = merge_shards(&[file(0, 2, &[0, 2]), file(0, 4, &[1, 3])]).unwrap_err();
+        assert!(err.contains("does not match"), "{err}");
+    }
+
+    #[test]
+    fn shard_json_round_trips() {
+        let run = ShardRun {
+            sweep: "probe",
+            scale: "tiny".into(),
+            trace_format: 2,
+            shard: (1, 4),
+            total_jobs: 24,
+            baselines: vec![WorkloadBaseline {
+                workload: "IntSort",
+                replay_cycles: 1000,
+                capture_cycles: 1100,
+                agreement: Some(1000.0 / 1100.0),
+                escalate: false,
+                reference_cycles: 1000,
+            }],
+            cells: vec![CellResult {
+                index: 1,
+                workload: "IntSort",
+                mode: PrefetchMode::Manual,
+                settings: vec![("obs_queue", 10), ("pf_buffer", 16)],
+                path: CellPath::Replay,
+                cycles: 500,
+                host_iters: 10,
+                dep_stalls: 2,
+                validated: true,
+                speedup: Some(2.0),
+                cached: false,
+            }],
+            registry: Registry::new(),
+        };
+        let f = parse_shard(&run.to_json()).unwrap();
+        assert_eq!(f.sweep, "probe");
+        assert_eq!((f.shard, f.of, f.total_jobs), (1, 4, 24));
+        assert_eq!(f.baselines.len(), 1);
+        assert_eq!(f.baselines[0].capture_cycles, 1100);
+        assert!(!f.baselines[0].escalate);
+        assert_eq!(f.cells.len(), 1);
+        assert_eq!(f.cells[0].settings, "obs_queue=10 pf_buffer=16");
+        assert_eq!(f.cells[0].mode, "manual");
+        assert_eq!(f.cells[0].speedup, Some(2.0));
+    }
+}
