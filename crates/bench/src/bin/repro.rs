@@ -7,7 +7,8 @@
 //!       [--scale tiny|small|paper]
 //! repro --telemetry DIR [--scale tiny|small|paper] [--jobs N]
 //! repro --sweep [--shard K/N] [--sweep-dir DIR] [--cache-dir DIR] \
-//!       [--scale tiny|small|paper] [--trace-dir DIR] [--trace-format 1|2] [--jobs N]
+//!       [--scale tiny|small|paper] [--trace-dir DIR] [--trace-format 1|2] [--jobs N] \
+//!       [--resume] [--strict] [--fault-inject PLAN]
 //! repro --sweep-merge DIR
 //! ```
 //!
@@ -42,6 +43,19 @@
 //! job coverage, and prints tables that are byte-identical for any
 //! (jobs, shard-count) split of the same sweep.
 //!
+//! Sweeps are **fail-soft** (see the README's Robustness section): a
+//! panicking cell is retried with deterministic backoff and then
+//! quarantined into `--sweep-dir`/failures-K-of-N.json while the rest
+//! of the grid completes; `--strict` restores abort-on-first-failure.
+//! Every completed job is checkpointed to an fsync'd journal
+//! (`--sweep-dir`/journal-K-of-N.jsonl) and `--resume` skips those
+//! jobs after a crash or SIGTERM. `--fault-inject PLAN` injects
+//! deterministic faults for testing — `panic=J@K` (cell J panics on
+//! its first K attempts), `bpanic=W@K` (workload W's baseline),
+//! `tear=J@B` (cell J's cache write torn at B bytes), `trace=W@OFF`
+//! (flip a byte of workload W's trace file), `kill=C` (simulate a
+//! crash after C cells), joined by `;`.
+//!
 //! Unknown flags and experiment names are fatal (exit 2): a typo'd
 //! `--shard` must never silently run the full grid.
 //!
@@ -60,7 +74,7 @@
 //! Output is GitHub-flavoured Markdown on stdout, suitable for pasting into
 //! EXPERIMENTS.md.
 
-use etpp_sim::{ablations, experiments as ex, replay as rp, sweeps};
+use etpp_sim::{ablations, experiments as ex, faults, replay as rp, sweeps};
 use etpp_sim::{report, PrefetchMode, SystemConfig};
 use etpp_workloads::{all_workloads, Scale};
 use std::path::PathBuf;
@@ -89,6 +103,12 @@ fn usage_error(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// The value following a flag, or a usage error naming the flag — no
+/// `unwrap`/`expect` panics on user-typed command lines.
+fn next_value<'a>(it: &mut std::slice::Iter<'a, String>, msg: &str) -> &'a str {
+    it.next().map_or_else(|| usage_error(msg), String::as_str)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Small;
@@ -103,17 +123,34 @@ fn main() {
     let mut trace_dir = PathBuf::from("target/traces");
     let mut trace_format = etpp_trace::FORMAT_VERSION;
     let mut jobs = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut strict = false;
+    let mut resume = false;
+    let mut fault_plan: Option<faults::FaultPlan> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--scale" {
-            let v = it.next().expect("--scale needs a value");
-            scale = etpp_bench::parse_scale(v).expect("scale: tiny|small|paper");
+            let v = next_value(&mut it, "--scale needs a value");
+            scale = etpp_bench::parse_scale(v)
+                .unwrap_or_else(|| usage_error(&format!("--scale: tiny|small|paper, got {v:?}")));
         } else if a == "--replay" {
             replay = true;
         } else if a == "--sweep" {
             sweep = true;
+        } else if a == "--strict" {
+            strict = true;
+        } else if a == "--resume" {
+            resume = true;
+        } else if a == "--fault-inject" {
+            let v = next_value(
+                &mut it,
+                "--fault-inject needs a plan (e.g. panic=3@2;tear=7@10;kill=5)",
+            );
+            match v.parse::<faults::FaultPlan>() {
+                Ok(p) => fault_plan = Some(p),
+                Err(e) => usage_error(&format!("--fault-inject: {e}")),
+            }
         } else if a == "--shard" {
-            let v = it.next().expect("--shard needs K/N");
+            let v = next_value(&mut it, "--shard needs K/N");
             let (k, n) = v
                 .split_once('/')
                 .and_then(|(k, n)| Some((k.parse().ok()?, n.parse().ok()?)))
@@ -123,34 +160,40 @@ fn main() {
             }
             shard = Some((k, n));
         } else if a == "--sweep-dir" {
-            sweep_dir = PathBuf::from(it.next().expect("--sweep-dir needs a path"));
+            sweep_dir = PathBuf::from(next_value(&mut it, "--sweep-dir needs a path"));
         } else if a == "--cache-dir" {
-            cache_dir = PathBuf::from(it.next().expect("--cache-dir needs a path"));
+            cache_dir = PathBuf::from(next_value(&mut it, "--cache-dir needs a path"));
         } else if a == "--sweep-merge" {
-            sweep_merge = Some(PathBuf::from(it.next().expect("--sweep-merge needs a dir")));
+            sweep_merge = Some(PathBuf::from(next_value(
+                &mut it,
+                "--sweep-merge needs a dir",
+            )));
         } else if a == "--telemetry" {
-            telemetry_dir = Some(PathBuf::from(it.next().expect("--telemetry needs a dir")));
+            telemetry_dir = Some(PathBuf::from(next_value(
+                &mut it,
+                "--telemetry needs a dir",
+            )));
         } else if a == "--trace-dir" {
-            trace_dir = PathBuf::from(it.next().expect("--trace-dir needs a path"));
+            trace_dir = PathBuf::from(next_value(&mut it, "--trace-dir needs a path"));
         } else if a == "--trace-format" {
-            trace_format = it
-                .next()
-                .expect("--trace-format needs a version")
+            let v = next_value(&mut it, "--trace-format needs a version");
+            trace_format = v
                 .parse()
-                .expect("--trace-format: 1 or 2");
-            assert!(
-                (etpp_trace::MIN_FORMAT_VERSION..=etpp_trace::FORMAT_VERSION)
-                    .contains(&trace_format),
-                "--trace-format: {}..={} supported",
-                etpp_trace::MIN_FORMAT_VERSION,
-                etpp_trace::FORMAT_VERSION
-            );
+                .unwrap_or_else(|_| usage_error(&format!("--trace-format: 1 or 2, got {v:?}")));
+            if !(etpp_trace::MIN_FORMAT_VERSION..=etpp_trace::FORMAT_VERSION)
+                .contains(&trace_format)
+            {
+                usage_error(&format!(
+                    "--trace-format: {}..={} supported, got {trace_format}",
+                    etpp_trace::MIN_FORMAT_VERSION,
+                    etpp_trace::FORMAT_VERSION
+                ));
+            }
         } else if a == "--jobs" {
-            jobs = it
-                .next()
-                .expect("--jobs needs a count")
+            let v = next_value(&mut it, "--jobs needs a count");
+            jobs = v
                 .parse()
-                .expect("--jobs: positive integer");
+                .unwrap_or_else(|_| usage_error(&format!("--jobs: positive integer, got {v:?}")));
         } else if a.starts_with('-') {
             usage_error(&format!("unknown flag: {a}"));
         } else {
@@ -168,6 +211,17 @@ fn main() {
     if shard.is_some() && !sweep {
         usage_error("--shard only applies to --sweep");
     }
+    if !sweep {
+        if strict {
+            usage_error("--strict only applies to --sweep");
+        }
+        if resume {
+            usage_error("--resume only applies to --sweep");
+        }
+        if fault_plan.is_some() {
+            usage_error("--fault-inject only applies to --sweep");
+        }
+    }
     if let Some(dir) = sweep_merge {
         if sweep || replay || !what.is_empty() {
             usage_error("--sweep-merge runs alone");
@@ -179,15 +233,18 @@ fn main() {
         if replay || !what.is_empty() {
             usage_error("--sweep runs alone (it has its own grid)");
         }
-        run_sweep_cmd(
+        run_sweep_cmd(&SweepCli {
             scale,
-            &trace_dir,
+            trace_dir,
             trace_format,
             jobs,
-            shard.unwrap_or((0, 1)),
-            &cache_dir,
-            &sweep_dir,
-        );
+            shard: shard.unwrap_or((0, 1)),
+            cache_dir,
+            sweep_dir,
+            strict,
+            resume,
+            fault_plan,
+        });
         return;
     }
     if replay {
@@ -390,29 +447,45 @@ fn scale_label(scale: Scale) -> &'static str {
     }
 }
 
+/// Everything `--sweep` needs, bundled so the fault/resume flags ride
+/// along without a nine-argument signature.
+struct SweepCli {
+    scale: Scale,
+    trace_dir: PathBuf,
+    trace_format: u16,
+    jobs: usize,
+    shard: (usize, usize),
+    cache_dir: PathBuf,
+    sweep_dir: PathBuf,
+    strict: bool,
+    resume: bool,
+    fault_plan: Option<faults::FaultPlan>,
+}
+
+/// Exit 1 with a diagnostic naming the operation and path. Used for I/O
+/// on operator-supplied locations, where a panic backtrace would bury
+/// the actual problem (a bad path or full disk).
+fn io_fail(what: &str, path: &std::path::Path, e: &dyn std::fmt::Display) -> ! {
+    eprintln!("error: {what} {}: {e}", path.display());
+    std::process::exit(1);
+}
+
 /// `--sweep [--shard K/N]`: run one shard of the composed grid through
 /// the sweep farm, write its shard JSON, and (when unsharded) print the
 /// merged tables — via the same parse-and-merge path `--sweep-merge`
 /// uses, so a 1-shard run and any N-shard merge are byte-identical.
-fn run_sweep_cmd(
-    scale: Scale,
-    trace_dir: &std::path::Path,
-    trace_format: u16,
-    jobs: usize,
-    shard: (usize, usize),
-    cache_dir: &std::path::Path,
-    sweep_dir: &std::path::Path,
-) {
+fn run_sweep_cmd(cli: &SweepCli) {
     let cfg = SystemConfig::paper();
-    let label = scale_label(scale);
+    let label = scale_label(cli.scale);
     let spec = sweeps::composed_grid();
+    let (jobs, shard) = (cli.jobs, cli.shard);
 
     let t0 = Instant::now();
     let names = ["IntSort", "HJ-8"];
     let workloads: Vec<etpp_workloads::BuiltWorkload> = ex::map_indexed(jobs, names.len(), |i| {
         etpp_workloads::workload_by_name(names[i])
             .expect("sweep workload exists")
-            .build(scale)
+            .build(cli.scale)
     });
     eprintln!(
         "[build] {} workloads in {:?}",
@@ -421,17 +494,57 @@ fn run_sweep_cmd(
     );
 
     let t0 = Instant::now();
-    let captures: Vec<rp::KeyedCapture> = ex::map_indexed(jobs, workloads.len(), |i| {
-        rp::load_or_capture_keyed(Some(trace_dir), &cfg, &workloads[i], label, trace_format)
+    let mut captures: Vec<rp::KeyedCapture> = ex::map_indexed(jobs, workloads.len(), |i| {
+        rp::load_or_capture_keyed(
+            Some(&cli.trace_dir),
+            &cfg,
+            &workloads[i],
+            label,
+            cli.trace_format,
+        )
     });
     eprintln!("[capture] {} traces in {:?}", captures.len(), t0.elapsed());
 
+    // Fault injection: corrupt the on-disk traces the plan names, then
+    // reload those workloads. The reload exercises the corruption-
+    // tolerant read path — a named decode diagnostic plus recapture,
+    // never a decoder panic.
+    if let Some(plan) = &cli.fault_plan {
+        let paths: Vec<PathBuf> = workloads
+            .iter()
+            .map(|w| rp::trace_path(&cli.trace_dir, w, label, cli.trace_format))
+            .collect();
+        let touched = faults::apply_trace_flips(plan, &paths)
+            .unwrap_or_else(|e| io_fail("corrupt trace under", &cli.trace_dir, &e));
+        for wi in touched {
+            eprintln!(
+                "[faults] flipped a byte in {}; reloading",
+                paths[wi].display()
+            );
+            captures[wi] = rp::load_or_capture_keyed(
+                Some(&cli.trace_dir),
+                &cfg,
+                &workloads[wi],
+                label,
+                cli.trace_format,
+            );
+        }
+    }
+
+    let journal = cli
+        .sweep_dir
+        .join(format!("journal-{}-of-{}.jsonl", shard.0, shard.1));
     let opts = sweeps::SweepOptions {
-        cache_dir: Some(cache_dir.to_path_buf()),
-        jobs,
+        cache_dir: Some(cli.cache_dir.clone()),
         shard,
-        gate: sweeps::DEFAULT_AGREEMENT_GATE,
-        scale_label: label.to_string(),
+        retry: faults::RetryPolicy {
+            strict: cli.strict,
+            ..Default::default()
+        },
+        faults: cli.fault_plan.clone(),
+        journal: Some(journal),
+        resume: cli.resume,
+        ..sweeps::SweepOptions::new(jobs, label)
     };
     let t0 = Instant::now();
     let run = sweeps::run_sweep(&spec, &workloads, &captures, &opts);
@@ -445,20 +558,41 @@ fn run_sweep_cmd(
         run.cache_summary()
     );
 
-    std::fs::create_dir_all(sweep_dir).expect("create sweep dir");
-    let path = sweep_dir.join(format!("shard-{}-of-{}.json", shard.0, shard.1));
-    std::fs::write(&path, run.to_json()).expect("write shard file");
+    if let Err(e) = std::fs::create_dir_all(&cli.sweep_dir) {
+        io_fail("create sweep dir", &cli.sweep_dir, &e);
+    }
+    let failures_path = cli
+        .sweep_dir
+        .join(format!("failures-{}-of-{}.json", shard.0, shard.1));
+    if let Err(e) = faults::write_failures(&failures_path, &run.failures) {
+        io_fail("write failures file", &failures_path, &e);
+    }
+    if !run.failures.is_empty() {
+        eprintln!(
+            "[sweep] {} cell(s) quarantined; details in {}",
+            run.failures.len(),
+            failures_path.display()
+        );
+    }
+    let path = cli
+        .sweep_dir
+        .join(format!("shard-{}-of-{}.json", shard.0, shard.1));
+    if let Err(e) = std::fs::write(&path, run.to_json()) {
+        io_fail("write shard file", &path, &e);
+    }
     eprintln!("[sweep] wrote {}", path.display());
 
     if shard == (0, 1) {
-        let parsed = sweeps::parse_shard(&std::fs::read_to_string(&path).expect("read shard"))
-            .unwrap_or_else(|e| panic!("re-parse own shard file: {e}"));
+        let raw = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| io_fail("read back shard file", &path, &e));
+        let parsed = sweeps::parse_shard(&raw)
+            .unwrap_or_else(|e| io_fail("re-parse own shard file", &path, &e));
         let merged = sweeps::merge_shards(&[parsed]).expect("single shard covers the sweep");
         println!("{}", sweeps::render_merged(&merged));
     } else {
         eprintln!(
             "[sweep] partial shard; merge with `repro --sweep-merge {}` once all {} shards exist",
-            sweep_dir.display(),
+            cli.sweep_dir.display(),
             shard.1
         );
     }

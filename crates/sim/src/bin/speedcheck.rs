@@ -191,10 +191,7 @@ fn run_sweep_stanza(
     let _ = std::fs::remove_dir_all(&cache);
     let opts = sweeps::SweepOptions {
         cache_dir: Some(cache.clone()),
-        jobs,
-        shard: (0, 1),
-        gate: sweeps::DEFAULT_AGREEMENT_GATE,
-        scale_label: scale_label.to_string(),
+        ..sweeps::SweepOptions::new(jobs, scale_label)
     };
     let pass = || {
         let t = Instant::now();

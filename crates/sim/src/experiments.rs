@@ -9,10 +9,11 @@
 //! of the worker count or scheduling.
 
 use crate::config::{PrefetchMode, SystemConfig};
+use crate::faults::{run_isolated, JobFailure, RetryPolicy};
 use crate::system::{run, run_telemetry, RunResult, Skip};
 use crate::telemetry::{TelemetryReport, TelemetrySpec};
 use etpp_workloads::{all_workloads, BuiltWorkload, Scale};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Runs `f(0..n)` across `jobs` shared-queue worker threads and returns
@@ -52,6 +53,32 @@ where
                 .expect("worker filled slot")
         })
         .collect()
+}
+
+/// [`map_indexed`] with per-job panic isolation: each job runs inside
+/// [`crate::faults::run_isolated`], so a panicking cell is retried
+/// under `policy` and then quarantined as an `Err(JobFailure)` slot
+/// while every other job still completes — the fail-soft worker pool
+/// the sweep farm runs on. `f` receives `(job index, attempt number)`;
+/// `retries` is bumped once per retry for telemetry.
+///
+/// Determinism note: result *order* stays index-addressed like
+/// [`map_indexed`]; in strict mode (`policy.strict`) the first panic
+/// propagates and aborts the pool, restoring pre-isolation behaviour.
+pub fn map_indexed_isolated<R, F>(
+    jobs: usize,
+    n: usize,
+    policy: &RetryPolicy,
+    retries: &AtomicU64,
+    f: F,
+) -> Vec<Result<R, JobFailure>>
+where
+    R: Send,
+    F: Fn(usize, u32) -> R + Sync,
+{
+    map_indexed(jobs, n, |i| {
+        run_isolated(policy, i, retries, |attempt| f(i, attempt))
+    })
 }
 
 /// The job indices shard `k` of `n` owns out of a flat `total`-job
@@ -552,6 +579,36 @@ mod tests {
         let out = map_indexed(8, 100, |i| i * 3);
         assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
         assert_eq!(map_indexed(4, 0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn map_indexed_isolated_quarantines_only_the_panicking_jobs() {
+        let policy = RetryPolicy {
+            backoff_ms: 0,
+            ..RetryPolicy::default()
+        };
+        let retries = AtomicU64::new(0);
+        // Job 5 fails permanently, job 7 recovers on its second attempt.
+        let out = map_indexed_isolated(4, 10, &policy, &retries, |i, attempt| {
+            if i == 5 {
+                panic!("permanent failure in job {i}");
+            }
+            if i == 7 && attempt == 0 {
+                panic!("transient failure in job {i}");
+            }
+            i * 2
+        });
+        for (i, slot) in out.iter().enumerate() {
+            match slot {
+                Ok(v) => assert_eq!((*v, i != 5), (i * 2, true)),
+                Err(f) => {
+                    assert_eq!((i, f.index, f.attempts), (5, 5, 3));
+                    assert!(f.error.contains("permanent"), "{}", f.error);
+                }
+            }
+        }
+        // 2 wasted attempts on job 5 + 1 on job 7.
+        assert_eq!(retries.load(Ordering::Relaxed), 3);
     }
 
     #[test]

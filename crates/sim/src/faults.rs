@@ -1,0 +1,634 @@
+//! Fail-soft machinery for the sweep farm: panic isolation with
+//! bounded retry, deterministic fault injection, quarantine records,
+//! and the crash-safe progress journal behind `repro --sweep --resume`.
+//!
+//! The design principle (borrowed from runtime-reconfigurable systems:
+//! degrade per cell, never per fleet) is that **no single bad input —
+//! a panicking cell, a torn cache write, a corrupt trace — may abort a
+//! grid**. Each job runs inside [`run_isolated`]: a panic is caught,
+//! retried up to [`RetryPolicy::max_attempts`] times with deterministic
+//! backoff, and finally *quarantined* as a [`JobFailure`] while the
+//! rest of the grid completes. Quarantines surface three ways: a
+//! `FAILED` row in the merged tables, a [`FailureRecord`] in the
+//! per-run `failures.json`, and the `sweep.quarantined` counter.
+//!
+//! Faults themselves are injectable on purpose: a [`FaultPlan`] is a
+//! pure function of job index and attempt number (no wall clock, no
+//! RNG state) so `tests/fault_injection.rs` can assert bit-exact
+//! convergence between a faulted-and-recovered run and a clean one.
+//!
+//! The [`Journal`] is the checkpoint–resume half: an append-only,
+//! fsync-per-entry line file where every line carries its own FNV-1a
+//! integrity hash (`payload|fnv16hex`), so a crash mid-write leaves at
+//! worst one torn tail line that resume detects and truncates.
+
+use etpp_trace::format::{fnv1a, FNV_OFFSET};
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{self, Seek, SeekFrom, Write as _};
+use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Retry policy + panic isolation
+// ---------------------------------------------------------------------------
+
+/// How [`run_isolated`] treats a panicking job.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts before quarantining (≥ 1; clamped up).
+    pub max_attempts: u32,
+    /// Base backoff between attempts; attempt `k` sleeps `k × backoff`
+    /// (deterministic — no jitter, so reruns behave identically).
+    pub backoff_ms: u64,
+    /// `true` restores abort-on-first-failure: panics propagate
+    /// uncaught (the CI-gate mode behind `repro --strict`).
+    pub strict: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_ms: 10,
+            strict: false,
+        }
+    }
+}
+
+/// A job that exhausted its retry budget: the quarantine row of the
+/// worker pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Index the caller passed to [`run_isolated`] (a flat job index
+    /// for sweep cells).
+    pub index: usize,
+    /// Attempts consumed (== the policy's `max_attempts`).
+    pub attempts: u32,
+    /// The final panic payload, stringified.
+    pub error: String,
+}
+
+/// A panic payload that must NOT be isolated: [`run_isolated`] rethrows
+/// it instead of retrying. Used for process-level events (the
+/// fault-injection `kill=` directive simulating a crash/SIGTERM) that
+/// per-cell recovery must not swallow.
+#[derive(Debug)]
+pub struct FatalFault(
+    /// Human-readable reason, surfaced by whoever finally catches it.
+    pub String,
+);
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f` with panic isolation under `policy`: catches panics,
+/// retries with deterministic backoff (bumping `retries` once per
+/// retry), and quarantines into a [`JobFailure`] after the budget is
+/// spent. `f` receives the zero-based attempt number so injected
+/// faults can be transient (fail attempts `< k`) or permanent.
+///
+/// A [`FatalFault`] payload is rethrown immediately — it models the
+/// process dying, which retry must not mask. In strict mode `f` runs
+/// bare and any panic propagates.
+///
+/// # Errors
+/// The [`JobFailure`] carrying the last panic message once all
+/// attempts are exhausted.
+pub fn run_isolated<R>(
+    policy: &RetryPolicy,
+    index: usize,
+    retries: &AtomicU64,
+    f: impl Fn(u32) -> R,
+) -> Result<R, JobFailure> {
+    if policy.strict {
+        return Ok(f(0));
+    }
+    let max = policy.max_attempts.max(1);
+    let mut last = String::new();
+    for attempt in 0..max {
+        if attempt > 0 {
+            retries.fetch_add(1, Ordering::Relaxed);
+            if policy.backoff_ms > 0 {
+                std::thread::sleep(Duration::from_millis(
+                    policy.backoff_ms * u64::from(attempt),
+                ));
+            }
+        }
+        match catch_unwind(AssertUnwindSafe(|| f(attempt))) {
+            Ok(r) => return Ok(r),
+            Err(payload) => {
+                if payload.is::<FatalFault>() {
+                    resume_unwind(payload);
+                }
+                last = panic_message(payload.as_ref());
+            }
+        }
+    }
+    Err(JobFailure {
+        index,
+        attempts: max,
+        error: last,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault plans
+// ---------------------------------------------------------------------------
+
+/// A deterministic set of faults to inject into a sweep run — a pure
+/// function of job index / attempt number, never of wall clock or RNG,
+/// so a faulted run is exactly reproducible.
+///
+/// Textual syntax (`repro --fault-inject`), `;`-separated directives:
+///
+/// * `panic=J@K` — cell with flat job index `J` panics on its first
+///   `K` attempts (recovers on attempt `K` if the retry budget allows,
+///   else is quarantined);
+/// * `bpanic=W@K` — the *baseline* of workload index `W` panics the
+///   same way;
+/// * `tear=J@B` — the result-cache write of job `J` is torn
+///   (truncated) at `B` bytes, leaving a corrupt entry for the next
+///   reader to evict;
+/// * `trace=W@OFF` — one byte of workload `W`'s trace file is flipped
+///   (XOR `0x55`) at offset `OFF mod len` before the sweep loads it;
+/// * `kill=C` — the process "dies" (an uncatchable [`FatalFault`])
+///   after `C` cells have completed, for crash/resume testing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    panic_cells: BTreeMap<usize, u32>,
+    baseline_panics: BTreeMap<usize, u32>,
+    tear_writes: BTreeMap<usize, u64>,
+    trace_flips: Vec<(usize, u64)>,
+    kill_after: Option<u64>,
+}
+
+impl FaultPlan {
+    /// No faults at all (same as `FaultPlan::default()`).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+
+    /// Panics (plain payload — retryable) if the plan says cell `job`
+    /// fails on this `attempt`.
+    pub fn maybe_panic(&self, job: usize, attempt: u32) {
+        if let Some(&k) = self.panic_cells.get(&job) {
+            if attempt < k {
+                panic!("fault-injection: cell {job} panicked (attempt {attempt} of {k} injected)");
+            }
+        }
+    }
+
+    /// Panics if the plan says workload `wi`'s baseline fails on this
+    /// `attempt`.
+    pub fn maybe_panic_baseline(&self, wi: usize, attempt: u32) {
+        if let Some(&k) = self.baseline_panics.get(&wi) {
+            if attempt < k {
+                panic!(
+                    "fault-injection: baseline {wi} panicked (attempt {attempt} of {k} injected)"
+                );
+            }
+        }
+    }
+
+    /// Byte length to tear job `job`'s cache write at, if any.
+    pub fn tear_at(&self, job: usize) -> Option<u64> {
+        self.tear_writes.get(&job).copied()
+    }
+
+    /// The `(workload index, byte offset)` trace flips to apply.
+    pub fn trace_flips(&self) -> &[(usize, u64)] {
+        &self.trace_flips
+    }
+
+    /// Simulates a crash — raises a [`FatalFault`] — once `completed`
+    /// cells have finished. Call with a running completion count.
+    pub fn maybe_kill(&self, completed: u64) {
+        if self.kill_after == Some(completed) {
+            panic_any(FatalFault(format!(
+                "fault-injection: kill after {completed} completed cells"
+            )));
+        }
+    }
+}
+
+impl FromStr for FaultPlan {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::default();
+        for item in s.split(';').map(str::trim).filter(|i| !i.is_empty()) {
+            let (key, val) = item
+                .split_once('=')
+                .ok_or_else(|| format!("fault directive without '=': {item:?}"))?;
+            let pair = |v: &str| -> Result<(u64, u64), String> {
+                let (a, b) = v
+                    .split_once('@')
+                    .ok_or_else(|| format!("{key}= takes A@B, got {v:?}"))?;
+                Ok((
+                    a.parse().map_err(|_| format!("bad number in {item:?}"))?,
+                    b.parse().map_err(|_| format!("bad number in {item:?}"))?,
+                ))
+            };
+            match key {
+                "panic" => {
+                    let (j, k) = pair(val)?;
+                    plan.panic_cells.insert(j as usize, k as u32);
+                }
+                "bpanic" => {
+                    let (w, k) = pair(val)?;
+                    plan.baseline_panics.insert(w as usize, k as u32);
+                }
+                "tear" => {
+                    let (j, b) = pair(val)?;
+                    plan.tear_writes.insert(j as usize, b);
+                }
+                "trace" => {
+                    let (w, off) = pair(val)?;
+                    plan.trace_flips.push((w as usize, off));
+                }
+                "kill" => {
+                    plan.kill_after =
+                        Some(val.parse().map_err(|_| format!("bad number in {item:?}"))?);
+                }
+                other => return Err(format!("unknown fault directive {other:?} in {item:?}")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut items = Vec::new();
+        for (j, k) in &self.panic_cells {
+            items.push(format!("panic={j}@{k}"));
+        }
+        for (w, k) in &self.baseline_panics {
+            items.push(format!("bpanic={w}@{k}"));
+        }
+        for (j, b) in &self.tear_writes {
+            items.push(format!("tear={j}@{b}"));
+        }
+        for (w, off) in &self.trace_flips {
+            items.push(format!("trace={w}@{off}"));
+        }
+        if let Some(c) = self.kill_after {
+            items.push(format!("kill={c}"));
+        }
+        write!(f, "{}", items.join(";"))
+    }
+}
+
+/// Applies a plan's `trace=` flips to on-disk trace files
+/// (`trace_paths[wi]` being workload `wi`'s file). XORs one byte with
+/// `0x55` at `offset mod file length`; missing paths are skipped (the
+/// workload was never captured to disk). Returns the workload indices
+/// actually corrupted.
+///
+/// # Errors
+/// I/O failure reading or rewriting a trace file.
+pub fn apply_trace_flips(plan: &FaultPlan, trace_paths: &[PathBuf]) -> io::Result<Vec<usize>> {
+    let mut touched = Vec::new();
+    for &(wi, off) in plan.trace_flips() {
+        let Some(path) = trace_paths.get(wi) else {
+            continue;
+        };
+        if !path.exists() {
+            continue;
+        }
+        let mut bytes = fs::read(path)?;
+        if bytes.is_empty() {
+            continue;
+        }
+        let i = (off as usize) % bytes.len();
+        bytes[i] ^= 0x55;
+        fs::write(path, bytes)?;
+        if !touched.contains(&wi) {
+            touched.push(wi);
+        }
+    }
+    Ok(touched)
+}
+
+// ---------------------------------------------------------------------------
+// Quarantine records (failures.json)
+// ---------------------------------------------------------------------------
+
+/// One quarantined job, as written to the per-run `failures.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureRecord {
+    /// Flat job index; `None` for a workload-baseline failure.
+    pub index: Option<usize>,
+    /// Benchmark name.
+    pub workload: String,
+    /// Mode key, or `"baseline"` for a baseline failure.
+    pub mode: String,
+    /// Canonical settings string (`"-"` for baselines).
+    pub settings: String,
+    /// The cell's [`crate::sweeps::cell_config_hash`].
+    pub config_hash: u64,
+    /// Attempts consumed before quarantine.
+    pub attempts: u32,
+    /// Final panic message.
+    pub error: String,
+}
+
+/// Renders failure records as a JSON array, one record per line.
+pub fn failures_json(records: &[FailureRecord]) -> String {
+    let mut j = String::from("[\n");
+    for (i, f) in records.iter().enumerate() {
+        j.push_str(&format!(
+            "  {{\"index\": {}, \"workload\": \"{}\", \"mode\": \"{}\", \"settings\": \"{}\", \
+             \"config_hash\": \"{:016x}\", \"attempts\": {}, \"error\": \"{}\"}}{}\n",
+            f.index.map_or("null".to_string(), |i| i.to_string()),
+            f.workload,
+            f.mode,
+            f.settings,
+            f.config_hash,
+            f.attempts,
+            etpp_telemetry::json_escape(&f.error),
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("]\n");
+    j
+}
+
+/// Writes `failures.json` atomically (tmp + rename). An empty record
+/// list still writes `[]` so CI artifact uploads are unconditional.
+///
+/// # Errors
+/// I/O failure creating the directory or writing the file.
+pub fn write_failures(path: &Path, records: &[FailureRecord]) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+    fs::write(&tmp, failures_json(records))?;
+    fs::rename(&tmp, path)
+}
+
+// ---------------------------------------------------------------------------
+// Progress journal (checkpoint–resume)
+// ---------------------------------------------------------------------------
+
+fn line_hash(payload: &str) -> u64 {
+    fnv1a(payload.as_bytes(), FNV_OFFSET)
+}
+
+/// Validates one journal line (`payload|fnv16hex\n`), returning the
+/// payload. A line missing its newline (torn write) or failing its
+/// hash is invalid.
+fn parse_journal_line(line: &str) -> Option<&str> {
+    let body = line.strip_suffix('\n')?;
+    let (payload, hash) = body.rsplit_once('|')?;
+    (u64::from_str_radix(hash, 16).ok()? == line_hash(payload)).then_some(payload)
+}
+
+/// The append-only, fsync'd progress journal a sweep shard writes so
+/// `--resume` can skip completed cells after a crash.
+///
+/// Line format: `payload|fnv1a(payload) as 016x hex`, newline
+/// terminated, fsync'd per append. Line 0 is a header describing the
+/// sweep identity (spec, scale, shard, trace hashes); [`Journal::resume`]
+/// discards the whole file if the header does not match — a journal
+/// from a different sweep must never donate progress. A torn tail
+/// (crash mid-write) is detected by the missing newline / bad hash and
+/// truncated away; everything before it is trusted.
+pub struct Journal {
+    file: fs::File,
+}
+
+impl Journal {
+    /// Starts a fresh journal at `path` (truncating any previous one)
+    /// with `header` as line 0.
+    ///
+    /// # Errors
+    /// I/O failure creating the directory or file.
+    pub fn create(path: &Path, header: &str) -> io::Result<Journal> {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let file = fs::File::create(path)?;
+        let mut j = Journal { file };
+        j.append(header)?;
+        Ok(j)
+    }
+
+    /// Opens `path` for resumption: validates the header and every
+    /// entry line, truncates any torn tail, and returns the journal
+    /// (positioned for appends) plus the surviving entry payloads. A
+    /// missing file, or one whose header differs from `header`, starts
+    /// fresh with zero entries.
+    ///
+    /// # Errors
+    /// I/O failure opening or truncating the file.
+    pub fn resume(path: &Path, header: &str) -> io::Result<(Journal, Vec<String>)> {
+        let existing = fs::read_to_string(path).unwrap_or_default();
+        let mut valid_len = 0usize;
+        let mut entries = Vec::new();
+        let mut header_ok = false;
+        for line in existing.split_inclusive('\n') {
+            let Some(payload) = parse_journal_line(line) else {
+                break;
+            };
+            if !header_ok {
+                if payload != header {
+                    break;
+                }
+                header_ok = true;
+            } else {
+                entries.push(payload.to_string());
+            }
+            valid_len += line.len();
+        }
+        if !header_ok {
+            return Ok((Journal::create(path, header)?, Vec::new()));
+        }
+        let mut file = fs::OpenOptions::new().write(true).open(path)?;
+        file.set_len(valid_len as u64)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok((Journal { file }, entries))
+    }
+
+    /// Appends one entry (must not contain a newline) and fsyncs.
+    ///
+    /// # Errors
+    /// I/O failure writing or syncing.
+    pub fn append(&mut self, payload: &str) -> io::Result<()> {
+        debug_assert!(!payload.contains('\n'), "journal entries are single lines");
+        self.file
+            .write_all(format!("{payload}|{:016x}\n", line_hash(payload)).as_bytes())?;
+        self.file.sync_data()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace decode-error accounting
+// ---------------------------------------------------------------------------
+
+static TRACE_DECODE_ERRORS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one corrupt/undecodable trace encounter (wired into the
+/// shard registry as `trace.decode_errors`).
+pub fn note_trace_decode_error() {
+    TRACE_DECODE_ERRORS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Process-wide count of corrupt/undecodable trace encounters.
+pub fn trace_decode_errors() -> u64 {
+    TRACE_DECODE_ERRORS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plan_round_trips_through_text() {
+        let text = "panic=3@2;bpanic=0@1;tear=7@10;trace=1@99;kill=5";
+        let plan: FaultPlan = text.parse().unwrap();
+        assert_eq!(plan.to_string(), text);
+        assert_eq!(plan.tear_at(7), Some(10));
+        assert_eq!(plan.tear_at(6), None);
+        assert_eq!(plan.trace_flips(), &[(1, 99)]);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::none().is_empty());
+        assert_eq!("".parse::<FaultPlan>().unwrap(), FaultPlan::none());
+        assert!("panic=3".parse::<FaultPlan>().is_err());
+        assert!("warp=1@2".parse::<FaultPlan>().is_err());
+        assert!("kill=x".parse::<FaultPlan>().is_err());
+    }
+
+    #[test]
+    fn injected_panics_are_transient_or_permanent_by_attempt() {
+        let plan: FaultPlan = "panic=4@2".parse().unwrap();
+        assert!(catch_unwind(AssertUnwindSafe(|| plan.maybe_panic(4, 0))).is_err());
+        assert!(catch_unwind(AssertUnwindSafe(|| plan.maybe_panic(4, 1))).is_err());
+        plan.maybe_panic(4, 2); // recovers
+        plan.maybe_panic(3, 0); // other cells untouched
+    }
+
+    #[test]
+    fn run_isolated_retries_then_recovers() {
+        let policy = RetryPolicy {
+            backoff_ms: 0,
+            ..RetryPolicy::default()
+        };
+        let retries = AtomicU64::new(0);
+        let r = run_isolated(&policy, 9, &retries, |attempt| {
+            assert!(attempt < 3);
+            if attempt < 2 {
+                panic!("transient");
+            }
+            attempt
+        });
+        assert_eq!(r, Ok(2));
+        assert_eq!(retries.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn run_isolated_quarantines_after_budget() {
+        let policy = RetryPolicy {
+            backoff_ms: 0,
+            ..RetryPolicy::default()
+        };
+        let retries = AtomicU64::new(0);
+        let r: Result<(), _> = run_isolated(&policy, 7, &retries, |_| panic!("permanent"));
+        let fail = r.unwrap_err();
+        assert_eq!(fail.index, 7);
+        assert_eq!(fail.attempts, 3);
+        assert!(fail.error.contains("permanent"), "{}", fail.error);
+    }
+
+    #[test]
+    fn run_isolated_rethrows_fatal_faults() {
+        let policy = RetryPolicy {
+            backoff_ms: 0,
+            ..RetryPolicy::default()
+        };
+        let retries = AtomicU64::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _ = run_isolated(&policy, 0, &retries, |_| -> () {
+                panic_any(FatalFault("simulated crash".into()))
+            });
+        }));
+        let payload = caught.unwrap_err();
+        assert!(payload.is::<FatalFault>(), "FatalFault must not be retried");
+        assert_eq!(retries.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn journal_resumes_and_truncates_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("etpp-journal-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("j.jsonl");
+        {
+            let mut j = Journal::create(&path, "HDR").unwrap();
+            j.append("one").unwrap();
+            j.append("two").unwrap();
+        }
+        // Simulate a crash mid-append: a tail without newline/hash.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"thr");
+        fs::write(&path, &bytes).unwrap();
+
+        let (mut j, entries) = Journal::resume(&path, "HDR").unwrap();
+        assert_eq!(entries, vec!["one".to_string(), "two".to_string()]);
+        j.append("three").unwrap();
+        drop(j);
+        let (_, entries) = Journal::resume(&path, "HDR").unwrap();
+        assert_eq!(entries, vec!["one", "two", "three"]);
+
+        // A different header discards everything.
+        let (_, entries) = Journal::resume(&path, "OTHER").unwrap();
+        assert!(entries.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failures_json_renders_null_index_and_escapes() {
+        let recs = vec![
+            FailureRecord {
+                index: None,
+                workload: "IntSort".into(),
+                mode: "baseline".into(),
+                settings: "-".into(),
+                config_hash: 0xdead,
+                attempts: 3,
+                error: "panic \"quoted\"".into(),
+            },
+            FailureRecord {
+                index: Some(5),
+                workload: "HJ-8".into(),
+                mode: "manual".into(),
+                settings: "obs_queue=10".into(),
+                config_hash: 1,
+                attempts: 3,
+                error: "boom".into(),
+            },
+        ];
+        let j = failures_json(&recs);
+        assert!(j.contains("\"index\": null"), "{j}");
+        assert!(j.contains("\"index\": 5"), "{j}");
+        assert!(j.contains("\\\"quoted\\\""), "{j}");
+        assert!(j.contains("000000000000dead"), "{j}");
+    }
+}

@@ -13,6 +13,7 @@
 pub mod ablations;
 pub mod config;
 pub mod experiments;
+pub mod faults;
 pub mod replay;
 pub mod report;
 pub mod sweeps;
@@ -21,6 +22,7 @@ pub mod telemetry;
 
 pub use config::{PrefetchMode, SystemConfig};
 pub use etpp_cpu::HorizonSource;
+pub use faults::{FailureRecord, FaultPlan, JobFailure, RetryPolicy};
 pub use replay::{
     load_or_capture, load_or_capture_keyed, replay_grid, replay_run, KeyedCapture, ReplayRun,
 };

@@ -117,7 +117,13 @@ pub fn load_or_capture_as(
         if let Ok(f) = fs::File::open(&path) {
             match TraceReader::new(BufReader::new(f)).and_then(|r| r.read_to_end()) {
                 Ok(t) => return (t, CaptureSource::Cached),
-                Err(e) => eprintln!("[trace] discarding bad cache {}: {e}", path.display()),
+                Err(e) => {
+                    // Corruption-tolerant: a bad on-disk trace names
+                    // itself, counts as a decode error, and falls
+                    // through to a fresh capture — never a panic.
+                    crate::faults::note_trace_decode_error();
+                    eprintln!("[trace] discarding bad cache {}: {e}", path.display());
+                }
             }
         }
     }

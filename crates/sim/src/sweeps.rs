@@ -36,21 +36,24 @@
 
 use crate::config::{PrefetchMode, SystemConfig};
 use crate::experiments::{map_indexed, shard_indices};
+use crate::faults::{run_isolated, FailureRecord, FaultPlan, Journal, RetryPolicy};
 use crate::replay::{replay_params, replay_run, KeyedCapture};
 use crate::system::run;
-use etpp_telemetry::Registry;
+use etpp_telemetry::{json_escape, Registry};
 use etpp_trace::format::{fnv1a, FNV_OFFSET};
 use etpp_workloads::BuiltWorkload;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Version of the result-cache record and shard-file layout. Part of
 /// every cache key and file name: bumping it orphans (never corrupts)
-/// old entries.
-pub const SWEEP_SCHEMA_VERSION: u32 = 1;
+/// old entries. v2 added the self-integrity trailer on cache records,
+/// the `failed` cell path, and the shard-file `failures` section.
+pub const SWEEP_SCHEMA_VERSION: u32 = 2;
 
 /// Default escalation gate on the stream-level absolute-cycle
 /// agreement: a baseline replay within ±15% of the capture run's cycle
@@ -273,6 +276,9 @@ pub enum CellPath {
     Cycle,
     /// Not runnable on either path (e.g. no program for the mode).
     Skip,
+    /// Quarantined: exhausted its retry budget (panicking cell, broken
+    /// baseline) — rendered as an explicit `FAILED` row, never cached.
+    Failed,
 }
 
 impl CellPath {
@@ -281,6 +287,7 @@ impl CellPath {
             CellPath::Replay => "replay",
             CellPath::Cycle => "cycle",
             CellPath::Skip => "skip",
+            CellPath::Failed => "failed",
         }
     }
 
@@ -289,6 +296,7 @@ impl CellPath {
             "replay" => Some(CellPath::Replay),
             "cycle" => Some(CellPath::Cycle),
             "skip" => Some(CellPath::Skip),
+            "failed" => Some(CellPath::Failed),
             _ => None,
         }
     }
@@ -305,10 +313,14 @@ struct CellData {
     validated: bool,
 }
 
+/// Magic field every cache record carries; a record without it (schema
+/// drift, stray file) is corrupt by definition.
+const CELL_MAGIC: &str = "etpp-sweep-cell";
+
 fn cell_data_json(d: &CellData) -> String {
     format!(
-        "{{\"schema\": {SWEEP_SCHEMA_VERSION}, \"path\": \"{}\", \"cycles\": {}, \
-         \"host_iters\": {}, \"dep_stalls\": {}, \"validated\": {}}}\n",
+        "{{\"magic\": \"{CELL_MAGIC}\", \"schema\": {SWEEP_SCHEMA_VERSION}, \"path\": \"{}\", \
+         \"cycles\": {}, \"host_iters\": {}, \"dep_stalls\": {}, \"validated\": {}}}\n",
         d.path.as_str(),
         d.cycles,
         d.host_iters,
@@ -318,6 +330,9 @@ fn cell_data_json(d: &CellData) -> String {
 }
 
 fn parse_cell_data(json: &str) -> Option<CellData> {
+    if field_str(json, "magic")? != CELL_MAGIC {
+        return None;
+    }
     if field_num(json, "schema")? as u32 != SWEEP_SCHEMA_VERSION {
         return None;
     }
@@ -330,14 +345,52 @@ fn parse_cell_data(json: &str) -> Option<CellData> {
     })
 }
 
-fn write_cell_data(path: &Path, d: &CellData) -> std::io::Result<()> {
+/// The full on-disk cache record: the JSON body plus a self-integrity
+/// trailer (`fnv <hash16> len <bytes>`) over the body, so a torn or
+/// bit-flipped record is detectable without trusting any of its bytes.
+fn cell_record(d: &CellData) -> String {
+    let body = cell_data_json(d);
+    format!(
+        "{body}fnv {:016x} len {}\n",
+        fnv1a(body.as_bytes(), FNV_OFFSET),
+        body.len()
+    )
+}
+
+/// Validates a cache record's trailer (magic, length, content hash) and
+/// parses the body. `None` means corrupt/truncated/drifted — the caller
+/// evicts the entry and treats the lookup as a miss.
+fn parse_cell_record(raw: &str) -> Option<CellData> {
+    let trailer_at = raw.rfind("fnv ")?;
+    let (body, trailer) = raw.split_at(trailer_at);
+    // The trailer must byte-match what the writer would emit for this
+    // body — any truncation, extension, or flip (of trailer *or* body)
+    // misses.
+    let expect = format!(
+        "fnv {:016x} len {}\n",
+        fnv1a(body.as_bytes(), FNV_OFFSET),
+        body.len()
+    );
+    if trailer != expect {
+        return None;
+    }
+    parse_cell_data(body)
+}
+
+fn write_cell_data(path: &Path, d: &CellData, tear: Option<u64>) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         fs::create_dir_all(dir)?;
     }
     // Write-then-rename so concurrent shards on a shared cache dir can
     // only ever observe complete records.
     let tmp = path.with_extension(format!("tmp{}", std::process::id()));
-    fs::write(&tmp, cell_data_json(d))?;
+    let mut bytes = cell_record(d).into_bytes();
+    if let Some(k) = tear {
+        // Fault injection: a torn write — the rename still happens, so
+        // the next reader sees a syntactically broken record.
+        bytes.truncate((k as usize).min(bytes.len()));
+    }
+    fs::write(&tmp, bytes)?;
     fs::rename(&tmp, path)
 }
 
@@ -360,10 +413,18 @@ pub struct SweepOptions {
     /// Scale label recorded in the shard header (merges refuse to mix
     /// scales).
     pub scale_label: String,
+    /// Panic-isolation policy (`strict: true` = abort-on-first-failure).
+    pub retry: RetryPolicy,
+    /// Deterministic faults to inject (`None` = run clean).
+    pub faults: Option<FaultPlan>,
+    /// Progress-journal path for checkpoint–resume (`None` disables).
+    pub journal: Option<PathBuf>,
+    /// Resume from an existing journal instead of starting fresh.
+    pub resume: bool,
 }
 
 impl SweepOptions {
-    /// Cache-less, unsharded options at the default gate.
+    /// Cache-less, unsharded, fault-free options at the default gate.
     pub fn new(jobs: usize, scale_label: &str) -> Self {
         SweepOptions {
             cache_dir: None,
@@ -371,6 +432,10 @@ impl SweepOptions {
             shard: (0, 1),
             gate: DEFAULT_AGREEMENT_GATE,
             scale_label: scale_label.to_string(),
+            retry: RetryPolicy::default(),
+            faults: None,
+            journal: None,
+            resume: false,
         }
     }
 }
@@ -441,7 +506,11 @@ pub struct ShardRun {
     pub baselines: Vec<WorkloadBaseline>,
     /// This shard's cells, ascending by flat index.
     pub cells: Vec<CellResult>,
-    /// `sweep.cache.{hit,miss,escalated}` counters.
+    /// Quarantined jobs (baselines first, then cells by index) — what
+    /// `failures.json` serialises.
+    pub failures: Vec<FailureRecord>,
+    /// `sweep.*` counters (cache effectiveness, retries, quarantines,
+    /// journal hits) plus the `trace.decode_errors` snapshot.
     pub registry: Registry,
 }
 
@@ -461,18 +530,63 @@ impl ShardRun {
         self.registry.counter("sweep.cache.escalated")
     }
 
-    /// One-line cache-effectiveness summary (repro stderr).
+    /// Corrupt cache entries evicted (then treated as misses) this run.
+    pub fn corrupt_evicted(&self) -> u64 {
+        self.registry.counter("sweep.cache.corrupt_evicted")
+    }
+
+    /// Panic retries consumed this run.
+    pub fn retries(&self) -> u64 {
+        self.registry.counter("sweep.retry")
+    }
+
+    /// Jobs quarantined after exhausting their retry budget.
+    pub fn quarantined(&self) -> u64 {
+        self.registry.counter("sweep.quarantined")
+    }
+
+    /// Jobs skipped because the resume journal already had them.
+    pub fn journal_hits(&self) -> u64 {
+        self.registry.counter("sweep.journal.hit")
+    }
+
+    /// One-line effectiveness summary (repro stderr): cache behaviour
+    /// always, fault/resume counters only when non-zero.
     pub fn cache_summary(&self) -> String {
         let (h, m, e) = (self.cache_hits(), self.cache_misses(), self.escalations());
-        format!(
+        let mut s = format!(
             "cache: {h} hit / {m} miss / {e} escalated ({:.1}% hit)",
             100.0 * h as f64 / (h + m).max(1) as f64
-        )
+        );
+        let (c, r, q, j) = (
+            self.corrupt_evicted(),
+            self.retries(),
+            self.quarantined(),
+            self.journal_hits(),
+        );
+        if c > 0 {
+            let _ = write!(s, ", {c} corrupt evicted");
+        }
+        if r > 0 {
+            let _ = write!(s, ", {r} retried");
+        }
+        if q > 0 {
+            let _ = write!(s, ", {q} quarantined");
+        }
+        if j > 0 {
+            let _ = write!(s, ", {j} resumed from journal");
+        }
+        s
     }
 }
 
 /// Looks a cell up in the cache (when enabled), else executes it and
 /// stores the result. Returns the data plus whether it was a hit.
+///
+/// A present-but-invalid entry (torn write, bit flip, schema drift) is
+/// **atomically evicted** — `remove_file` then treated as a plain miss —
+/// and counted as `sweep.cache.corrupt_evicted`; corruption can cost a
+/// re-execution but never poison a result.
 #[allow(clippy::too_many_arguments)]
 fn cached_exec(
     cache_dir: Option<&Path>,
@@ -482,14 +596,32 @@ fn cached_exec(
     wl: &BuiltWorkload,
     records: &[etpp_trace::TraceRecord],
     escalate: bool,
-    counters: &CacheCounters,
+    tear: Option<u64>,
+    counters: &SweepCounters,
 ) -> (CellData, bool) {
     let path =
         cache_dir.map(|d| cell_cache_path(d, trace_hash, cell_config_hash(cfg, mode, escalate)));
     if let Some(p) = &path {
-        if let Some(d) = fs::read_to_string(p).ok().and_then(|s| parse_cell_data(&s)) {
-            counters.hits.fetch_add(1, Ordering::Relaxed);
-            return (d, true);
+        match fs::read_to_string(p) {
+            Ok(raw) => match parse_cell_record(&raw) {
+                Some(d) => {
+                    counters.hits.fetch_add(1, Ordering::Relaxed);
+                    return (d, true);
+                }
+                None => {
+                    counters.corrupt_evicted.fetch_add(1, Ordering::Relaxed);
+                    let _ = fs::remove_file(p);
+                    eprintln!("[sweep] evicted corrupt cache entry {}", p.display());
+                }
+            },
+            // Invalid UTF-8 is corruption too; anything else (ENOENT,
+            // EACCES...) is just a miss.
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                counters.corrupt_evicted.fetch_add(1, Ordering::Relaxed);
+                let _ = fs::remove_file(p);
+                eprintln!("[sweep] evicted corrupt cache entry {}", p.display());
+            }
+            Err(_) => {}
         }
     }
     counters.misses.fetch_add(1, Ordering::Relaxed);
@@ -498,7 +630,7 @@ fn cached_exec(
         counters.escalated.fetch_add(1, Ordering::Relaxed);
     }
     if let Some(p) = &path {
-        if let Err(e) = write_cell_data(p, &d) {
+        if let Err(e) = write_cell_data(p, &d, tear) {
             eprintln!("[sweep] could not cache {}: {e}", p.display());
         }
     }
@@ -546,10 +678,149 @@ fn exec_cell(
     }
 }
 
-struct CacheCounters {
+#[derive(Default)]
+struct SweepCounters {
     hits: AtomicU64,
     misses: AtomicU64,
     escalated: AtomicU64,
+    corrupt_evicted: AtomicU64,
+    retries: AtomicU64,
+    quarantined: AtomicU64,
+    journal_hits: AtomicU64,
+}
+
+// ---------------------------------------------------------------------------
+// Progress-journal entries (checkpoint–resume)
+// ---------------------------------------------------------------------------
+
+/// The journal's line-0 header: the full sweep identity (spec, scale,
+/// shard, gate bits, trace content hashes). Resume discards a journal
+/// whose header differs — progress from a different sweep, scale, or
+/// trace corpus must never be donated. Deliberately excludes the fault
+/// plan: a run killed *by* an injected fault resumes under a clean
+/// plan against the same journal.
+fn journal_header(
+    spec: &SweepSpec,
+    opts: &SweepOptions,
+    trace_format: u16,
+    total: usize,
+    captures: &[KeyedCapture],
+) -> String {
+    let hashes: Vec<String> = captures
+        .iter()
+        .map(|c| format!("{:016x}", c.content_hash))
+        .collect();
+    format!(
+        "{{\"kind\": \"header\", \"schema\": {SWEEP_SCHEMA_VERSION}, \"sweep\": \"{}\", \
+         \"scale\": \"{}\", \"trace_format\": {trace_format}, \"shard\": {}, \"of\": {}, \
+         \"total_jobs\": {total}, \"gate_bits\": \"{:016x}\", \"traces\": \"{}\"}}",
+        spec.name,
+        opts.scale_label,
+        opts.shard.0,
+        opts.shard.1,
+        opts.gate.to_bits(),
+        hashes.join(",")
+    )
+}
+
+/// Appends `, "attempts": N, "error": "..."` when the entry records a
+/// quarantine, so resume reconstructs the failure too.
+fn failure_suffix(failure: Option<&FailureRecord>) -> String {
+    failure.map_or(String::new(), |f| {
+        format!(
+            ", \"attempts\": {}, \"error\": \"{}\"",
+            f.attempts,
+            json_escape(&f.error)
+        )
+    })
+}
+
+fn journal_baseline_entry(b: &WorkloadBaseline, failure: Option<&FailureRecord>) -> String {
+    format!(
+        "{{\"kind\": \"baseline\", \"workload\": \"{}\", \"replay_cycles\": {}, \
+         \"capture_cycles\": {}, \"agreement_bits\": \"{}\", \"escalate\": {}, \
+         \"reference_cycles\": {}{}}}",
+        b.workload,
+        b.replay_cycles,
+        b.capture_cycles,
+        b.agreement
+            .map_or("none".to_string(), |a| format!("{:016x}", a.to_bits())),
+        b.escalate,
+        b.reference_cycles,
+        failure_suffix(failure)
+    )
+}
+
+fn journal_cell_entry(c: &CellResult, failure: Option<&FailureRecord>) -> String {
+    format!(
+        "{{\"kind\": \"cell\", \"index\": {}, \"path\": \"{}\", \"cycles\": {}, \
+         \"host_iters\": {}, \"dep_stalls\": {}, \"validated\": {}{}}}",
+        c.index,
+        c.path.as_str(),
+        c.cycles,
+        c.host_iters,
+        c.dep_stalls,
+        c.validated,
+        failure_suffix(failure)
+    )
+}
+
+/// A baseline reconstructed from the journal (agreement is bit-exact —
+/// `f64::to_bits` hex — so resumed merges stay byte-identical).
+struct JournalBaseline {
+    replay_cycles: u64,
+    capture_cycles: u64,
+    agreement: Option<f64>,
+    escalate: bool,
+    reference_cycles: u64,
+    attempts: Option<u32>,
+    error: Option<String>,
+}
+
+fn parse_journal_baseline(line: &str) -> Option<(String, JournalBaseline)> {
+    let bits = field_str(line, "agreement_bits")?;
+    Some((
+        field_str(line, "workload")?,
+        JournalBaseline {
+            replay_cycles: field_num(line, "replay_cycles")? as u64,
+            capture_cycles: field_num(line, "capture_cycles")? as u64,
+            agreement: if bits == "none" {
+                None
+            } else {
+                Some(f64::from_bits(u64::from_str_radix(&bits, 16).ok()?))
+            },
+            escalate: field_bool(line, "escalate")?,
+            reference_cycles: field_num(line, "reference_cycles")? as u64,
+            attempts: field_num(line, "attempts").map(|v| v as u32),
+            error: field_str(line, "error"),
+        },
+    ))
+}
+
+/// A completed cell reconstructed from the journal.
+struct JournalCell {
+    path: CellPath,
+    cycles: u64,
+    host_iters: u64,
+    dep_stalls: u64,
+    validated: bool,
+    attempts: Option<u32>,
+    error: Option<String>,
+}
+
+fn parse_journal_cell(line: &str) -> Option<(usize, JournalCell)> {
+    Some((
+        field_num(line, "index")? as usize,
+        JournalCell {
+            path: CellPath::from_str(&field_str(line, "path")?)?,
+            cycles: field_num(line, "cycles")? as u64,
+            host_iters: field_num(line, "host_iters")? as u64,
+            dep_stalls: field_num(line, "dep_stalls")? as u64,
+            validated: field_bool(line, "validated")?,
+            attempts: field_num(line, "attempts").map(|v| v as u32),
+            error: field_str(line, "error"),
+        },
+    ))
 }
 
 /// Runs one shard of `spec` over `workloads` (with `captures[i]` the
@@ -557,6 +828,15 @@ struct CacheCounters {
 /// cache counters. Deterministic: the cells of a given flat index are
 /// identical for every (jobs, shard) split, which is what makes
 /// [`merge_shards`]' output byte-identical.
+///
+/// Fail-soft: every baseline and cell runs panic-isolated under
+/// `opts.retry` — a job that exhausts its budget is quarantined into
+/// [`ShardRun::failures`] (and a `FAILED` cell row) while the rest of
+/// the grid completes; a failed *baseline* escalates its workload's
+/// cells to the cycle core with the capture run as denominator rather
+/// than aborting the shard. With `opts.journal` set, completed jobs are
+/// checkpointed (fsync'd per entry) and `opts.resume` replays them
+/// from the journal instead of re-executing.
 pub fn run_sweep(
     spec: &SweepSpec,
     workloads: &[BuiltWorkload],
@@ -574,12 +854,56 @@ pub fn run_sweep(
     let (k, n) = opts.shard;
     let total = spec.total_jobs(workloads.len());
     let my_jobs = shard_indices(total, k, n);
-    let counters = CacheCounters {
-        hits: AtomicU64::new(0),
-        misses: AtomicU64::new(0),
-        escalated: AtomicU64::new(0),
-    };
+    let counters = SweepCounters::default();
     let cache_dir = opts.cache_dir.as_deref();
+    let plan = opts.faults.as_ref();
+    let completed = AtomicU64::new(0);
+
+    // Checkpoint–resume: open (or start) the progress journal and
+    // index whatever completed entries survive its integrity checks.
+    let mut resumed_cells: HashMap<usize, JournalCell> = HashMap::new();
+    let mut resumed_baselines: HashMap<String, JournalBaseline> = HashMap::new();
+    let journal: Option<Mutex<Journal>> = opts.journal.as_ref().and_then(|path| {
+        let header = journal_header(spec, opts, trace_format, total, captures);
+        let opened = if opts.resume {
+            Journal::resume(path, &header).map(|(j, entries)| {
+                for e in &entries {
+                    match field_str(e, "kind").as_deref() {
+                        Some("cell") => {
+                            if let Some((idx, jc)) = parse_journal_cell(e) {
+                                resumed_cells.insert(idx, jc);
+                            }
+                        }
+                        Some("baseline") => {
+                            if let Some((wl, jb)) = parse_journal_baseline(e) {
+                                resumed_baselines.insert(wl, jb);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                j
+            })
+        } else {
+            Journal::create(path, &header)
+        };
+        match opened {
+            Ok(j) => Some(Mutex::new(j)),
+            Err(e) => {
+                eprintln!("[sweep] journal disabled ({}: {e})", path.display());
+                None
+            }
+        }
+    });
+    let append = |payload: String| {
+        if let Some(j) = &journal {
+            if let Ok(mut g) = j.lock() {
+                if let Err(e) = g.append(&payload) {
+                    eprintln!("[sweep] journal append failed: {e}");
+                }
+            }
+        }
+    };
 
     // Baselines first, for every workload this shard touches: the
     // no-prefetch replay whose agreement against the capture run's
@@ -594,99 +918,274 @@ pub fn run_sweep(
         }
         (0..workloads.len()).filter(|&i| seen[i]).collect()
     };
-    let baselines_used: Vec<WorkloadBaseline> = map_indexed(opts.jobs, used.len(), |ui| {
-        let wi = used[ui];
-        let (wl, cap) = (&workloads[wi], &captures[wi]);
-        let (base, _) = cached_exec(
-            cache_dir,
-            cap.content_hash,
-            &spec.base,
-            PrefetchMode::None,
-            wl,
-            &cap.trace.records,
-            false,
-            &counters,
-        );
-        let capture_cycles = cap.trace.meta.capture_cycles;
-        let agreement = (base.path == CellPath::Replay && capture_cycles > 0)
-            .then(|| base.cycles as f64 / capture_cycles as f64);
-        let escalate = match (base.path, agreement) {
-            // v2 stream replayed fine: trust it iff it agrees.
-            (CellPath::Replay, Some(a)) => (a - 1.0).abs() > opts.gate,
-            // v1 stream (no reference): trust replay — there is nothing
-            // to disagree with, and escalating everything would defeat
-            // the farm. Orderings remain valid; absolutes are not.
-            (CellPath::Replay, None) => false,
-            // The baseline replay itself failed: the stream is broken
-            // for this config, run everything on the cycle core.
-            _ => true,
-        };
-        let reference_cycles = if !escalate {
-            base.cycles
-        } else if capture_cycles > 0 {
-            capture_cycles
-        } else {
-            // Escalated with no recorded reference (v1 stream whose
-            // replay broke): measure the cycle baseline, cached like
-            // any other escalated cell.
-            cached_exec(
-                cache_dir,
-                cap.content_hash,
-                &spec.base,
-                PrefetchMode::None,
-                wl,
-                &cap.trace.records,
-                true,
-                &counters,
-            )
-            .0
-            .cycles
-        };
-        WorkloadBaseline {
-            workload: wl.name,
-            replay_cycles: base.cycles,
-            capture_cycles,
-            agreement,
-            escalate,
-            reference_cycles,
-        }
-    });
+    let baselines_used: Vec<(WorkloadBaseline, Option<FailureRecord>)> =
+        map_indexed(opts.jobs, used.len(), |ui| {
+            let wi = used[ui];
+            let (wl, cap) = (&workloads[wi], &captures[wi]);
+            let capture_cycles = cap.trace.meta.capture_cycles;
+            if let Some(jb) = resumed_baselines.get(wl.name) {
+                counters.journal_hits.fetch_add(1, Ordering::Relaxed);
+                let failure = jb.error.clone().map(|error| FailureRecord {
+                    index: None,
+                    workload: wl.name.to_string(),
+                    mode: "baseline".to_string(),
+                    settings: "-".to_string(),
+                    config_hash: cell_config_hash(&spec.base, PrefetchMode::None, false),
+                    attempts: jb.attempts.unwrap_or(0),
+                    error,
+                });
+                return (
+                    WorkloadBaseline {
+                        workload: wl.name,
+                        replay_cycles: jb.replay_cycles,
+                        capture_cycles: jb.capture_cycles,
+                        agreement: jb.agreement,
+                        escalate: jb.escalate,
+                        reference_cycles: jb.reference_cycles,
+                    },
+                    failure,
+                );
+            }
+            let computed = run_isolated(&opts.retry, wi, &counters.retries, |attempt| {
+                if let Some(p) = plan {
+                    p.maybe_panic_baseline(wi, attempt);
+                }
+                let (base, _) = cached_exec(
+                    cache_dir,
+                    cap.content_hash,
+                    &spec.base,
+                    PrefetchMode::None,
+                    wl,
+                    &cap.trace.records,
+                    false,
+                    None,
+                    &counters,
+                );
+                let agreement = (base.path == CellPath::Replay && capture_cycles > 0)
+                    .then(|| base.cycles as f64 / capture_cycles as f64);
+                let escalate = match (base.path, agreement) {
+                    // v2 stream replayed fine: trust it iff it agrees.
+                    (CellPath::Replay, Some(a)) => (a - 1.0).abs() > opts.gate,
+                    // v1 stream (no reference): trust replay — there is
+                    // nothing to disagree with, and escalating everything
+                    // would defeat the farm. Orderings remain valid;
+                    // absolutes are not.
+                    (CellPath::Replay, None) => false,
+                    // The baseline replay itself failed: the stream is
+                    // broken for this config, run everything on the cycle
+                    // core.
+                    _ => true,
+                };
+                let reference_cycles = if !escalate {
+                    base.cycles
+                } else if capture_cycles > 0 {
+                    capture_cycles
+                } else {
+                    // Escalated with no recorded reference (v1 stream whose
+                    // replay broke): measure the cycle baseline, cached like
+                    // any other escalated cell.
+                    cached_exec(
+                        cache_dir,
+                        cap.content_hash,
+                        &spec.base,
+                        PrefetchMode::None,
+                        wl,
+                        &cap.trace.records,
+                        true,
+                        None,
+                        &counters,
+                    )
+                    .0
+                    .cycles
+                };
+                WorkloadBaseline {
+                    workload: wl.name,
+                    replay_cycles: base.cycles,
+                    capture_cycles,
+                    agreement,
+                    escalate,
+                    reference_cycles,
+                }
+            });
+            match computed {
+                Ok(b) => {
+                    append(journal_baseline_entry(&b, None));
+                    (b, None)
+                }
+                Err(fail) => {
+                    // Structured degradation instead of aborting the
+                    // shard: the workload's cells escalate to the cycle
+                    // core with the capture run as denominator.
+                    counters.quarantined.fetch_add(1, Ordering::Relaxed);
+                    let b = WorkloadBaseline {
+                        workload: wl.name,
+                        replay_cycles: 0,
+                        capture_cycles,
+                        agreement: None,
+                        escalate: true,
+                        reference_cycles: capture_cycles,
+                    };
+                    let rec = FailureRecord {
+                        index: None,
+                        workload: wl.name.to_string(),
+                        mode: "baseline".to_string(),
+                        settings: "-".to_string(),
+                        config_hash: cell_config_hash(&spec.base, PrefetchMode::None, false),
+                        attempts: fail.attempts,
+                        error: fail.error,
+                    };
+                    eprintln!(
+                        "[sweep] baseline for {} quarantined after {} attempts ({}); \
+                         its cells escalate to the cycle core",
+                        wl.name, rec.attempts, rec.error
+                    );
+                    append(journal_baseline_entry(&b, Some(&rec)));
+                    (b, Some(rec))
+                }
+            }
+        });
     let mut baselines: Vec<Option<&WorkloadBaseline>> = vec![None; workloads.len()];
     for (ui, &wi) in used.iter().enumerate() {
-        baselines[wi] = Some(&baselines_used[ui]);
+        baselines[wi] = Some(&baselines_used[ui].0);
     }
 
-    let cells = map_indexed(opts.jobs, my_jobs.len(), |j| {
-        let job = my_jobs[j];
-        let (wi, mi, value_idx) = spec.decode(job);
-        let mode = spec.modes[mi];
-        let cfg = spec.config_for(&value_idx);
-        let (wl, cap) = (&workloads[wi], &captures[wi]);
-        let bl = baselines[wi].expect("baseline computed for every used workload");
-        let (d, hit) = cached_exec(
-            cache_dir,
-            cap.content_hash,
-            &cfg,
-            mode,
-            wl,
-            &cap.trace.records,
-            bl.escalate,
-            &counters,
-        );
-        CellResult {
-            index: job,
-            workload: wl.name,
-            mode,
-            settings: spec.settings_for(&value_idx),
-            path: d.path,
-            cycles: d.cycles,
-            host_iters: d.host_iters,
-            dep_stalls: d.dep_stalls,
-            validated: d.validated,
-            speedup: (d.path != CellPath::Skip)
-                .then(|| bl.reference_cycles as f64 / d.cycles.max(1) as f64),
-            cached: hit,
-        }
+    let cell_outcomes: Vec<(CellResult, Option<FailureRecord>)> =
+        map_indexed(opts.jobs, my_jobs.len(), |j| {
+            let job = my_jobs[j];
+            let (wi, mi, value_idx) = spec.decode(job);
+            let mode = spec.modes[mi];
+            let cfg = spec.config_for(&value_idx);
+            let settings = spec.settings_for(&value_idx);
+            let (wl, cap) = (&workloads[wi], &captures[wi]);
+            let failed_cell = |attempts: u32, error: String, escalate: bool| {
+                (
+                    CellResult {
+                        index: job,
+                        workload: wl.name,
+                        mode,
+                        settings: settings.clone(),
+                        path: CellPath::Failed,
+                        cycles: 0,
+                        host_iters: 0,
+                        dep_stalls: 0,
+                        validated: false,
+                        speedup: None,
+                        cached: false,
+                    },
+                    Some(FailureRecord {
+                        index: Some(job),
+                        workload: wl.name.to_string(),
+                        mode: mode.key().to_string(),
+                        settings: settings_string(&settings),
+                        config_hash: cell_config_hash(&cfg, mode, escalate),
+                        attempts,
+                        error,
+                    }),
+                )
+            };
+            let Some(bl) = baselines[wi] else {
+                // Structured replacement for the old "baseline computed
+                // for every used workload" panic: an internally missing
+                // baseline quarantines this one cell, not the shard.
+                counters.quarantined.fetch_add(1, Ordering::Relaxed);
+                return failed_cell(
+                    0,
+                    format!("internal: no baseline for workload {}", wl.name),
+                    false,
+                );
+            };
+            if let Some(jc) = resumed_cells.get(&job) {
+                counters.journal_hits.fetch_add(1, Ordering::Relaxed);
+                let speedup = (!matches!(jc.path, CellPath::Skip | CellPath::Failed)
+                    && bl.reference_cycles > 0)
+                    .then(|| bl.reference_cycles as f64 / jc.cycles.max(1) as f64);
+                let failure = jc.error.clone().map(|error| FailureRecord {
+                    index: Some(job),
+                    workload: wl.name.to_string(),
+                    mode: mode.key().to_string(),
+                    settings: settings_string(&settings),
+                    config_hash: cell_config_hash(&cfg, mode, bl.escalate),
+                    attempts: jc.attempts.unwrap_or(0),
+                    error,
+                });
+                return (
+                    CellResult {
+                        index: job,
+                        workload: wl.name,
+                        mode,
+                        settings,
+                        path: jc.path,
+                        cycles: jc.cycles,
+                        host_iters: jc.host_iters,
+                        dep_stalls: jc.dep_stalls,
+                        validated: jc.validated,
+                        speedup,
+                        cached: false,
+                    },
+                    failure,
+                );
+            }
+            let outcome = run_isolated(&opts.retry, job, &counters.retries, |attempt| {
+                if let Some(p) = plan {
+                    p.maybe_panic(job, attempt);
+                }
+                cached_exec(
+                    cache_dir,
+                    cap.content_hash,
+                    &cfg,
+                    mode,
+                    wl,
+                    &cap.trace.records,
+                    bl.escalate,
+                    plan.and_then(|p| p.tear_at(job)),
+                    &counters,
+                )
+            });
+            let result = match outcome {
+                Ok((d, hit)) => {
+                    let cr = CellResult {
+                        index: job,
+                        workload: wl.name,
+                        mode,
+                        settings,
+                        path: d.path,
+                        cycles: d.cycles,
+                        host_iters: d.host_iters,
+                        dep_stalls: d.dep_stalls,
+                        validated: d.validated,
+                        speedup: (d.path != CellPath::Skip && bl.reference_cycles > 0)
+                            .then(|| bl.reference_cycles as f64 / d.cycles.max(1) as f64),
+                        cached: hit,
+                    };
+                    append(journal_cell_entry(&cr, None));
+                    (cr, None)
+                }
+                Err(fail) => {
+                    counters.quarantined.fetch_add(1, Ordering::Relaxed);
+                    let (cr, rec) = failed_cell(fail.attempts, fail.error, bl.escalate);
+                    append(journal_cell_entry(&cr, rec.as_ref()));
+                    (cr, rec)
+                }
+            };
+            if let Some(p) = plan {
+                p.maybe_kill(completed.fetch_add(1, Ordering::Relaxed) + 1);
+            }
+            result
+        });
+    let (cells, cell_failures): (Vec<CellResult>, Vec<Option<FailureRecord>>) =
+        cell_outcomes.into_iter().unzip();
+    let mut failures: Vec<FailureRecord> = baselines_used
+        .iter()
+        .filter_map(|(_, f)| f.clone())
+        .chain(cell_failures.into_iter().flatten())
+        .collect();
+    failures.sort_by(|a, b| {
+        (a.index, &a.workload, &a.mode, &a.settings).cmp(&(
+            b.index,
+            &b.workload,
+            &b.mode,
+            &b.settings,
+        ))
     });
 
     let mut registry = Registry::new();
@@ -696,14 +1195,29 @@ pub fn run_sweep(
         "sweep.cache.escalated",
         counters.escalated.load(Ordering::Relaxed),
     );
+    registry.set_counter(
+        "sweep.cache.corrupt_evicted",
+        counters.corrupt_evicted.load(Ordering::Relaxed),
+    );
+    registry.set_counter("sweep.retry", counters.retries.load(Ordering::Relaxed));
+    registry.set_counter(
+        "sweep.quarantined",
+        counters.quarantined.load(Ordering::Relaxed),
+    );
+    registry.set_counter(
+        "sweep.journal.hit",
+        counters.journal_hits.load(Ordering::Relaxed),
+    );
+    registry.set_counter("trace.decode_errors", crate::faults::trace_decode_errors());
     ShardRun {
         sweep: spec.name,
         scale: opts.scale_label.clone(),
         trace_format,
         shard: (k, n),
         total_jobs: total,
-        baselines: baselines_used,
+        baselines: baselines_used.into_iter().map(|(b, _)| b).collect(),
         cells,
+        failures,
         registry,
     }
 }
@@ -769,6 +1283,27 @@ impl ShardRun {
                 if c.cached { "hit" } else { "miss" }
             );
             j.push_str(if i + 1 < self.cells.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        j.push_str("  ],\n  \"failures\": [\n");
+        for (i, f) in self.failures.iter().enumerate() {
+            let _ = write!(
+                j,
+                "    {{\"index\": {}, \"workload\": \"{}\", \"mode\": \"{}\", \
+                 \"settings\": \"{}\", \"config_hash\": \"{:016x}\", \"attempts\": {}, \
+                 \"error\": \"{}\"}}",
+                f.index.map_or("null".to_string(), |i| i.to_string()),
+                f.workload,
+                f.mode,
+                f.settings,
+                f.config_hash,
+                f.attempts,
+                json_escape(&f.error)
+            );
+            j.push_str(if i + 1 < self.failures.len() {
                 ",\n"
             } else {
                 "\n"
@@ -848,6 +1383,23 @@ pub struct ParsedCell {
     pub validated: bool,
 }
 
+/// A parsed shard-file quarantine row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedFailure {
+    /// Flat job index (`None` = a workload-baseline failure).
+    pub index: Option<usize>,
+    /// Benchmark name.
+    pub workload: String,
+    /// Mode key, or `"baseline"`.
+    pub mode: String,
+    /// Canonical settings string.
+    pub settings: String,
+    /// Attempts consumed before quarantine.
+    pub attempts: u32,
+    /// Final panic message.
+    pub error: String,
+}
+
 /// A parsed shard file.
 #[derive(Debug)]
 pub struct ShardFile {
@@ -867,6 +1419,8 @@ pub struct ShardFile {
     pub baselines: Vec<ParsedBaseline>,
     /// Cells this shard ran.
     pub cells: Vec<ParsedCell>,
+    /// Jobs this shard quarantined.
+    pub failures: Vec<ParsedFailure>,
 }
 
 /// Parses one shard file written by [`ShardRun::to_json`].
@@ -883,6 +1437,7 @@ pub fn parse_shard(json: &str) -> Result<ShardFile, String> {
     let mut schema = None;
     let mut baselines = Vec::new();
     let mut cells = Vec::new();
+    let mut failures = Vec::new();
     let mut section = "";
     for line in json.lines() {
         let t = line.trim_start();
@@ -890,6 +1445,8 @@ pub fn parse_shard(json: &str) -> Result<ShardFile, String> {
             section = "baselines";
         } else if t.starts_with("\"cells\": [") {
             section = "cells";
+        } else if t.starts_with("\"failures\": [") {
+            section = "failures";
         } else if section == "baselines" && t.starts_with('{') {
             baselines.push(ParsedBaseline {
                 workload: field_str(line, "workload").ok_or("baseline missing workload")?,
@@ -911,6 +1468,15 @@ pub fn parse_shard(json: &str) -> Result<ShardFile, String> {
                 cycles: field_num(line, "cycles").ok_or("cell missing cycles")? as u64,
                 speedup: field_num(line, "speedup"),
                 validated: field_bool(line, "validated").ok_or("cell missing validated")?,
+            });
+        } else if section == "failures" && t.starts_with('{') {
+            failures.push(ParsedFailure {
+                index: field_num(line, "index").map(|v| v as usize),
+                workload: field_str(line, "workload").ok_or("failure missing workload")?,
+                mode: field_str(line, "mode").ok_or("failure missing mode")?,
+                settings: field_str(line, "settings").ok_or("failure missing settings")?,
+                attempts: field_num(line, "attempts").ok_or("failure missing attempts")? as u32,
+                error: field_str(line, "error").unwrap_or_default(),
             });
         } else {
             if let Some(v) = field_str(line, "sweep") {
@@ -950,6 +1516,7 @@ pub fn parse_shard(json: &str) -> Result<ShardFile, String> {
         total_jobs: total_jobs.ok_or("missing total_jobs")?,
         baselines,
         cells,
+        failures,
     })
 }
 
@@ -968,6 +1535,9 @@ pub struct MergedSweep {
     pub baselines: Vec<ParsedBaseline>,
     /// All cells, ascending by flat index, exactly `0..total_jobs`.
     pub cells: Vec<ParsedCell>,
+    /// Quarantined jobs across all shards, deduped, baseline failures
+    /// first then ascending by flat index.
+    pub failures: Vec<ParsedFailure>,
 }
 
 fn approx_eq(a: Option<f64>, b: Option<f64>) -> bool {
@@ -1072,6 +1642,21 @@ pub fn merge_shards(files: &[ShardFile]) -> Result<MergedSweep, String> {
         }
     }
 
+    // Quarantines: concatenate, order deterministically (baseline
+    // failures first — None sorts before Some — then by index), and
+    // dedup exact repeats (a resumed shard reports the same quarantine
+    // as its first run).
+    let mut failures: Vec<ParsedFailure> = files.iter().flat_map(|f| f.failures.clone()).collect();
+    failures.sort_by(|a, b| {
+        (a.index, &a.workload, &a.mode, &a.settings).cmp(&(
+            b.index,
+            &b.workload,
+            &b.mode,
+            &b.settings,
+        ))
+    });
+    failures.dedup();
+
     Ok(MergedSweep {
         sweep: first.sweep.clone(),
         scale: first.scale.clone(),
@@ -1079,6 +1664,7 @@ pub fn merge_shards(files: &[ShardFile]) -> Result<MergedSweep, String> {
         shards: files.len(),
         baselines: by_wl.into_values().cloned().collect(),
         cells: cells.into_iter().cloned().collect(),
+        failures,
     })
 }
 
@@ -1121,6 +1707,7 @@ pub fn render_merged(m: &MergedSweep) -> String {
     out += "| # | Benchmark | Mode | Settings | Path | Cycles | Speedup | OK |\n";
     out += "|---|---|---|---|---|---|---|---|\n";
     for c in &m.cells {
+        let failed = c.path == "failed";
         let _ = writeln!(
             out,
             "| {} | {} | {} | {} | {} | {} | {} | {} |",
@@ -1129,10 +1716,38 @@ pub fn render_merged(m: &MergedSweep) -> String {
             mode_label_for_key(&c.mode),
             c.settings,
             c.path,
-            c.cycles,
+            if failed {
+                "-".to_string()
+            } else {
+                c.cycles.to_string()
+            },
             c.speedup.map_or("-".to_string(), |s| format!("{s:.4}")),
-            if c.validated { "yes" } else { "NO" }
+            if failed {
+                "FAILED"
+            } else if c.validated {
+                "yes"
+            } else {
+                "NO"
+            }
         );
+    }
+
+    if !m.failures.is_empty() {
+        out += "\n## Quarantined cells\n\n";
+        out += "| # | Benchmark | Mode | Settings | Attempts | Error |\n";
+        out += "|---|---|---|---|---|---|\n";
+        for f in &m.failures {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} |",
+                f.index.map_or("-".to_string(), |i| i.to_string()),
+                f.workload,
+                mode_label_for_key(&f.mode),
+                f.settings,
+                f.attempts,
+                f.error.replace('|', "/")
+            );
+        }
     }
 
     out += "\n## Summary (per workload × mode)\n\n";
@@ -1250,6 +1865,30 @@ mod tests {
     }
 
     #[test]
+    fn cell_record_trailer_rejects_corruption() {
+        let d = CellData {
+            path: CellPath::Failed,
+            cycles: 0,
+            host_iters: 0,
+            dep_stalls: 0,
+            validated: false,
+        };
+        let record = cell_record(&d);
+        assert_eq!(parse_cell_record(&record), Some(d));
+        // Torn write: any truncation invalidates the trailer.
+        for cut in [0, 1, record.len() / 2, record.len() - 1] {
+            assert_eq!(parse_cell_record(&record[..cut]), None, "cut at {cut}");
+        }
+        // A flipped byte in the body breaks the content hash.
+        let flipped = record.replacen("cycles", "cycIes", 1);
+        assert_eq!(parse_cell_record(&flipped), None);
+        // A record missing the magic field is schema drift.
+        let drifted = cell_record(&d).replace(CELL_MAGIC, "other-cache-kind");
+        assert_eq!(parse_cell_record(&drifted), None);
+        assert_eq!(parse_cell_record("not a record at all"), None);
+    }
+
+    #[test]
     fn merge_rejects_coverage_gaps_and_mismatches() {
         let cell = |index: usize| ParsedCell {
             index,
@@ -1270,6 +1909,7 @@ mod tests {
             total_jobs: 4,
             baselines: vec![],
             cells: idx.iter().map(|&i| cell(i)).collect(),
+            failures: vec![],
         };
         // Complete 2-shard split merges.
         let ok = merge_shards(&[file(0, 2, &[0, 2]), file(1, 2, &[1, 3])]).unwrap();
@@ -1314,6 +1954,15 @@ mod tests {
                 speedup: Some(2.0),
                 cached: false,
             }],
+            failures: vec![FailureRecord {
+                index: Some(2),
+                workload: "IntSort".into(),
+                mode: "stride".into(),
+                settings: "obs_queue=10 pf_buffer=64".into(),
+                config_hash: 0xabcd,
+                attempts: 3,
+                error: "injected \"panic\"".into(),
+            }],
             registry: Registry::new(),
         };
         let f = parse_shard(&run.to_json()).unwrap();
@@ -1326,5 +1975,59 @@ mod tests {
         assert_eq!(f.cells[0].settings, "obs_queue=10 pf_buffer=16");
         assert_eq!(f.cells[0].mode, "manual");
         assert_eq!(f.cells[0].speedup, Some(2.0));
+        assert_eq!(f.failures.len(), 1);
+        assert_eq!(f.failures[0].index, Some(2));
+        assert_eq!(f.failures[0].mode, "stride");
+        assert_eq!(f.failures[0].attempts, 3);
+    }
+
+    #[test]
+    fn journal_entries_round_trip_bit_exact() {
+        let b = WorkloadBaseline {
+            workload: "HJ-8",
+            replay_cycles: 12345,
+            capture_cycles: 13000,
+            agreement: Some(12345.0 / 13000.0),
+            escalate: false,
+            reference_cycles: 12345,
+        };
+        let (wl, jb) = parse_journal_baseline(&journal_baseline_entry(&b, None)).unwrap();
+        assert_eq!(wl, "HJ-8");
+        assert_eq!(jb.replay_cycles, 12345);
+        // Bit-exact, not approximate: resumed merges must stay
+        // byte-identical.
+        assert_eq!(
+            jb.agreement.map(f64::to_bits),
+            b.agreement.map(f64::to_bits)
+        );
+        assert!(jb.error.is_none());
+
+        let c = CellResult {
+            index: 17,
+            workload: "HJ-8",
+            mode: PrefetchMode::Manual,
+            settings: vec![("obs_queue", 10)],
+            path: CellPath::Failed,
+            cycles: 0,
+            host_iters: 0,
+            dep_stalls: 0,
+            validated: false,
+            speedup: None,
+            cached: false,
+        };
+        let rec = FailureRecord {
+            index: Some(17),
+            workload: "HJ-8".into(),
+            mode: "manual".into(),
+            settings: "obs_queue=10".into(),
+            config_hash: 1,
+            attempts: 3,
+            error: "boom".into(),
+        };
+        let (idx, jc) = parse_journal_cell(&journal_cell_entry(&c, Some(&rec))).unwrap();
+        assert_eq!(idx, 17);
+        assert_eq!(jc.path, CellPath::Failed);
+        assert_eq!(jc.attempts, Some(3));
+        assert_eq!(jc.error.as_deref(), Some("boom"));
     }
 }

@@ -356,14 +356,17 @@ impl Decoder {
         match tag {
             TAG_LOAD | TAG_STORE => {
                 let cycle = self.prev_cycle.wrapping_add(cur.varint()?);
-                let pc = (self.prev_pc as i64 + unzigzag(cur.varint()?)) as u32;
+                // Wrapping: identical to `prev + delta` for any stream the
+                // encoder emits, and panic-free on corrupt deltas (the
+                // footer hash rejects the record stream afterwards).
+                let pc = (self.prev_pc as i64).wrapping_add(unzigzag(cur.varint()?)) as u32;
                 let vaddr = self.prev_vaddr.wrapping_add(unzigzag(cur.varint()?) as u64);
                 let (kind, value, size, dep) = if tag == TAG_STORE {
                     let size = cur.u8()?;
                     let value = cur.varint()?;
                     (AccessKind::Store, value, size, 0)
                 } else if self.version >= 2 {
-                    let dep = (self.prev_dep as i64 + unzigzag(cur.varint()?)) as u32;
+                    let dep = (self.prev_dep as i64).wrapping_add(unzigzag(cur.varint()?)) as u32;
                     self.prev_dep = dep;
                     (AccessKind::Load, 0, 0, dep)
                 } else {

@@ -321,7 +321,14 @@ impl<R: Read> TraceReader<R> {
             bytes: &self.bytes,
             pos: start,
         };
-        let rec = self.dec.decode(tag, &mut cur)?;
+        // Name the failing record ordinal so a corrupt trace diagnoses
+        // as "record N of file X", not a bare decoder error.
+        // Name the failing record ordinal so a corrupt trace diagnoses
+        // as "record N: ...", not a bare decoder error.
+        let rec = self
+            .dec
+            .decode(tag, &mut cur)
+            .map_err(|FormatError(msg)| FormatError(format!("record {}: {msg}", self.count)))?;
         let end = cur.pos;
         self.hash = fnv1a(&self.bytes[self.pos..end], self.hash);
         self.pos = end;

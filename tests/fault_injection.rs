@@ -1,0 +1,300 @@
+//! Fault-injection contracts: a sweep peppered with deterministic
+//! panics, torn cache writes, and trace corruption still completes,
+//! quarantines exactly the unrecoverable cells, and keeps every
+//! surviving row byte-identical to a clean run — and a killed sweep
+//! resumes from its journal without re-executing completed cells.
+
+use etpp::sim::faults::{self, FatalFault, FaultPlan};
+use etpp::sim::replay::{self, load_or_capture_keyed};
+use etpp::sim::sweeps::{self, axes, SweepOptions, SweepSpec};
+use etpp::sim::{PrefetchMode, SystemConfig};
+use etpp::workloads::{workload_by_name, BuiltWorkload, Scale};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+/// 2 workloads × 2 modes × 2 obs_queue × 2 pf_buffer = 16 flat jobs.
+fn probe_spec() -> SweepSpec {
+    SweepSpec {
+        name: "fault-test",
+        base: SystemConfig::paper(),
+        modes: vec![PrefetchMode::Stride, PrefetchMode::Manual],
+        axes: vec![axes::obs_queue(&[10, 40]), axes::pf_buffer(&[16, 64])],
+    }
+}
+
+fn opts(jobs: usize, shard: (usize, usize), cache_dir: Option<PathBuf>) -> SweepOptions {
+    SweepOptions {
+        cache_dir,
+        shard,
+        ..SweepOptions::new(jobs, "tiny")
+    }
+}
+
+/// A scratch directory that cleans up after itself even on panic.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let p = std::env::temp_dir().join(format!("etpp-faults-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn build_two() -> Vec<BuiltWorkload> {
+    ["IntSort", "HJ-8"]
+        .iter()
+        .map(|n| workload_by_name(n).unwrap().build(Scale::Tiny))
+        .collect()
+}
+
+fn capture_all(trace_dir: &std::path::Path, wls: &[BuiltWorkload]) -> Vec<replay::KeyedCapture> {
+    let cfg = SystemConfig::paper();
+    wls.iter()
+        .map(|w| {
+            load_or_capture_keyed(
+                Some(trace_dir),
+                &cfg,
+                w,
+                "tiny",
+                etpp::trace::FORMAT_VERSION,
+            )
+        })
+        .collect()
+}
+
+fn merged_render(files: Vec<sweeps::ShardFile>) -> String {
+    sweeps::render_merged(&sweeps::merge_shards(&files).expect("full coverage"))
+}
+
+/// The headline contract: a 4-way sharded sweep under injected panics,
+/// a torn cache write, and a corrupted on-disk trace completes,
+/// quarantines exactly the one unrecoverable cell, and matches a clean
+/// run byte-for-byte on every surviving cell row.
+#[test]
+fn faulted_sweep_completes_and_quarantines_exactly_the_unrecoverable_cells() {
+    let spec = probe_spec();
+    let wls = build_two();
+    let traces = TempDir::new("traces");
+    let cache = TempDir::new("cache");
+    let captures = capture_all(&traces.0, &wls);
+
+    // Corrupt workload 0's trace on disk, then reload it the way
+    // `repro --fault-inject trace=0@100` does: the decoder reports a
+    // named error (counted), the loader recaptures, and the sweep sees
+    // an identical trace.
+    let plan: FaultPlan = "panic=2@2;panic=5@9;tear=7@4;trace=0@100".parse().unwrap();
+    let paths: Vec<PathBuf> = wls
+        .iter()
+        .map(|w| replay::trace_path(&traces.0, w, "tiny", etpp::trace::FORMAT_VERSION))
+        .collect();
+    let errors_before = faults::trace_decode_errors();
+    let touched = faults::apply_trace_flips(&plan, &paths).unwrap();
+    assert_eq!(touched, vec![0], "exactly workload 0's trace is flipped");
+    let reloaded = capture_all(&traces.0, &wls);
+    assert!(
+        faults::trace_decode_errors() > errors_before,
+        "corrupt trace must be counted as a decode error, not a panic"
+    );
+    assert_eq!(
+        reloaded[0].content_hash, captures[0].content_hash,
+        "recapture after corruption must reproduce the identical trace"
+    );
+    let captures = reloaded;
+
+    // Faulted pass, 4-way sharded over a shared cache. Job 2 (shard 2)
+    // recovers on its third attempt; job 5 (shard 1) exhausts the retry
+    // budget; job 7's (shard 3) cache write is torn at 4 bytes.
+    let faulted: Vec<sweeps::ShardRun> = (0..4)
+        .map(|k| {
+            let o = SweepOptions {
+                faults: Some(plan.clone()),
+                ..opts(2, (k, 4), Some(cache.0.clone()))
+            };
+            sweeps::run_sweep(&spec, &wls, &captures, &o)
+        })
+        .collect();
+    let retries: u64 = faulted.iter().map(sweeps::ShardRun::retries).sum();
+    assert_eq!(retries, 4, "2 retries for job 2 + 2 for job 5");
+    let quarantined: u64 = faulted.iter().map(sweeps::ShardRun::quarantined).sum();
+    assert_eq!(quarantined, 1, "only job 5 exhausts its budget");
+    let failures: Vec<_> = faulted.iter().flat_map(|r| r.failures.clone()).collect();
+    assert_eq!(failures.len(), 1);
+    assert_eq!(failures[0].index, Some(5));
+    assert_eq!(failures[0].attempts, 3);
+    assert!(failures[0].error.contains("fault-injection: cell 5"));
+
+    let fault_render = merged_render(
+        faulted
+            .iter()
+            .map(|r| sweeps::parse_shard(&r.to_json()).expect("own shard parses"))
+            .collect(),
+    );
+
+    // Clean pass over the same cache: the torn entry for job 7 is the
+    // only corrupt record to evict, and nothing is quarantined.
+    let clean: Vec<sweeps::ShardRun> = (0..4)
+        .map(|k| {
+            sweeps::run_sweep(
+                &spec,
+                &wls,
+                &captures,
+                &opts(2, (k, 4), Some(cache.0.clone())),
+            )
+        })
+        .collect();
+    let evicted: u64 = clean.iter().map(sweeps::ShardRun::corrupt_evicted).sum();
+    assert_eq!(evicted, 1, "exactly job 7's torn entry is evicted");
+    assert!(clean.iter().all(|r| r.quarantined() == 0));
+    let clean_render = merged_render(
+        clean
+            .iter()
+            .map(|r| sweeps::parse_shard(&r.to_json()).expect("own shard parses"))
+            .collect(),
+    );
+
+    // Surviving rows are byte-identical. Strip the quarantine table
+    // (and the blank line introducing it) out of the faulted render;
+    // what remains may diverge from the clean render only at job 5's
+    // FAILED cell row and the summary rows of job 5's (workload, mode)
+    // group, whose geomean legitimately excludes the dead cell.
+    let clean_lines: Vec<&str> = clean_render.lines().collect();
+    let fault_lines: Vec<&str> = fault_render.lines().collect();
+    let failed_rows: Vec<&str> = fault_lines
+        .iter()
+        .copied()
+        .filter(|l| l.contains("FAILED"))
+        .collect();
+    assert_eq!(
+        failed_rows.len(),
+        1,
+        "exactly one FAILED row:\n{fault_render}"
+    );
+    assert!(
+        failed_rows[0].starts_with("| 5 |"),
+        "row: {}",
+        failed_rows[0]
+    );
+    assert!(!clean_render.contains("FAILED"));
+    let qstart = fault_lines
+        .iter()
+        .position(|l| *l == "## Quarantined cells")
+        .expect("faulted render has a quarantine section");
+    let qend = fault_lines
+        .iter()
+        .position(|l| l.starts_with("## Summary"))
+        .expect("summary follows the quarantine section");
+    let fault_stripped: Vec<&str> = fault_lines[..qstart - 1]
+        .iter()
+        .chain(&fault_lines[qend - 1..])
+        .copied()
+        .collect();
+    assert_eq!(clean_lines.len(), fault_stripped.len());
+    let summary_at = clean_lines
+        .iter()
+        .position(|l| l.starts_with("## Summary"))
+        .unwrap();
+    for (i, line) in clean_lines.iter().enumerate() {
+        let f = fault_stripped[i];
+        if f == *line {
+            continue;
+        }
+        let summary_row_of_dead_group = i > summary_at && f.starts_with("| IntSort |");
+        assert!(
+            f.contains("FAILED") || summary_row_of_dead_group,
+            "unexpected divergence at line {i}:\n  clean: {line}\n  fault: {f}"
+        );
+    }
+}
+
+/// `kill=C` dies with an uncatchable-by-retry [`FatalFault`] after `C`
+/// cells; `--resume` replays the journal, re-executes zero completed
+/// cells, and renders byte-identical merged tables.
+#[test]
+fn killed_sweep_resumes_from_journal_without_reexecuting_cells() {
+    let spec = probe_spec();
+    let wls = build_two();
+    let traces = TempDir::new("kill-traces");
+    let sweep_dir = TempDir::new("kill-sweep");
+    let captures = capture_all(&traces.0, &wls);
+    let journal = sweep_dir.0.join("journal-0-of-1.jsonl");
+
+    // jobs=1 keeps the worker pool on its serial path, so "5 cells
+    // completed" deterministically means flat indices 0..5.
+    let kill_opts = SweepOptions {
+        faults: Some("kill=5".parse().unwrap()),
+        journal: Some(journal.clone()),
+        ..opts(1, (0, 1), None)
+    };
+    let died = catch_unwind(AssertUnwindSafe(|| {
+        sweeps::run_sweep(&spec, &wls, &captures, &kill_opts)
+    }))
+    .expect_err("kill=5 must abort the sweep");
+    assert!(
+        died.is::<FatalFault>(),
+        "the kill must surface as a FatalFault, not a retryable panic"
+    );
+    assert!(journal.exists(), "the journal survives the crash");
+
+    // Resume under a clean plan: 2 baselines + 5 cells come from the
+    // journal; the remaining 11 cells execute fresh.
+    let resume_opts = SweepOptions {
+        journal: Some(journal.clone()),
+        resume: true,
+        ..opts(1, (0, 1), None)
+    };
+    let resumed = sweeps::run_sweep(&spec, &wls, &captures, &resume_opts);
+    assert_eq!(
+        resumed.journal_hits(),
+        7,
+        "2 baselines + 5 completed cells must come from the journal"
+    );
+    assert_eq!(resumed.cells.len(), 16);
+    assert!(resumed.failures.is_empty());
+
+    // And the merged tables are byte-identical to a never-killed run.
+    let clean = sweeps::run_sweep(&spec, &wls, &captures, &opts(1, (0, 1), None));
+    let render = |r: &sweeps::ShardRun| {
+        merged_render(vec![sweeps::parse_shard(&r.to_json()).expect("parses")])
+    };
+    assert_eq!(render(&clean), render(&resumed));
+}
+
+/// `--strict` restores abort-on-first-failure: the injected panic
+/// propagates instead of being quarantined.
+#[test]
+fn strict_mode_propagates_the_first_panic() {
+    let spec = probe_spec();
+    let wls = build_two();
+    let traces = TempDir::new("strict-traces");
+    let captures = capture_all(&traces.0, &wls);
+
+    let strict_opts = SweepOptions {
+        faults: Some("panic=3@9".parse().unwrap()),
+        retry: faults::RetryPolicy {
+            strict: true,
+            ..Default::default()
+        },
+        ..opts(1, (0, 1), None)
+    };
+    let died = catch_unwind(AssertUnwindSafe(|| {
+        sweeps::run_sweep(&spec, &wls, &captures, &strict_opts)
+    }))
+    .expect_err("strict mode must abort on the injected panic");
+    let msg = died
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| died.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("fault-injection: cell 3"),
+        "panic message: {msg:?}"
+    );
+}

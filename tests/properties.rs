@@ -274,6 +274,71 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Corruption tolerance: damaged streams error, they never panic or lie
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+    /// A corrupted byte stream — one flipped byte or a truncated tail,
+    /// against either format version — must surface as a reader error:
+    /// the decoder never panics, and when it does still accept the
+    /// stream (e.g. a flip inside the v1 header, which the footer hash
+    /// does not cover) it must yield exactly the clean record stream,
+    /// never silently different records.
+    #[test]
+    fn corrupted_streams_error_instead_of_panicking(
+        raw in proptest::collection::vec(
+            ((0u64..10_000, any::<u32>(), any::<u64>()), (0u8..8, any::<u64>(), 0u32..5_000)),
+            0..120,
+        ),
+        version in 1u16..3,
+        at in any::<u64>(),
+        mask in 0u8..255,
+        truncate in any::<bool>(),
+    ) {
+        let records = materialise_v2(raw);
+        let meta = TraceMeta::new("prop-corrupt", "tiny").with_capture_cycles(records.len() as u64);
+        let mut clean = Vec::new();
+        let mut w = TraceWriter::with_version(&mut clean, &meta, version).unwrap();
+        for r in &records {
+            w.record(r).unwrap();
+        }
+        w.finish().unwrap();
+        let expected = TraceReader::new(clean.as_slice())
+            .unwrap()
+            .read_to_end()
+            .unwrap()
+            .records;
+
+        let mut bytes = clean;
+        if truncate {
+            let keep = (at % (bytes.len() as u64 + 1)) as usize;
+            bytes.truncate(keep);
+        } else {
+            let i = (at % bytes.len() as u64) as usize;
+            bytes[i] ^= mask + 1; // mask+1 in 1..=255: always a real change
+        }
+
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            match TraceReader::new(bytes.as_slice()) {
+                Ok(r) => r.read_to_end().map(|b| b.records).map_err(|e| e.to_string()),
+                Err(e) => Err(e.to_string()),
+            }
+        }));
+        let read = match outcome {
+            Ok(r) => r,
+            Err(_) => panic!(
+                "decoder panicked on corrupt input (version {version}, \
+                 truncate {truncate}, at {at}, mask {mask})"
+            ),
+        };
+        if let Ok(back) = read {
+            prop_assert_eq!(back, expected, "corruption silently changed the stream");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Backward compatibility: the checked-in v1 golden fixture stays readable
 // ---------------------------------------------------------------------------
 

@@ -21,10 +21,8 @@ fn probe_spec() -> SweepSpec {
 fn opts(jobs: usize, shard: (usize, usize), cache_dir: Option<PathBuf>) -> SweepOptions {
     SweepOptions {
         cache_dir,
-        jobs,
         shard,
-        gate: sweeps::DEFAULT_AGREEMENT_GATE,
-        scale_label: "tiny".to_string(),
+        ..SweepOptions::new(jobs, "tiny")
     }
 }
 
