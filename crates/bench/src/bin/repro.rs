@@ -8,7 +8,7 @@
 //! repro --telemetry DIR [--scale tiny|small|paper] [--jobs N]
 //! repro --sweep [--shard K/N] [--sweep-dir DIR] [--cache-dir DIR] \
 //!       [--scale tiny|small|paper] [--trace-dir DIR] [--trace-format 1|2] [--jobs N] \
-//!       [--resume] [--strict] [--fault-inject PLAN]
+//!       [--resume] [--strict] [--fault-inject PLAN] [--cell-budget SECS]
 //! repro --sweep-merge DIR
 //! ```
 //!
@@ -53,8 +53,18 @@
 //! deterministic faults for testing — `panic=J@K` (cell J panics on
 //! its first K attempts), `bpanic=W@K` (workload W's baseline),
 //! `tear=J@B` (cell J's cache write torn at B bytes), `trace=W@OFF`
-//! (flip a byte of workload W's trace file), `kill=C` (simulate a
-//! crash after C cells), joined by `;`.
+//! (flip a byte of workload W's trace file), `hang=J@P` (cell J spins
+//! until its watchdog cancels it, polling every P ms), `slow=J@D`
+//! (cell J sleeps D ms before running), `kill=C` (simulate a crash
+//! after C cells), joined by `;`.
+//!
+//! Every sweep cell runs under a cooperative watchdog: a per-cell
+//! wall-clock budget (default: a deterministic multiple of this
+//! shard's measured baseline-cell time) cancels overrunning cells at
+//! driver-visit granularity, retries them once at an escalated
+//! budget, and then quarantines them as `timeout` alongside panics.
+//! `--cell-budget SECS` overrides the budget (fractional seconds
+//! accepted; `0` disarms the watchdog entirely).
 //!
 //! Unknown flags and experiment names are fatal (exit 2): a typo'd
 //! `--shard` must never silently run the full grid.
@@ -78,7 +88,7 @@ use etpp_sim::{ablations, experiments as ex, faults, replay as rp, sweeps};
 use etpp_sim::{report, PrefetchMode, SystemConfig};
 use etpp_workloads::{all_workloads, Scale};
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Every experiment name the positional argument accepts.
 const EXPERIMENTS: [&str; 13] = [
@@ -126,6 +136,7 @@ fn main() {
     let mut strict = false;
     let mut resume = false;
     let mut fault_plan: Option<faults::FaultPlan> = None;
+    let mut cell_budget: Option<Duration> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--scale" {
@@ -149,6 +160,13 @@ fn main() {
                 Ok(p) => fault_plan = Some(p),
                 Err(e) => usage_error(&format!("--fault-inject: {e}")),
             }
+        } else if a == "--cell-budget" {
+            let v = next_value(&mut it, "--cell-budget needs seconds (0 disarms)");
+            let secs: f64 = v.parse().unwrap_or(-1.0);
+            if !secs.is_finite() || secs < 0.0 {
+                usage_error(&format!("--cell-budget: non-negative seconds, got {v:?}"));
+            }
+            cell_budget = Some(Duration::from_secs_f64(secs));
         } else if a == "--shard" {
             let v = next_value(&mut it, "--shard needs K/N");
             let (k, n) = v
@@ -221,6 +239,9 @@ fn main() {
         if fault_plan.is_some() {
             usage_error("--fault-inject only applies to --sweep");
         }
+        if cell_budget.is_some() {
+            usage_error("--cell-budget only applies to --sweep");
+        }
     }
     if let Some(dir) = sweep_merge {
         if sweep || replay || !what.is_empty() {
@@ -244,6 +265,7 @@ fn main() {
             strict,
             resume,
             fault_plan,
+            cell_budget,
         });
         return;
     }
@@ -460,6 +482,7 @@ struct SweepCli {
     strict: bool,
     resume: bool,
     fault_plan: Option<faults::FaultPlan>,
+    cell_budget: Option<Duration>,
 }
 
 /// Exit 1 with a diagnostic naming the operation and path. Used for I/O
@@ -493,16 +516,61 @@ fn run_sweep_cmd(cli: &SweepCli) {
         t0.elapsed()
     );
 
+    // Decode-error telemetry is reported as a delta over this run, so
+    // snapshot the process-wide counter before our own capture phase
+    // (which may legitimately hit a stale trace) contributes to it.
+    let decode_errors_from = faults::trace_decode_errors();
     let t0 = Instant::now();
-    let mut captures: Vec<rp::KeyedCapture> = ex::map_indexed(jobs, workloads.len(), |i| {
-        rp::load_or_capture_keyed(
-            Some(&cli.trace_dir),
-            &cfg,
-            &workloads[i],
-            label,
-            cli.trace_format,
-        )
-    });
+    let capture_results: Vec<Result<rp::KeyedCapture, String>> =
+        ex::map_indexed(jobs, workloads.len(), |i| {
+            rp::try_load_or_capture_keyed(
+                Some(&cli.trace_dir),
+                &cfg,
+                &workloads[i],
+                label,
+                cli.trace_format,
+            )
+        });
+    let mut captures: Vec<rp::KeyedCapture> = Vec::with_capacity(capture_results.len());
+    let mut capture_failures: Vec<faults::FailureRecord> = Vec::new();
+    for (i, result) in capture_results.into_iter().enumerate() {
+        match result {
+            Ok(c) => captures.push(c),
+            // A failed baseline capture quarantines through the same
+            // failures file as a failed cell — a structured record and
+            // exit 1, not a worker panic backtrace.
+            Err(e) => capture_failures.push(faults::FailureRecord {
+                index: None,
+                workload: workloads[i].name.to_string(),
+                mode: "capture".to_string(),
+                settings: "-".to_string(),
+                config_hash: 0,
+                class: faults::FailureClass::Panic,
+                attempts: 1,
+                error: e,
+            }),
+        }
+    }
+    if !capture_failures.is_empty() {
+        if let Err(e) = std::fs::create_dir_all(&cli.sweep_dir) {
+            io_fail("create sweep dir", &cli.sweep_dir, &e);
+        }
+        let failures_path = cli
+            .sweep_dir
+            .join(format!("failures-{}-of-{}.json", shard.0, shard.1));
+        if let Err(e) = faults::write_failures(&failures_path, &capture_failures) {
+            io_fail("write failures file", &failures_path, &e);
+        }
+        for f in &capture_failures {
+            eprintln!("[capture] FAILED: {}", f.error);
+        }
+        eprintln!(
+            "[capture] {} baseline capture(s) failed; details in {}",
+            capture_failures.len(),
+            failures_path.display()
+        );
+        std::process::exit(1);
+    }
     eprintln!("[capture] {} traces in {:?}", captures.len(), t0.elapsed());
 
     // Fault injection: corrupt the on-disk traces the plan names, then
@@ -544,6 +612,8 @@ fn run_sweep_cmd(cli: &SweepCli) {
         faults: cli.fault_plan.clone(),
         journal: Some(journal),
         resume: cli.resume,
+        cell_budget: cli.cell_budget,
+        decode_errors_from: Some(decode_errors_from),
         ..sweeps::SweepOptions::new(jobs, label)
     };
     let t0 = Instant::now();

@@ -9,12 +9,14 @@
 //! of the worker count or scheduling.
 
 use crate::config::{PrefetchMode, SystemConfig};
-use crate::faults::{run_isolated, JobFailure, RetryPolicy};
+use crate::faults::{run_isolated_budgeted, JobFailure, RetryPolicy};
 use crate::system::{run, run_telemetry, RunResult, Skip};
 use crate::telemetry::{TelemetryReport, TelemetrySpec};
+use etpp_mem::CancelToken;
 use etpp_workloads::{all_workloads, BuiltWorkload, Scale};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// Runs `f(0..n)` across `jobs` shared-queue worker threads and returns
 /// the results in index order — the deterministic worker-pool primitive
@@ -76,8 +78,35 @@ where
     R: Send,
     F: Fn(usize, u32) -> R + Sync,
 {
+    map_indexed_isolated_budgeted(jobs, n, policy, retries, None, |i, attempt, _| {
+        f(i, attempt)
+    })
+}
+
+/// [`map_indexed_isolated`] with a per-job wall-clock budget: every
+/// attempt of every job runs under a fresh [`CancelToken`] whose
+/// deadline is `budget` (escalated for the single timeout retry — see
+/// [`crate::faults::run_isolated_budgeted`]), handed to `f` as its
+/// third argument so the job can thread it into the simulation. A job
+/// that overruns is cancelled cooperatively and quarantined as a
+/// `timeout` while the rest of the pool completes. `None` (or a zero
+/// budget) disarms the watchdog; `f` then sees no token.
+pub fn map_indexed_isolated_budgeted<R, F>(
+    jobs: usize,
+    n: usize,
+    policy: &RetryPolicy,
+    retries: &AtomicU64,
+    budget: Option<Duration>,
+    f: F,
+) -> Vec<Result<R, JobFailure>>
+where
+    R: Send,
+    F: Fn(usize, u32, Option<&CancelToken>) -> R + Sync,
+{
     map_indexed(jobs, n, |i| {
-        run_isolated(policy, i, retries, |attempt| f(i, attempt))
+        run_isolated_budgeted(policy, i, retries, budget, |attempt, token| {
+            f(i, attempt, token)
+        })
     })
 }
 
@@ -609,6 +638,48 @@ mod tests {
         }
         // 2 wasted attempts on job 5 + 1 on job 7.
         assert_eq!(retries.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn map_indexed_isolated_budgeted_times_out_only_the_overrunning_job() {
+        use crate::faults::FailureClass;
+        let policy = RetryPolicy {
+            backoff_ms: 0,
+            ..RetryPolicy::default()
+        };
+        let retries = AtomicU64::new(0);
+        let out = map_indexed_isolated_budgeted(
+            2,
+            4,
+            &policy,
+            &retries,
+            Some(Duration::from_millis(15)),
+            |i, attempt, token| {
+                let token = token.expect("budget arms every job");
+                if i == 2 {
+                    // A hung job: spin until the deadline cancels it.
+                    loop {
+                        std::thread::sleep(Duration::from_millis(1));
+                        token.check(u64::from(attempt));
+                    }
+                }
+                i
+            },
+        );
+        for (i, slot) in out.iter().enumerate() {
+            match slot {
+                Ok(v) => assert_eq!((*v, i != 2), (i, true)),
+                Err(fail) => {
+                    assert_eq!(i, 2);
+                    assert_eq!(fail.class, FailureClass::Timeout);
+                    assert_eq!(
+                        fail.attempts, 2,
+                        "timeouts retry once at the escalated budget"
+                    );
+                }
+            }
+        }
+        assert_eq!(retries.load(Ordering::Relaxed), 1);
     }
 
     #[test]

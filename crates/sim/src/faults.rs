@@ -22,6 +22,8 @@
 //! integrity hash (`payload|fnv16hex`), so a crash mid-write leaves at
 //! worst one torn tail line that resume detects and truncates.
 
+use crate::watchdog::{Cancelled, LivelockAbort, BUDGET_ESCALATION};
+use etpp_mem::cancel::{CancelReason, CancelToken};
 use etpp_trace::format::{fnv1a, FNV_OFFSET};
 use std::any::Any;
 use std::collections::BTreeMap;
@@ -60,6 +62,57 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Classified cause of a quarantined job, derived from the final panic
+/// payload. The class picks the recovery path (e.g. a `Timeout` gets
+/// exactly one escalated-budget retry) and the telemetry counter it
+/// lands in (`sweep.quarantined` / `sweep.timeout` / `sweep.cancelled`
+/// / `driver.livelock_aborts`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailureClass {
+    /// An ordinary panic (the PR-8 failure mode; also the default when
+    /// parsing records written before classes existed).
+    #[default]
+    Panic,
+    /// The cell's wall-clock budget expired
+    /// ([`Cancelled`] with [`CancelReason::Deadline`]).
+    Timeout,
+    /// The cell was cancelled on request
+    /// ([`Cancelled`] with [`CancelReason::Requested`]).
+    Cancelled,
+    /// The driver's livelock detector fired ([`LivelockAbort`]).
+    Livelock,
+}
+
+impl FailureClass {
+    /// Stable lower-case key, used in `failures.json`, shard files and
+    /// the journal.
+    pub fn key(self) -> &'static str {
+        match self {
+            FailureClass::Panic => "panic",
+            FailureClass::Timeout => "timeout",
+            FailureClass::Cancelled => "cancelled",
+            FailureClass::Livelock => "livelock",
+        }
+    }
+
+    /// Inverse of [`FailureClass::key`]; unknown keys (and the absent
+    /// field of pre-class records) parse as [`FailureClass::Panic`].
+    pub fn from_key(key: &str) -> FailureClass {
+        match key {
+            "timeout" => FailureClass::Timeout,
+            "cancelled" => FailureClass::Cancelled,
+            "livelock" => FailureClass::Livelock,
+            _ => FailureClass::Panic,
+        }
+    }
+}
+
+impl std::fmt::Display for FailureClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
 /// A job that exhausted its retry budget: the quarantine row of the
 /// worker pool.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,8 +120,11 @@ pub struct JobFailure {
     /// Index the caller passed to [`run_isolated`] (a flat job index
     /// for sweep cells).
     pub index: usize,
-    /// Attempts consumed (== the policy's `max_attempts`).
+    /// Attempts consumed (== the policy's `max_attempts`, or 2 for
+    /// timeout/livelock/cancellation failures).
     pub attempts: u32,
+    /// Classified cause of the final failed attempt.
+    pub class: FailureClass,
     /// The final panic payload, stringified.
     pub error: String,
 }
@@ -88,8 +144,27 @@ fn panic_message(payload: &(dyn Any + Send)) -> String {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
+    } else if let Some(c) = payload.downcast_ref::<Cancelled>() {
+        c.to_string()
+    } else if let Some(l) = payload.downcast_ref::<LivelockAbort>() {
+        l.to_string()
     } else {
         "non-string panic payload".to_string()
+    }
+}
+
+/// Classifies a caught panic payload: the watchdog's typed payloads map
+/// to their failure class; everything else is a plain panic.
+pub fn classify_panic(payload: &(dyn Any + Send)) -> FailureClass {
+    if let Some(c) = payload.downcast_ref::<Cancelled>() {
+        match c.reason {
+            CancelReason::Deadline => FailureClass::Timeout,
+            CancelReason::Requested => FailureClass::Cancelled,
+        }
+    } else if payload.is::<LivelockAbort>() {
+        FailureClass::Livelock
+    } else {
+        FailureClass::Panic
     }
 }
 
@@ -112,12 +187,43 @@ pub fn run_isolated<R>(
     retries: &AtomicU64,
     f: impl Fn(u32) -> R,
 ) -> Result<R, JobFailure> {
+    run_isolated_budgeted(policy, index, retries, None, |attempt, _| f(attempt))
+}
+
+/// [`run_isolated`] with an optional per-attempt wall-clock budget. A
+/// `Some(budget)` arms each attempt with a fresh [`CancelToken`] whose
+/// deadline escalates by [`BUDGET_ESCALATION`]× per attempt, handed to
+/// `f` so it can thread the token into the simulation. A zero budget
+/// means "explicitly disarmed" (`f` sees no token).
+///
+/// Failure classes pick the retry schedule: a plain panic keeps the
+/// policy's full `max_attempts`, while a timeout, livelock, or
+/// cancellation gets exactly one retry — at the escalated budget for
+/// timeouts — before quarantine (a hung cell rarely heals, and
+/// re-running it is the most expensive retry there is).
+///
+/// # Errors
+/// The [`JobFailure`] (carrying the classified last failure) once the
+/// schedule is exhausted.
+pub fn run_isolated_budgeted<R>(
+    policy: &RetryPolicy,
+    index: usize,
+    retries: &AtomicU64,
+    budget: Option<Duration>,
+    f: impl Fn(u32, Option<&CancelToken>) -> R,
+) -> Result<R, JobFailure> {
+    let token_for = |attempt: u32| {
+        budget
+            .filter(|b| !b.is_zero())
+            .map(|b| CancelToken::with_budget(b * BUDGET_ESCALATION.pow(attempt)))
+    };
     if policy.strict {
-        return Ok(f(0));
+        let token = token_for(0);
+        return Ok(f(0, token.as_ref()));
     }
     let max = policy.max_attempts.max(1);
-    let mut last = String::new();
-    for attempt in 0..max {
+    let mut attempt = 0u32;
+    loop {
         if attempt > 0 {
             retries.fetch_add(1, Ordering::Relaxed);
             if policy.backoff_ms > 0 {
@@ -126,21 +232,31 @@ pub fn run_isolated<R>(
                 ));
             }
         }
-        match catch_unwind(AssertUnwindSafe(|| f(attempt))) {
+        let token = token_for(attempt);
+        match catch_unwind(AssertUnwindSafe(|| f(attempt, token.as_ref()))) {
             Ok(r) => return Ok(r),
             Err(payload) => {
                 if payload.is::<FatalFault>() {
                     resume_unwind(payload);
                 }
-                last = panic_message(payload.as_ref());
+                let class = classify_panic(payload.as_ref());
+                attempt += 1;
+                let schedule = if class == FailureClass::Panic {
+                    max
+                } else {
+                    max.min(2)
+                };
+                if attempt >= schedule {
+                    return Err(JobFailure {
+                        index,
+                        attempts: attempt,
+                        class,
+                        error: panic_message(payload.as_ref()),
+                    });
+                }
             }
         }
     }
-    Err(JobFailure {
-        index,
-        attempts: max,
-        error: last,
-    })
 }
 
 // ---------------------------------------------------------------------------
@@ -163,6 +279,13 @@ pub fn run_isolated<R>(
 ///   reader to evict;
 /// * `trace=W@OFF` — one byte of workload `W`'s trace file is flipped
 ///   (XOR `0x55`) at offset `OFF mod len` before the sweep loads it;
+/// * `hang=J@P` — cell `J` spins until its watchdog token cancels it
+///   (polling every `P` ms), on *every* attempt — a hung config does
+///   not heal on retry, so the cell times out, retries once at the
+///   escalated budget, times out again, and is quarantined;
+/// * `slow=J@D` — cell `J` sleeps a deterministic extra `D` ms before
+///   executing (every attempt); it still finishes inside its budget,
+///   so nothing is quarantined and the rendered tables are unchanged;
 /// * `kill=C` — the process "dies" (an uncatchable [`FatalFault`])
 ///   after `C` cells have completed, for crash/resume testing.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -171,6 +294,8 @@ pub struct FaultPlan {
     baseline_panics: BTreeMap<usize, u32>,
     tear_writes: BTreeMap<usize, u64>,
     trace_flips: Vec<(usize, u64)>,
+    hangs: BTreeMap<usize, u64>,
+    slows: BTreeMap<usize, u64>,
     kill_after: Option<u64>,
 }
 
@@ -215,6 +340,33 @@ impl FaultPlan {
     /// The `(workload index, byte offset)` trace flips to apply.
     pub fn trace_flips(&self) -> &[(usize, u64)] {
         &self.trace_flips
+    }
+
+    /// Spins until `token` fires if the plan hangs cell `job` — the
+    /// deterministic stand-in for a cell that never finishes. Every
+    /// attempt hangs (a livelocked config does not heal on retry), so
+    /// the watchdog path runs end to end: timeout, escalated retry,
+    /// quarantine. Panics with a plain payload if no token is armed —
+    /// an unwatched hang would stall the worker forever, which is
+    /// exactly the regression this directive exists to catch.
+    pub fn maybe_hang(&self, job: usize, token: Option<&CancelToken>) {
+        if let Some(&poll_ms) = self.hangs.get(&job) {
+            let Some(token) = token else {
+                panic!("fault-injection: cell {job} hung with no watchdog armed");
+            };
+            loop {
+                token.check(0);
+                std::thread::sleep(Duration::from_millis(poll_ms.max(1)));
+            }
+        }
+    }
+
+    /// Sleeps the plan's deterministic delay for cell `job`, if any —
+    /// a slow-but-finishing cell that must *not* be quarantined.
+    pub fn maybe_slow(&self, job: usize) {
+        if let Some(&delay_ms) = self.slows.get(&job) {
+            std::thread::sleep(Duration::from_millis(delay_ms));
+        }
     }
 
     /// Simulates a crash — raises a [`FatalFault`] — once `completed`
@@ -263,6 +415,14 @@ impl FromStr for FaultPlan {
                     let (w, off) = pair(val)?;
                     plan.trace_flips.push((w as usize, off));
                 }
+                "hang" => {
+                    let (j, poll_ms) = pair(val)?;
+                    plan.hangs.insert(j as usize, poll_ms);
+                }
+                "slow" => {
+                    let (j, delay_ms) = pair(val)?;
+                    plan.slows.insert(j as usize, delay_ms);
+                }
                 "kill" => {
                     plan.kill_after =
                         Some(val.parse().map_err(|_| format!("bad number in {item:?}"))?);
@@ -288,6 +448,12 @@ impl std::fmt::Display for FaultPlan {
         }
         for (w, off) in &self.trace_flips {
             items.push(format!("trace={w}@{off}"));
+        }
+        for (j, poll_ms) in &self.hangs {
+            items.push(format!("hang={j}@{poll_ms}"));
+        }
+        for (j, delay_ms) in &self.slows {
+            items.push(format!("slow={j}@{delay_ms}"));
         }
         if let Some(c) = self.kill_after {
             items.push(format!("kill={c}"));
@@ -344,6 +510,8 @@ pub struct FailureRecord {
     pub settings: String,
     /// The cell's [`crate::sweeps::cell_config_hash`].
     pub config_hash: u64,
+    /// Classified cause (panic / timeout / cancelled / livelock).
+    pub class: FailureClass,
     /// Attempts consumed before quarantine.
     pub attempts: u32,
     /// Final panic message.
@@ -356,12 +524,14 @@ pub fn failures_json(records: &[FailureRecord]) -> String {
     for (i, f) in records.iter().enumerate() {
         j.push_str(&format!(
             "  {{\"index\": {}, \"workload\": \"{}\", \"mode\": \"{}\", \"settings\": \"{}\", \
-             \"config_hash\": \"{:016x}\", \"attempts\": {}, \"error\": \"{}\"}}{}\n",
+             \"config_hash\": \"{:016x}\", \"class\": \"{}\", \"attempts\": {}, \
+             \"error\": \"{}\"}}{}\n",
             f.index.map_or("null".to_string(), |i| i.to_string()),
             f.workload,
             f.mode,
             f.settings,
             f.config_hash,
+            f.class.key(),
             f.attempts,
             etpp_telemetry::json_escape(&f.error),
             if i + 1 < records.len() { "," } else { "" }
@@ -503,7 +673,7 @@ mod tests {
 
     #[test]
     fn fault_plan_round_trips_through_text() {
-        let text = "panic=3@2;bpanic=0@1;tear=7@10;trace=1@99;kill=5";
+        let text = "panic=3@2;bpanic=0@1;tear=7@10;trace=1@99;hang=4@1;slow=6@25;kill=5";
         let plan: FaultPlan = text.parse().unwrap();
         assert_eq!(plan.to_string(), text);
         assert_eq!(plan.tear_at(7), Some(10));
@@ -515,6 +685,84 @@ mod tests {
         assert!("panic=3".parse::<FaultPlan>().is_err());
         assert!("warp=1@2".parse::<FaultPlan>().is_err());
         assert!("kill=x".parse::<FaultPlan>().is_err());
+        assert!("hang=3".parse::<FaultPlan>().is_err());
+    }
+
+    #[test]
+    fn hang_spins_until_its_token_fires_and_slow_merely_delays() {
+        let plan: FaultPlan = "hang=2@1;slow=3@5".parse().unwrap();
+        // A hang with no armed watchdog is a plain (retryable) panic.
+        let bare = catch_unwind(AssertUnwindSafe(|| plan.maybe_hang(2, None))).unwrap_err();
+        assert_eq!(classify_panic(bare.as_ref()), FailureClass::Panic);
+        // With a deadline token the spin exits as a typed timeout.
+        let token = CancelToken::with_budget(Duration::from_millis(20));
+        let err = catch_unwind(AssertUnwindSafe(|| plan.maybe_hang(2, Some(&token)))).unwrap_err();
+        assert_eq!(classify_panic(err.as_ref()), FailureClass::Timeout);
+        // Other cells, and slow cells, pass straight through.
+        plan.maybe_hang(0, None);
+        plan.maybe_slow(3);
+        plan.maybe_slow(0);
+    }
+
+    #[test]
+    fn budgeted_isolation_classifies_timeouts_and_retries_once_escalated() {
+        let policy = RetryPolicy {
+            backoff_ms: 0,
+            ..RetryPolicy::default()
+        };
+        let retries = AtomicU64::new(0);
+        let budgets = std::sync::Mutex::new(Vec::new());
+        let r: Result<(), _> = run_isolated_budgeted(
+            &policy,
+            11,
+            &retries,
+            Some(Duration::from_millis(10)),
+            |attempt, token| {
+                let token = token.expect("budget arms a token");
+                budgets.lock().unwrap().push(attempt);
+                // Simulate an overrun: wait out the deadline, then poll.
+                std::thread::sleep(Duration::from_millis(25 * u64::from(attempt) + 15));
+                token.check(123);
+                panic!("deadline should have fired first");
+            },
+        );
+        let fail = r.unwrap_err();
+        assert_eq!(fail.class, FailureClass::Timeout);
+        assert_eq!(
+            fail.attempts, 2,
+            "a timeout gets exactly one escalated retry, not the full panic budget"
+        );
+        assert_eq!(*budgets.lock().unwrap(), vec![0, 1]);
+        assert!(fail.error.contains("budget exhausted"), "{}", fail.error);
+        assert_eq!(retries.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn budgeted_isolation_keeps_full_schedule_for_plain_panics() {
+        let policy = RetryPolicy {
+            backoff_ms: 0,
+            ..RetryPolicy::default()
+        };
+        let retries = AtomicU64::new(0);
+        let r: Result<(), _> = run_isolated_budgeted(
+            &policy,
+            4,
+            &retries,
+            Some(Duration::from_secs(3600)),
+            |_, token| {
+                assert!(!token.unwrap().is_cancelled());
+                panic!("permanent");
+            },
+        );
+        let fail = r.unwrap_err();
+        assert_eq!(fail.class, FailureClass::Panic);
+        assert_eq!(fail.attempts, 3);
+        // Zero budget = explicitly disarmed: no token reaches f.
+        let ok = run_isolated_budgeted(&policy, 4, &retries, Some(Duration::ZERO), |_, token| {
+            assert!(token.is_none());
+            7u32
+        });
+        assert_eq!(ok, Ok(7));
     }
 
     #[test]
@@ -612,6 +860,7 @@ mod tests {
                 mode: "baseline".into(),
                 settings: "-".into(),
                 config_hash: 0xdead,
+                class: FailureClass::Panic,
                 attempts: 3,
                 error: "panic \"quoted\"".into(),
             },
@@ -621,7 +870,8 @@ mod tests {
                 mode: "manual".into(),
                 settings: "obs_queue=10".into(),
                 config_hash: 1,
-                attempts: 3,
+                class: FailureClass::Timeout,
+                attempts: 2,
                 error: "boom".into(),
             },
         ];
@@ -630,5 +880,21 @@ mod tests {
         assert!(j.contains("\"index\": 5"), "{j}");
         assert!(j.contains("\\\"quoted\\\""), "{j}");
         assert!(j.contains("000000000000dead"), "{j}");
+        assert!(j.contains("\"class\": \"panic\""), "{j}");
+        assert!(j.contains("\"class\": \"timeout\""), "{j}");
+    }
+
+    #[test]
+    fn failure_class_keys_round_trip_and_default_old_records_to_panic() {
+        for class in [
+            FailureClass::Panic,
+            FailureClass::Timeout,
+            FailureClass::Cancelled,
+            FailureClass::Livelock,
+        ] {
+            assert_eq!(FailureClass::from_key(class.key()), class);
+        }
+        assert_eq!(FailureClass::from_key(""), FailureClass::Panic);
+        assert_eq!(FailureClass::from_key("weird"), FailureClass::Panic);
     }
 }

@@ -19,18 +19,22 @@ pub mod report;
 pub mod sweeps;
 pub mod system;
 pub mod telemetry;
+pub mod watchdog;
 
 pub use config::{PrefetchMode, SystemConfig};
 pub use etpp_cpu::HorizonSource;
 pub use faults::{FailureRecord, FaultPlan, JobFailure, RetryPolicy};
 pub use replay::{
-    load_or_capture, load_or_capture_keyed, replay_grid, replay_run, KeyedCapture, ReplayRun,
+    load_or_capture, load_or_capture_keyed, replay_grid, replay_run, replay_run_watched,
+    try_load_or_capture_keyed, KeyedCapture, ReplayRun,
 };
 pub use sweeps::{
     composed_grid, merge_shards, parse_shard, render_merged, run_sweep, MergedSweep, ShardRun,
     SweepOptions, SweepSpec,
 };
 pub use system::{
-    make_engine, run, run_captured, run_telemetry, Engine, RunResult, Skip, VisitCounts,
+    make_engine, run, run_captured, run_telemetry, run_watched, Engine, RunResult, Skip,
+    VisitCounts,
 };
 pub use telemetry::{TelemetryReport, TelemetrySpec};
+pub use watchdog::{CancelToken, Cancelled, LivelockAbort, LivelockDetector, Watchdog};

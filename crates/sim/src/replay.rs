@@ -13,12 +13,15 @@
 use crate::config::{PrefetchMode, SystemConfig};
 use crate::experiments::{map_indexed, SpeedupCell};
 use crate::system::{make_engine, run_captured, Skip};
-use etpp_mem::MemStats;
+use etpp_mem::{CancelToken, MemStats};
 use etpp_trace::{CapturedTrace, ReplayParams, TraceReader, TraceRecord, TraceWriter};
 use etpp_workloads::{checksum_region, BuiltWorkload};
+use std::collections::HashMap;
 use std::fs;
 use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Result of replaying one (workload, mode) cell.
 #[derive(Debug)]
@@ -91,7 +94,8 @@ pub enum CaptureSource {
 ///
 /// # Panics
 /// Panics if the baseline cycle-level run fails validation — a trace from
-/// a wrong run must never enter the cache.
+/// a wrong run must never enter the cache. Workers that must quarantine
+/// rather than die use [`try_load_or_capture_as`].
 pub fn load_or_capture(
     dir: Option<&Path>,
     cfg: &SystemConfig,
@@ -105,6 +109,9 @@ pub fn load_or_capture(
 /// `--trace-format` CLI knob). Version 1 persists without dependence
 /// edges, so traces loaded back from a v1 cache replay with the legacy
 /// fixed-window front end.
+///
+/// # Panics
+/// Panics on a capture failure (see [`try_load_or_capture_as`]).
 pub fn load_or_capture_as(
     dir: Option<&Path>,
     cfg: &SystemConfig,
@@ -112,28 +119,78 @@ pub fn load_or_capture_as(
     scale_label: &str,
     trace_format: u16,
 ) -> (CapturedTrace, CaptureSource) {
-    if let Some(dir) = dir {
-        let path = trace_path(dir, wl, scale_label, trace_format);
-        if let Ok(f) = fs::File::open(&path) {
-            match TraceReader::new(BufReader::new(f)).and_then(|r| r.read_to_end()) {
-                Ok(t) => return (t, CaptureSource::Cached),
-                Err(e) => {
-                    // Corruption-tolerant: a bad on-disk trace names
-                    // itself, counts as a decode error, and falls
-                    // through to a fresh capture — never a panic.
-                    crate::faults::note_trace_decode_error();
-                    eprintln!("[trace] discarding bad cache {}: {e}", path.display());
-                }
+    try_load_or_capture_as(dir, cfg, wl, scale_label, trace_format)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The in-process single-flight map: one lock per on-disk trace path,
+/// so concurrent workers asking for the same capture serialise — the
+/// first captures and persists, the rest re-probe the cache and hit.
+/// (Cross-process dedup rides on the atomic tmp+rename in [`persist`]:
+/// a racing process may redo work but can never tear the file.)
+fn capture_lock(path: &Path) -> Arc<Mutex<()>> {
+    static LOCKS: OnceLock<Mutex<HashMap<PathBuf, Arc<Mutex<()>>>>> = OnceLock::new();
+    let map = LOCKS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = map.lock().unwrap_or_else(|p| p.into_inner());
+    map.entry(path.to_path_buf()).or_default().clone()
+}
+
+/// [`load_or_capture_as`] with error propagation instead of panics: a
+/// baseline capture that cannot run, or whose validation fails, comes
+/// back as `Err` so an isolated worker can quarantine the workload
+/// through the faults machinery instead of dying. Concurrent calls for
+/// the same on-disk path are single-flighted (see [`capture_lock`]).
+///
+/// # Errors
+/// A human-readable message naming the workload and the capture
+/// failure (skip reason or validation mismatch).
+pub fn try_load_or_capture_as(
+    dir: Option<&Path>,
+    cfg: &SystemConfig,
+    wl: &BuiltWorkload,
+    scale_label: &str,
+    trace_format: u16,
+) -> Result<(CapturedTrace, CaptureSource), String> {
+    let Some(dir) = dir else {
+        return capture_fresh(None, cfg, wl, scale_label, trace_format);
+    };
+    let path = trace_path(dir, wl, scale_label, trace_format);
+    let lock = capture_lock(&path);
+    let _single_flight = lock.lock().unwrap_or_else(|p| p.into_inner());
+    if let Ok(f) = fs::File::open(&path) {
+        match TraceReader::new(BufReader::new(f)).and_then(|r| r.read_to_end()) {
+            Ok(t) => return Ok((t, CaptureSource::Cached)),
+            Err(e) => {
+                // Corruption-tolerant: a bad on-disk trace names
+                // itself, counts as a decode error, and falls
+                // through to a fresh capture — never a panic.
+                crate::faults::note_trace_decode_error();
+                eprintln!("[trace] discarding bad cache {}: {e}", path.display());
             }
         }
     }
-    let (result, mut trace) =
-        run_captured(cfg, PrefetchMode::None, wl, scale_label).expect("baseline always runs");
-    assert!(
-        result.validated,
-        "{}: baseline capture run failed validation",
-        wl.name
-    );
+    capture_fresh(Some(dir), cfg, wl, scale_label, trace_format)
+}
+
+/// The capture half of [`try_load_or_capture_as`]: a cycle-level
+/// no-prefetch run, the v1 field strip, and (with a cache dir) the
+/// atomic persist. Callers holding a [`capture_lock`] guard stay
+/// single-flight through the persist.
+fn capture_fresh(
+    dir: Option<&Path>,
+    cfg: &SystemConfig,
+    wl: &BuiltWorkload,
+    scale_label: &str,
+    trace_format: u16,
+) -> Result<(CapturedTrace, CaptureSource), String> {
+    let (result, mut trace) = run_captured(cfg, PrefetchMode::None, wl, scale_label)
+        .map_err(|skip| format!("{}: baseline capture cannot run ({skip})", wl.name))?;
+    if !result.validated {
+        return Err(format!(
+            "{}: baseline capture run failed validation",
+            wl.name
+        ));
+    }
     if trace_format < 2 {
         // What goes into a v1 cache must be what comes back out of it:
         // strip the v1-unrepresentable fields up front so fresh-capture
@@ -150,7 +207,7 @@ pub fn load_or_capture_as(
             eprintln!("[trace] could not cache {}: {e}", wl.name);
         }
     }
-    (trace, CaptureSource::Captured)
+    Ok((trace, CaptureSource::Captured))
 }
 
 /// A captured trace bundled with the identity the sweep-farm result
@@ -174,6 +231,9 @@ pub struct KeyedCapture {
 
 /// [`load_or_capture_as`] plus the content-hash identity sweep result
 /// caches key cells on (see [`crate::sweeps`]).
+///
+/// # Panics
+/// Panics on a capture failure (see [`try_load_or_capture_keyed`]).
 pub fn load_or_capture_keyed(
     dir: Option<&Path>,
     cfg: &SystemConfig,
@@ -181,14 +241,32 @@ pub fn load_or_capture_keyed(
     scale_label: &str,
     trace_format: u16,
 ) -> KeyedCapture {
-    let (trace, source) = load_or_capture_as(dir, cfg, wl, scale_label, trace_format);
+    try_load_or_capture_keyed(dir, cfg, wl, scale_label, trace_format)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`load_or_capture_keyed`] with error propagation: the sweep driver's
+/// capture phase uses this so a broken baseline quarantines the
+/// workload (a [`crate::faults::FailureRecord`] in `failures.json`)
+/// instead of panicking the worker pool.
+///
+/// # Errors
+/// See [`try_load_or_capture_as`].
+pub fn try_load_or_capture_keyed(
+    dir: Option<&Path>,
+    cfg: &SystemConfig,
+    wl: &BuiltWorkload,
+    scale_label: &str,
+    trace_format: u16,
+) -> Result<KeyedCapture, String> {
+    let (trace, source) = try_load_or_capture_as(dir, cfg, wl, scale_label, trace_format)?;
     let content_hash = etpp_trace::content_hash_versioned(&trace.records, trace_format);
-    KeyedCapture {
+    Ok(KeyedCapture {
         trace,
         source,
         content_hash,
         trace_format,
-    }
+    })
 }
 
 fn persist(
@@ -198,18 +276,34 @@ fn persist(
     trace: &CapturedTrace,
     trace_format: u16,
 ) -> std::io::Result<()> {
+    // Unique tmp per (process, call): two writers racing on the same
+    // capture — shard processes, or threads that missed the in-process
+    // single-flight — each write their own tmp and the `rename` makes
+    // whichever lands last fully visible; a reader can never observe a
+    // torn file.
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
     fs::create_dir_all(dir)?;
     let path = trace_path(dir, wl, scale_label, trace_format);
-    let tmp = path.with_extension("etpt.tmp");
-    let mut w = TraceWriter::with_version(
-        BufWriter::new(fs::File::create(&tmp)?),
-        &trace.meta,
-        trace_format,
-    )?;
-    for r in &trace.records {
-        w.record(r)?;
+    let tmp = path.with_extension(format!(
+        "etpt.tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let write = || -> std::io::Result<()> {
+        let mut w = TraceWriter::with_version(
+            BufWriter::new(fs::File::create(&tmp)?),
+            &trace.meta,
+            trace_format,
+        )?;
+        for r in &trace.records {
+            w.record(r)?;
+        }
+        w.finish().map(|_| ())
+    };
+    if let Err(e) = write() {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
     }
-    w.finish()?;
     fs::rename(&tmp, &path)
 }
 
@@ -246,6 +340,25 @@ pub fn replay_run(
     replay_run_with(cfg, mode, wl, records, &replay_params())
 }
 
+/// [`replay_run`] under a sweep cell's watchdog token: the replay loop
+/// (and the memory system under it) polls `cancel` at host-visit
+/// granularity, so an armed-but-quiet token leaves results
+/// bit-identical while a fired one aborts with a typed
+/// [`etpp_mem::Cancelled`] payload for the isolation layer to
+/// classify. `None` is exactly [`replay_run`].
+///
+/// # Errors
+/// [`Skip`], as for [`replay_run`].
+pub fn replay_run_watched(
+    cfg: &SystemConfig,
+    mode: PrefetchMode,
+    wl: &BuiltWorkload,
+    records: &[TraceRecord],
+    cancel: Option<&CancelToken>,
+) -> Result<ReplayRun, Skip> {
+    replay_exec(cfg, mode, wl, records, &replay_params(), cancel)
+}
+
 /// [`replay_run`] under explicit front-end parameters (the fidelity
 /// suite pins v1-vs-v2 behaviour by forcing each model).
 pub fn replay_run_with(
@@ -255,8 +368,26 @@ pub fn replay_run_with(
     records: &[TraceRecord],
     params: &ReplayParams,
 ) -> Result<ReplayRun, Skip> {
+    replay_exec(cfg, mode, wl, records, params, None)
+}
+
+fn replay_exec(
+    cfg: &SystemConfig,
+    mode: PrefetchMode,
+    wl: &BuiltWorkload,
+    records: &[TraceRecord],
+    params: &ReplayParams,
+    cancel: Option<&CancelToken>,
+) -> Result<ReplayRun, Skip> {
     let mut engine = make_engine(cfg, mode, wl)?;
-    let res = etpp_trace::replay(params, cfg.mem, wl.image.clone(), records, engine.as_dyn());
+    let res = etpp_trace::replay_cancellable(
+        params,
+        cfg.mem,
+        wl.image.clone(),
+        records,
+        engine.as_dyn(),
+        cancel,
+    );
     let validated = checksum_region(&res.image, wl.check_region) == wl.expected;
     Ok(ReplayRun {
         workload: wl.name,
@@ -428,6 +559,98 @@ mod tests {
             "IntSort's scatter phase must record dependence edges at v2"
         );
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_captures_are_single_flight_and_never_tear() {
+        let wl = etpp_workloads::intsort::IntSort.build(Scale::Tiny);
+        let cfg = SystemConfig::paper();
+        let dir = std::env::temp_dir().join(format!(
+            "etpp-trace-singleflight-{}-{:016x}",
+            std::process::id(),
+            workload_trace_key(&wl, "tiny", etpp_trace::FORMAT_VERSION)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let sources: Vec<CaptureSource> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let (dir, cfg, wl) = (&dir, &cfg, &wl);
+                    s.spawn(move || load_or_capture(Some(dir), cfg, wl, "tiny").1)
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let captured = sources
+            .iter()
+            .filter(|s| **s == CaptureSource::Captured)
+            .count();
+        assert_eq!(
+            captured, 1,
+            "exactly one thread captures; the rest hit the cache: {sources:?}"
+        );
+        // Nothing torn, nothing leaked: one final trace, zero tmp files.
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names.len(), 1, "no tmp leftovers: {names:?}");
+        assert!(names[0].ends_with(".etpt"), "{names:?}");
+        let (reread, src) = load_or_capture(Some(&dir), &cfg, &wl, "tiny");
+        assert_eq!(src, CaptureSource::Cached);
+        assert!(reread.access_count() > 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn capture_failure_propagates_as_error_not_panic() {
+        let mut wl = etpp_workloads::intsort::IntSort.build(Scale::Tiny);
+        // A wrong reference checksum makes the baseline capture fail
+        // validation — the classic "trace from a wrong run" hazard.
+        wl.expected ^= 0xdead_beef;
+        let err = try_load_or_capture_as(None, &SystemConfig::paper(), &wl, "tiny", 2)
+            .expect_err("corrupted expectation must fail the capture");
+        assert!(err.contains("failed validation"), "{err}");
+        assert!(err.contains("IntSort"), "{err}");
+        let keyed = try_load_or_capture_keyed(None, &SystemConfig::paper(), &wl, "tiny", 2);
+        assert!(keyed.is_err());
+    }
+
+    #[test]
+    fn watched_replay_is_bit_identical_and_aborts_typed_when_fired() {
+        let wl = etpp_workloads::intsort::IntSort.build(Scale::Tiny);
+        let cfg = SystemConfig::paper();
+        let (trace, _) = load_or_capture(None, &cfg, &wl, "tiny");
+        let plain = replay_run(&cfg, PrefetchMode::Manual, &wl, &trace.records).unwrap();
+        let token = CancelToken::with_budget(std::time::Duration::from_secs(3600));
+        let watched = replay_run_watched(
+            &cfg,
+            PrefetchMode::Manual,
+            &wl,
+            &trace.records,
+            Some(&token),
+        )
+        .unwrap();
+        assert_eq!(
+            (plain.cycles, plain.host_iters, plain.dep_stalls),
+            (watched.cycles, watched.host_iters, watched.dep_stalls),
+            "an armed-but-quiet watchdog must not perturb replay"
+        );
+        let fired = CancelToken::new();
+        fired.cancel();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            replay_run_watched(
+                &cfg,
+                PrefetchMode::Manual,
+                &wl,
+                &trace.records,
+                Some(&fired),
+            )
+        }))
+        .unwrap_err();
+        assert!(
+            err.downcast_ref::<etpp_mem::Cancelled>().is_some(),
+            "a fired token aborts replay with a typed payload"
+        );
     }
 
     #[test]

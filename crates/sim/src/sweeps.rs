@@ -36,9 +36,14 @@
 
 use crate::config::{PrefetchMode, SystemConfig};
 use crate::experiments::{map_indexed, shard_indices};
-use crate::faults::{run_isolated, FailureRecord, FaultPlan, Journal, RetryPolicy};
-use crate::replay::{replay_params, replay_run, KeyedCapture};
-use crate::system::run;
+use crate::faults::{
+    run_isolated, run_isolated_budgeted, FailureClass, FailureRecord, FaultPlan, Journal,
+    RetryPolicy,
+};
+use crate::replay::{replay_params, replay_run_watched, KeyedCapture};
+use crate::system::{run, run_watched};
+use crate::watchdog::Watchdog;
+use etpp_mem::cancel::CancelToken;
 use etpp_telemetry::{json_escape, Registry};
 use etpp_trace::format::{fnv1a, FNV_OFFSET};
 use etpp_workloads::BuiltWorkload;
@@ -48,6 +53,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Version of the result-cache record and shard-file layout. Part of
 /// every cache key and file name: bumping it orphans (never corrupts)
@@ -61,6 +67,17 @@ pub const SWEEP_SCHEMA_VERSION: u32 = 2;
 /// 0.86–0.99, see `tests/replay_fidelity.rs`; Tiny-scale streams may
 /// escalate, which is exactly the gate doing its job).
 pub const DEFAULT_AGREEMENT_GATE: f64 = 0.15;
+
+/// Auto cell budget: this multiple of the slowest *measured* baseline
+/// wall time bounds every cell of the shard. Generous on purpose — the
+/// watchdog exists to catch hangs and livelocks, not slow-but-honest
+/// cells; the escalated retry quadruples it again before quarantine.
+pub const DEFAULT_BUDGET_MULTIPLE: u32 = 32;
+
+/// Floor on the auto cell budget, covering shards whose baselines all
+/// resumed from the journal or hit the result cache (measured wall
+/// time ~0) and machines with noisy schedulers.
+pub const MIN_CELL_BUDGET: Duration = Duration::from_secs(10);
 
 // ---------------------------------------------------------------------------
 // Spec: axes, cross products, flat job indexing
@@ -421,6 +438,20 @@ pub struct SweepOptions {
     pub journal: Option<PathBuf>,
     /// Resume from an existing journal instead of starting fresh.
     pub resume: bool,
+    /// Per-cell wall-clock budget for the watchdog (`repro
+    /// --cell-budget`). `None` derives one deterministically from the
+    /// shard's own measured baselines ([`DEFAULT_BUDGET_MULTIPLE`] ×
+    /// the slowest, floored at [`MIN_CELL_BUDGET`]); `Duration::ZERO`
+    /// explicitly disarms the watchdog. A cell that overruns is
+    /// cancelled, retried once at an escalated budget, then
+    /// quarantined as a `timeout`.
+    pub cell_budget: Option<Duration>,
+    /// Snapshot of [`crate::faults::trace_decode_errors`] taken before
+    /// this run's capture/fault phase, so the shard registry reports
+    /// only *this run's* decode errors (the static is process-wide and
+    /// would otherwise leak counts across sweeps sharing a process).
+    /// `None` snapshots at [`run_sweep`] entry.
+    pub decode_errors_from: Option<u64>,
 }
 
 impl SweepOptions {
@@ -436,6 +467,8 @@ impl SweepOptions {
             faults: None,
             journal: None,
             resume: false,
+            cell_budget: None,
+            decode_errors_from: None,
         }
     }
 }
@@ -550,6 +583,22 @@ impl ShardRun {
         self.registry.counter("sweep.journal.hit")
     }
 
+    /// Cells quarantined because their wall-clock budget expired.
+    pub fn timeouts(&self) -> u64 {
+        self.registry.counter("sweep.timeout")
+    }
+
+    /// Cells quarantined by an on-request cancellation.
+    pub fn cancelled(&self) -> u64 {
+        self.registry.counter("sweep.cancelled")
+    }
+
+    /// Livelock aborts the driver raised during this run (delta, not
+    /// the process-wide absolute).
+    pub fn livelock_aborts(&self) -> u64 {
+        self.registry.counter("driver.livelock_aborts")
+    }
+
     /// One-line effectiveness summary (repro stderr): cache behaviour
     /// always, fault/resume counters only when non-zero.
     pub fn cache_summary(&self) -> String {
@@ -572,6 +621,16 @@ impl ShardRun {
         }
         if q > 0 {
             let _ = write!(s, ", {q} quarantined");
+        }
+        let (t, x, l) = (self.timeouts(), self.cancelled(), self.livelock_aborts());
+        if t > 0 {
+            let _ = write!(s, ", {t} timed out");
+        }
+        if x > 0 {
+            let _ = write!(s, ", {x} cancelled");
+        }
+        if l > 0 {
+            let _ = write!(s, ", {l} livelock aborts");
         }
         if j > 0 {
             let _ = write!(s, ", {j} resumed from journal");
@@ -597,6 +656,7 @@ fn cached_exec(
     records: &[etpp_trace::TraceRecord],
     escalate: bool,
     tear: Option<u64>,
+    cancel: Option<&CancelToken>,
     counters: &SweepCounters,
 ) -> (CellData, bool) {
     let path =
@@ -625,7 +685,7 @@ fn cached_exec(
         }
     }
     counters.misses.fetch_add(1, Ordering::Relaxed);
-    let d = exec_cell(cfg, mode, wl, records, escalate);
+    let d = exec_cell(cfg, mode, wl, records, escalate, cancel);
     if d.path == CellPath::Cycle {
         counters.escalated.fetch_add(1, Ordering::Relaxed);
     }
@@ -640,15 +700,19 @@ fn cached_exec(
 /// Replay-first cell execution with per-cell escalation: replay unless
 /// the stream-level gate already escalated; fall back to the cycle
 /// core when replay is impossible for the mode or corrupts the image.
+/// `cancel` (the attempt's watchdog token) is threaded into whichever
+/// loop actually runs; both paths check it at visit granularity only,
+/// so armed results stay bit-identical to unarmed ones.
 fn exec_cell(
     cfg: &SystemConfig,
     mode: PrefetchMode,
     wl: &BuiltWorkload,
     records: &[etpp_trace::TraceRecord],
     escalate: bool,
+    cancel: Option<&CancelToken>,
 ) -> CellData {
     if !escalate {
-        if let Ok(r) = replay_run(cfg, mode, wl, records) {
+        if let Ok(r) = replay_run_watched(cfg, mode, wl, records, cancel) {
             if r.validated {
                 return CellData {
                     path: CellPath::Replay,
@@ -660,7 +724,11 @@ fn exec_cell(
             }
         }
     }
-    match run(cfg, mode, wl) {
+    let cycle = match cancel {
+        Some(token) => run_watched(cfg, mode, wl, &Watchdog::new(token.clone())),
+        None => run(cfg, mode, wl),
+    };
+    match cycle {
         Ok(r) => CellData {
             path: CellPath::Cycle,
             cycles: r.cycles,
@@ -687,6 +755,8 @@ struct SweepCounters {
     retries: AtomicU64,
     quarantined: AtomicU64,
     journal_hits: AtomicU64,
+    timeouts: AtomicU64,
+    cancelled: AtomicU64,
 }
 
 // ---------------------------------------------------------------------------
@@ -723,12 +793,13 @@ fn journal_header(
     )
 }
 
-/// Appends `, "attempts": N, "error": "..."` when the entry records a
-/// quarantine, so resume reconstructs the failure too.
+/// Appends `, "class": "...", "attempts": N, "error": "..."` when the
+/// entry records a quarantine, so resume reconstructs the failure too.
 fn failure_suffix(failure: Option<&FailureRecord>) -> String {
     failure.map_or(String::new(), |f| {
         format!(
-            ", \"attempts\": {}, \"error\": \"{}\"",
+            ", \"class\": \"{}\", \"attempts\": {}, \"error\": \"{}\"",
+            f.class.key(),
             f.attempts,
             json_escape(&f.error)
         )
@@ -773,6 +844,7 @@ struct JournalBaseline {
     agreement: Option<f64>,
     escalate: bool,
     reference_cycles: u64,
+    class: FailureClass,
     attempts: Option<u32>,
     error: Option<String>,
 }
@@ -791,6 +863,7 @@ fn parse_journal_baseline(line: &str) -> Option<(String, JournalBaseline)> {
             },
             escalate: field_bool(line, "escalate")?,
             reference_cycles: field_num(line, "reference_cycles")? as u64,
+            class: FailureClass::from_key(&field_str(line, "class").unwrap_or_default()),
             attempts: field_num(line, "attempts").map(|v| v as u32),
             error: field_str(line, "error"),
         },
@@ -804,6 +877,7 @@ struct JournalCell {
     host_iters: u64,
     dep_stalls: u64,
     validated: bool,
+    class: FailureClass,
     attempts: Option<u32>,
     error: Option<String>,
 }
@@ -817,6 +891,7 @@ fn parse_journal_cell(line: &str) -> Option<(usize, JournalCell)> {
             host_iters: field_num(line, "host_iters")? as u64,
             dep_stalls: field_num(line, "dep_stalls")? as u64,
             validated: field_bool(line, "validated")?,
+            class: FailureClass::from_key(&field_str(line, "class").unwrap_or_default()),
             attempts: field_num(line, "attempts").map(|v| v as u32),
             error: field_str(line, "error"),
         },
@@ -858,6 +933,14 @@ pub fn run_sweep(
     let cache_dir = opts.cache_dir.as_deref();
     let plan = opts.faults.as_ref();
     let completed = AtomicU64::new(0);
+    // The decode-error and livelock statics are process-wide; snapshot
+    // so the registry reports this run's delta, not another sweep's
+    // leakage (callers that capture traces themselves pass an earlier
+    // snapshot via `decode_errors_from` to claim that phase's errors).
+    let decode_errors_from = opts
+        .decode_errors_from
+        .unwrap_or_else(crate::faults::trace_decode_errors);
+    let livelock_from = crate::watchdog::livelock_aborts();
 
     // Checkpoint–resume: open (or start) the progress journal and
     // index whatever completed entries survive its integrity checks.
@@ -918,6 +1001,11 @@ pub fn run_sweep(
         }
         (0..workloads.len()).filter(|&i| seen[i]).collect()
     };
+    // Baselines run unbudgeted — they are the yardstick the cell
+    // budget is derived from — but their wall time is measured so the
+    // auto budget is a deterministic multiple of *this shard's* real
+    // cost, not a guessed constant.
+    let baseline_wall_us = AtomicU64::new(0);
     let baselines_used: Vec<(WorkloadBaseline, Option<FailureRecord>)> =
         map_indexed(opts.jobs, used.len(), |ui| {
             let wi = used[ui];
@@ -931,6 +1019,7 @@ pub fn run_sweep(
                     mode: "baseline".to_string(),
                     settings: "-".to_string(),
                     config_hash: cell_config_hash(&spec.base, PrefetchMode::None, false),
+                    class: jb.class,
                     attempts: jb.attempts.unwrap_or(0),
                     error,
                 });
@@ -946,6 +1035,7 @@ pub fn run_sweep(
                     failure,
                 );
             }
+            let wall_start = Instant::now();
             let computed = run_isolated(&opts.retry, wi, &counters.retries, |attempt| {
                 if let Some(p) = plan {
                     p.maybe_panic_baseline(wi, attempt);
@@ -958,6 +1048,7 @@ pub fn run_sweep(
                     wl,
                     &cap.trace.records,
                     false,
+                    None,
                     None,
                     &counters,
                 );
@@ -993,6 +1084,7 @@ pub fn run_sweep(
                         &cap.trace.records,
                         true,
                         None,
+                        None,
                         &counters,
                     )
                     .0
@@ -1007,6 +1099,10 @@ pub fn run_sweep(
                     reference_cycles,
                 }
             });
+            baseline_wall_us.fetch_max(
+                u64::try_from(wall_start.elapsed().as_micros()).unwrap_or(u64::MAX),
+                Ordering::Relaxed,
+            );
             match computed {
                 Ok(b) => {
                     append(journal_baseline_entry(&b, None));
@@ -1031,6 +1127,7 @@ pub fn run_sweep(
                         mode: "baseline".to_string(),
                         settings: "-".to_string(),
                         config_hash: cell_config_hash(&spec.base, PrefetchMode::None, false),
+                        class: fail.class,
                         attempts: fail.attempts,
                         error: fail.error,
                     };
@@ -1049,6 +1146,19 @@ pub fn run_sweep(
         baselines[wi] = Some(&baselines_used[ui].0);
     }
 
+    // Per-cell wall-clock budget: explicit beats auto, zero disarms.
+    // The auto budget is a deterministic multiple of the slowest
+    // measured baseline (floored for cache-warm/resumed shards whose
+    // baselines cost ~nothing to "run").
+    let cell_budget: Option<Duration> = match opts.cell_budget {
+        Some(d) if d.is_zero() => None,
+        Some(d) => Some(d),
+        None => {
+            let slowest = Duration::from_micros(baseline_wall_us.load(Ordering::Relaxed));
+            Some((slowest * DEFAULT_BUDGET_MULTIPLE).max(MIN_CELL_BUDGET))
+        }
+    };
+
     let cell_outcomes: Vec<(CellResult, Option<FailureRecord>)> =
         map_indexed(opts.jobs, my_jobs.len(), |j| {
             let job = my_jobs[j];
@@ -1057,32 +1167,34 @@ pub fn run_sweep(
             let cfg = spec.config_for(&value_idx);
             let settings = spec.settings_for(&value_idx);
             let (wl, cap) = (&workloads[wi], &captures[wi]);
-            let failed_cell = |attempts: u32, error: String, escalate: bool| {
-                (
-                    CellResult {
-                        index: job,
-                        workload: wl.name,
-                        mode,
-                        settings: settings.clone(),
-                        path: CellPath::Failed,
-                        cycles: 0,
-                        host_iters: 0,
-                        dep_stalls: 0,
-                        validated: false,
-                        speedup: None,
-                        cached: false,
-                    },
-                    Some(FailureRecord {
-                        index: Some(job),
-                        workload: wl.name.to_string(),
-                        mode: mode.key().to_string(),
-                        settings: settings_string(&settings),
-                        config_hash: cell_config_hash(&cfg, mode, escalate),
-                        attempts,
-                        error,
-                    }),
-                )
-            };
+            let failed_cell =
+                |attempts: u32, class: FailureClass, error: String, escalate: bool| {
+                    (
+                        CellResult {
+                            index: job,
+                            workload: wl.name,
+                            mode,
+                            settings: settings.clone(),
+                            path: CellPath::Failed,
+                            cycles: 0,
+                            host_iters: 0,
+                            dep_stalls: 0,
+                            validated: false,
+                            speedup: None,
+                            cached: false,
+                        },
+                        Some(FailureRecord {
+                            index: Some(job),
+                            workload: wl.name.to_string(),
+                            mode: mode.key().to_string(),
+                            settings: settings_string(&settings),
+                            config_hash: cell_config_hash(&cfg, mode, escalate),
+                            class,
+                            attempts,
+                            error,
+                        }),
+                    )
+                };
             let Some(bl) = baselines[wi] else {
                 // Structured replacement for the old "baseline computed
                 // for every used workload" panic: an internally missing
@@ -1090,6 +1202,7 @@ pub fn run_sweep(
                 counters.quarantined.fetch_add(1, Ordering::Relaxed);
                 return failed_cell(
                     0,
+                    FailureClass::Panic,
                     format!("internal: no baseline for workload {}", wl.name),
                     false,
                 );
@@ -1105,6 +1218,7 @@ pub fn run_sweep(
                     mode: mode.key().to_string(),
                     settings: settings_string(&settings),
                     config_hash: cell_config_hash(&cfg, mode, bl.escalate),
+                    class: jc.class,
                     attempts: jc.attempts.unwrap_or(0),
                     error,
                 });
@@ -1125,22 +1239,31 @@ pub fn run_sweep(
                     failure,
                 );
             }
-            let outcome = run_isolated(&opts.retry, job, &counters.retries, |attempt| {
-                if let Some(p) = plan {
-                    p.maybe_panic(job, attempt);
-                }
-                cached_exec(
-                    cache_dir,
-                    cap.content_hash,
-                    &cfg,
-                    mode,
-                    wl,
-                    &cap.trace.records,
-                    bl.escalate,
-                    plan.and_then(|p| p.tear_at(job)),
-                    &counters,
-                )
-            });
+            let outcome = run_isolated_budgeted(
+                &opts.retry,
+                job,
+                &counters.retries,
+                cell_budget,
+                |attempt, token| {
+                    if let Some(p) = plan {
+                        p.maybe_slow(job);
+                        p.maybe_hang(job, token);
+                        p.maybe_panic(job, attempt);
+                    }
+                    cached_exec(
+                        cache_dir,
+                        cap.content_hash,
+                        &cfg,
+                        mode,
+                        wl,
+                        &cap.trace.records,
+                        bl.escalate,
+                        plan.and_then(|p| p.tear_at(job)),
+                        token,
+                        &counters,
+                    )
+                },
+            );
             let result = match outcome {
                 Ok((d, hit)) => {
                     let cr = CellResult {
@@ -1162,7 +1285,19 @@ pub fn run_sweep(
                 }
                 Err(fail) => {
                     counters.quarantined.fetch_add(1, Ordering::Relaxed);
-                    let (cr, rec) = failed_cell(fail.attempts, fail.error, bl.escalate);
+                    match fail.class {
+                        FailureClass::Timeout => {
+                            counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                        }
+                        FailureClass::Cancelled => {
+                            counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // Livelocks land in `driver.livelock_aborts`
+                        // (snapshot delta); plain panics in
+                        // `sweep.quarantined` alone.
+                        FailureClass::Livelock | FailureClass::Panic => {}
+                    }
+                    let (cr, rec) = failed_cell(fail.attempts, fail.class, fail.error, bl.escalate);
                     append(journal_cell_entry(&cr, rec.as_ref()));
                     (cr, rec)
                 }
@@ -1208,7 +1343,21 @@ pub fn run_sweep(
         "sweep.journal.hit",
         counters.journal_hits.load(Ordering::Relaxed),
     );
-    registry.set_counter("trace.decode_errors", crate::faults::trace_decode_errors());
+    registry.set_counter("sweep.timeout", counters.timeouts.load(Ordering::Relaxed));
+    registry.set_counter(
+        "sweep.cancelled",
+        counters.cancelled.load(Ordering::Relaxed),
+    );
+    // Snapshot deltas, not process-wide absolutes: the statics outlive
+    // this run and would otherwise report another sweep's errors.
+    registry.set_counter(
+        "trace.decode_errors",
+        crate::faults::trace_decode_errors().saturating_sub(decode_errors_from),
+    );
+    registry.set_counter(
+        "driver.livelock_aborts",
+        crate::watchdog::livelock_aborts().saturating_sub(livelock_from),
+    );
     ShardRun {
         sweep: spec.name,
         scale: opts.scale_label.clone(),
@@ -1293,13 +1442,14 @@ impl ShardRun {
             let _ = write!(
                 j,
                 "    {{\"index\": {}, \"workload\": \"{}\", \"mode\": \"{}\", \
-                 \"settings\": \"{}\", \"config_hash\": \"{:016x}\", \"attempts\": {}, \
-                 \"error\": \"{}\"}}",
+                 \"settings\": \"{}\", \"config_hash\": \"{:016x}\", \"class\": \"{}\", \
+                 \"attempts\": {}, \"error\": \"{}\"}}",
                 f.index.map_or("null".to_string(), |i| i.to_string()),
                 f.workload,
                 f.mode,
                 f.settings,
                 f.config_hash,
+                f.class.key(),
                 f.attempts,
                 json_escape(&f.error)
             );
@@ -1394,6 +1544,9 @@ pub struct ParsedFailure {
     pub mode: String,
     /// Canonical settings string.
     pub settings: String,
+    /// Classified cause (records written before classes existed parse
+    /// as [`FailureClass::Panic`]).
+    pub class: FailureClass,
     /// Attempts consumed before quarantine.
     pub attempts: u32,
     /// Final panic message.
@@ -1475,6 +1628,7 @@ pub fn parse_shard(json: &str) -> Result<ShardFile, String> {
                 workload: field_str(line, "workload").ok_or("failure missing workload")?,
                 mode: field_str(line, "mode").ok_or("failure missing mode")?,
                 settings: field_str(line, "settings").ok_or("failure missing settings")?,
+                class: FailureClass::from_key(&field_str(line, "class").unwrap_or_default()),
                 attempts: field_num(line, "attempts").ok_or("failure missing attempts")? as u32,
                 error: field_str(line, "error").unwrap_or_default(),
             });
@@ -1734,16 +1888,17 @@ pub fn render_merged(m: &MergedSweep) -> String {
 
     if !m.failures.is_empty() {
         out += "\n## Quarantined cells\n\n";
-        out += "| # | Benchmark | Mode | Settings | Attempts | Error |\n";
-        out += "|---|---|---|---|---|---|\n";
+        out += "| # | Benchmark | Mode | Settings | Class | Attempts | Error |\n";
+        out += "|---|---|---|---|---|---|---|\n";
         for f in &m.failures {
             let _ = writeln!(
                 out,
-                "| {} | {} | {} | {} | {} | {} |",
+                "| {} | {} | {} | {} | {} | {} | {} |",
                 f.index.map_or("-".to_string(), |i| i.to_string()),
                 f.workload,
                 mode_label_for_key(&f.mode),
                 f.settings,
+                f.class,
                 f.attempts,
                 f.error.replace('|', "/")
             );
@@ -1960,6 +2115,7 @@ mod tests {
                 mode: "stride".into(),
                 settings: "obs_queue=10 pf_buffer=64".into(),
                 config_hash: 0xabcd,
+                class: FailureClass::Timeout,
                 attempts: 3,
                 error: "injected \"panic\"".into(),
             }],
@@ -1978,6 +2134,7 @@ mod tests {
         assert_eq!(f.failures.len(), 1);
         assert_eq!(f.failures[0].index, Some(2));
         assert_eq!(f.failures[0].mode, "stride");
+        assert_eq!(f.failures[0].class, FailureClass::Timeout);
         assert_eq!(f.failures[0].attempts, 3);
     }
 
@@ -2021,13 +2178,18 @@ mod tests {
             mode: "manual".into(),
             settings: "obs_queue=10".into(),
             config_hash: 1,
+            class: FailureClass::Livelock,
             attempts: 3,
             error: "boom".into(),
         };
         let (idx, jc) = parse_journal_cell(&journal_cell_entry(&c, Some(&rec))).unwrap();
         assert_eq!(idx, 17);
         assert_eq!(jc.path, CellPath::Failed);
+        assert_eq!(jc.class, FailureClass::Livelock);
         assert_eq!(jc.attempts, Some(3));
         assert_eq!(jc.error.as_deref(), Some("boom"));
+        // A pre-class journal line (no "class" field) parses as panic.
+        let (_, old) = parse_journal_cell(&journal_cell_entry(&c, None)).unwrap();
+        assert_eq!(old.class, FailureClass::Panic);
     }
 }

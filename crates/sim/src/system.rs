@@ -7,6 +7,7 @@
 
 use crate::config::{PrefetchMode, SystemConfig};
 use crate::telemetry::{hist_columns, PhaseSampler, TelemetryReport, TelemetrySpec};
+use crate::watchdog::{LivelockDetector, Watchdog};
 use etpp_baselines::{GhbParams, GhbPrefetcher, StrideParams, StridePrefetcher};
 use etpp_core::{PfEngineStats, PrefetcherParams, ProgrammablePrefetcher};
 use etpp_cpu::{Core, CoreStats, HorizonSource, RetiredEvent, Trace};
@@ -223,7 +224,26 @@ fn select<'w>(
 /// Panics if the simulation exceeds `cfg.max_cycles` (deadlock guard) or
 /// the trace accesses unmapped memory (workload generator bug).
 pub fn run(cfg: &SystemConfig, mode: PrefetchMode, wl: &BuiltWorkload) -> Result<RunResult, Skip> {
-    Ok(run_inner(cfg, mode, wl, false, None)?.0)
+    Ok(run_inner(cfg, mode, wl, false, None, None)?.0)
+}
+
+/// [`run`] under a [`Watchdog`]: the token is polled once per driver
+/// visit (and at every [`MemorySystem::advance_to`] entry) — never per
+/// cycle — so an armed-but-quiet watchdog is pure observation and the
+/// result is bit-identical to an unwatched [`run`] (pinned by the
+/// equivalence suite). A fired token aborts the run by panicking with
+/// the token's typed [`crate::watchdog::Cancelled`] payload, which the
+/// sweep farm's isolation layer quarantines as a timeout/cancellation.
+///
+/// # Errors
+/// [`Skip`] when the mode is impossible for this workload.
+pub fn run_watched(
+    cfg: &SystemConfig,
+    mode: PrefetchMode,
+    wl: &BuiltWorkload,
+    wd: &Watchdog,
+) -> Result<RunResult, Skip> {
+    Ok(run_inner(cfg, mode, wl, false, None, Some(wd))?.0)
 }
 
 /// Simulates `wl` under `mode` with observability enabled, returning
@@ -242,7 +262,7 @@ pub fn run_telemetry(
     wl: &BuiltWorkload,
     spec: &TelemetrySpec,
 ) -> Result<(RunResult, TelemetryReport), Skip> {
-    let (result, _, report) = run_inner(cfg, mode, wl, false, Some(spec))?;
+    let (result, _, report) = run_inner(cfg, mode, wl, false, Some(spec), None)?;
     Ok((result, report.expect("telemetry was requested")))
 }
 
@@ -260,7 +280,7 @@ pub fn run_captured(
     wl: &BuiltWorkload,
     scale_label: &str,
 ) -> Result<(RunResult, etpp_trace::CapturedTrace), Skip> {
-    let (result, events, _) = run_inner(cfg, mode, wl, true, None)?;
+    let (result, events, _) = run_inner(cfg, mode, wl, true, None, None)?;
     // The capture run's cycle count rides in the (v2) trace metadata so
     // replay consumers can report absolute-cycle agreement without
     // re-running the cycle core.
@@ -322,11 +342,15 @@ fn run_inner(
     wl: &BuiltWorkload,
     capture: bool,
     tel: Option<&TelemetrySpec>,
+    wd: Option<&Watchdog>,
 ) -> Result<(RunResult, Vec<RetiredEvent>, Option<TelemetryReport>), Skip> {
     let (trace, mut engine) = select(cfg, mode, wl)?;
     let mut mem = MemorySystem::new(cfg.mem, wl.image.clone());
     if cfg.per_cycle_reference {
         mem.set_engine_batching(false);
+    }
+    if let Some(wd) = wd {
+        mem.set_cancel(Some(wd.token().clone()));
     }
     let mut core = Core::new(cfg.core, trace);
     if capture {
@@ -360,8 +384,19 @@ fn run_inner(
     let mut now: u64 = 0;
     let mut host_iters: u64 = 0;
     let mut visits = VisitCounts::default();
+    // Always-armed livelock guard: observes each visit's raw reported
+    // horizon and aborts with a named diagnostic if it stops advancing
+    // — a condition impossible while the horizon invariant holds, so
+    // healthy runs are untouched (the only other runaway guard is the
+    // `max_cycles` assert, 2×10¹⁰ cycles away).
+    let mut livelock = LivelockDetector::new();
     while !core.finished() {
         host_iters += 1;
+        // Cooperative cancellation, visit granularity: one null-check
+        // when unwatched, a strided token poll when armed.
+        if let Some(wd) = wd {
+            wd.check(host_iters, now);
+        }
         let visit_start = now;
         loop {
             mem.tick(now, engine.as_dyn());
@@ -405,6 +440,7 @@ fn run_inner(
                 break;
             }
             let horizon = core.next_event_at(now, &mem);
+            livelock.observe(now, horizon, core.horizon_source(), wl.name, mode.key());
             if horizon == now + 1 {
                 // Dense span: the core progresses on the very next
                 // cycle, so stay inside this visit (`advance_to(now,

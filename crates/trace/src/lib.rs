@@ -71,4 +71,4 @@ pub use format::{
     MIN_FORMAT_VERSION,
 };
 pub use io::{TraceReader, TraceWriter};
-pub use replay::{replay, ReplayParams, ReplayResult};
+pub use replay::{replay, replay_cancellable, ReplayParams, ReplayResult};

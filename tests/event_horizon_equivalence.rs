@@ -434,6 +434,88 @@ fn telemetry_is_observationally_transparent() {
     }
 }
 
+/// Arming the watchdog with a budget that never fires must be
+/// observationally invisible: the strided deadline polls and the
+/// livelock detector read driver state but never write simulation
+/// state, so a watched run must be bit-identical to a plain one across
+/// every engine mode, on both the cycle and the replay path.
+#[test]
+fn armed_watchdog_is_bit_identical_when_the_budget_never_fires() {
+    use etpp::sim::{replay_run, replay_run_watched, run, run_watched, Watchdog};
+    use std::time::Duration;
+    // Generous enough that it cannot fire at Tiny scale; the strided
+    // deadline polls and livelock bookkeeping still execute on every
+    // driver visit, which is exactly what must stay invisible.
+    let budget = Duration::from_secs(3600);
+    let cfg = SystemConfig::paper();
+    for wl_name in ["IntSort", "HJ-8"] {
+        let wl = workload_by_name(wl_name).unwrap().build(Scale::Tiny);
+        let (trace, _) = load_or_capture(None, &cfg, &wl, "tiny");
+        for mode in [
+            PrefetchMode::None,
+            PrefetchMode::Stride,
+            PrefetchMode::GhbRegular,
+            PrefetchMode::Manual,
+            PrefetchMode::Blocked,
+        ] {
+            if let Ok(plain) = run(&cfg, mode, &wl) {
+                let wd = Watchdog::with_budget(budget);
+                let watched = run_watched(&cfg, mode, &wl, &wd).expect("expressible above");
+                assert_eq!(
+                    plain.cycles, watched.cycles,
+                    "{wl_name}/{mode:?}: the watchdog must not change the cycle count"
+                );
+                assert_eq!(
+                    plain.host_iters, watched.host_iters,
+                    "{wl_name}/{mode:?}: the driver must visit the same cycles"
+                );
+                assert_eq!(
+                    plain.core, watched.core,
+                    "{wl_name}/{mode:?}: core statistics must be bit-identical"
+                );
+                assert_eq!(
+                    plain.mem, watched.mem,
+                    "{wl_name}/{mode:?}: memory statistics must be bit-identical"
+                );
+                assert_eq!(
+                    plain.pf, watched.pf,
+                    "{wl_name}/{mode:?}: engine counters must be bit-identical"
+                );
+                assert_eq!(
+                    plain.visits, watched.visits,
+                    "{wl_name}/{mode:?}: visit attribution must be bit-identical"
+                );
+                assert_eq!(
+                    plain.final_lookahead, watched.final_lookahead,
+                    "{wl_name}/{mode:?}: EWMA look-ahead must match"
+                );
+                assert!(
+                    plain.validated && watched.validated,
+                    "{wl_name}/{mode:?}: both runs must reproduce the reference output"
+                );
+            }
+            if let Ok(plain) = replay_run(&cfg, mode, &wl, &trace.records) {
+                let wd = Watchdog::with_budget(budget);
+                let watched = replay_run_watched(&cfg, mode, &wl, &trace.records, Some(wd.token()))
+                    .expect("expressible above");
+                assert_eq!(
+                    (plain.cycles, plain.host_iters, plain.dep_stalls),
+                    (watched.cycles, watched.host_iters, watched.dep_stalls),
+                    "{wl_name}/{mode:?}: watched replay must be cycle-identical"
+                );
+                assert_eq!(
+                    plain.mem, watched.mem,
+                    "{wl_name}/{mode:?}: watched replay memory statistics must be bit-identical"
+                );
+                assert!(
+                    plain.validated && watched.validated,
+                    "{wl_name}/{mode:?}: both replays must reproduce the reference output"
+                );
+            }
+        }
+    }
+}
+
 /// Benchmark-scale spot check (the scale `BENCH_speedcheck.json` is
 /// recorded at): the per-cycle reference takes seconds per run in
 /// release and minutes in debug, so this is ignored by default — run it

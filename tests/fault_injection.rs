@@ -214,6 +214,146 @@ fn faulted_sweep_completes_and_quarantines_exactly_the_unrecoverable_cells() {
     }
 }
 
+/// `hang=J@P` end-to-end: a cell that spins forever is cancelled by the
+/// per-cell watchdog budget, retried once at the escalated budget,
+/// quarantined as a `timeout`, and every surviving row stays
+/// byte-identical to a clean run over the same cache.
+#[test]
+fn hung_cell_is_cancelled_quarantined_as_timeout_and_surviving_rows_match() {
+    use std::time::Duration;
+    let spec = probe_spec();
+    let wls = build_two();
+    let traces = TempDir::new("hang-traces");
+    let cache = TempDir::new("hang-cache");
+    let captures = capture_all(&traces.0, &wls);
+
+    // Job 3 spins polling its token every 1ms; a 1s budget cancels
+    // attempt 1, the single escalated retry (×4) confirms the hang,
+    // and the cell quarantines in ~5s. Healthy Tiny cells finish well
+    // inside 1s even in debug builds — but a loaded host may push one
+    // over and earn it a (successful) escalated retry, so the retry
+    // count is a floor, not an exact match.
+    let faulted = {
+        let o = SweepOptions {
+            faults: Some("hang=3@1".parse().unwrap()),
+            cell_budget: Some(Duration::from_secs(1)),
+            ..opts(2, (0, 1), Some(cache.0.clone()))
+        };
+        sweeps::run_sweep(&spec, &wls, &captures, &o)
+    };
+    assert_eq!(faulted.quarantined(), 1, "only the hung cell dies");
+    assert_eq!(faulted.timeouts(), 1, "sweep.timeout counts the quarantine");
+    assert!(
+        faulted.retries() >= 1,
+        "at least the hung cell's escalated retry"
+    );
+    assert_eq!(faulted.failures.len(), 1);
+    assert_eq!(faulted.failures[0].index, Some(3));
+    assert_eq!(faulted.failures[0].class, faults::FailureClass::Timeout);
+    assert_eq!(
+        faulted.failures[0].attempts, 2,
+        "timeouts get exactly one escalated retry"
+    );
+    assert!(
+        faulted.failures[0].error.contains("budget exhausted"),
+        "error names the exhausted budget: {}",
+        faulted.failures[0].error
+    );
+    let fault_render = merged_render(vec![
+        sweeps::parse_shard(&faulted.to_json()).expect("parses")
+    ]);
+
+    // Clean pass over the same cache, watchdog still armed: nothing
+    // fires, nothing is quarantined, and the surviving rows match the
+    // faulted render byte-for-byte outside job 3's FAILED row, its
+    // group's summary rows, and the quarantine table itself.
+    let clean = {
+        let o = SweepOptions {
+            cell_budget: Some(Duration::from_secs(60)),
+            ..opts(2, (0, 1), Some(cache.0.clone()))
+        };
+        sweeps::run_sweep(&spec, &wls, &captures, &o)
+    };
+    assert_eq!(clean.quarantined(), 0);
+    assert_eq!(clean.timeouts(), 0);
+    let clean_render = merged_render(vec![sweeps::parse_shard(&clean.to_json()).expect("parses")]);
+    assert!(!clean_render.contains("FAILED"));
+
+    let clean_lines: Vec<&str> = clean_render.lines().collect();
+    let fault_lines: Vec<&str> = fault_render.lines().collect();
+    let qstart = fault_lines
+        .iter()
+        .position(|l| *l == "## Quarantined cells")
+        .expect("faulted render has a quarantine section");
+    let qend = fault_lines
+        .iter()
+        .position(|l| l.starts_with("## Summary"))
+        .expect("summary follows the quarantine section");
+    assert!(
+        fault_lines[qstart..qend]
+            .iter()
+            .any(|l| l.contains("timeout")),
+        "quarantine table names the class"
+    );
+    let fault_stripped: Vec<&str> = fault_lines[..qstart - 1]
+        .iter()
+        .chain(&fault_lines[qend - 1..])
+        .copied()
+        .collect();
+    assert_eq!(clean_lines.len(), fault_stripped.len());
+    let summary_at = clean_lines
+        .iter()
+        .position(|l| l.starts_with("## Summary"))
+        .unwrap();
+    for (i, line) in clean_lines.iter().enumerate() {
+        let f = fault_stripped[i];
+        if f == *line {
+            continue;
+        }
+        let summary_row_of_dead_group = i > summary_at && f.starts_with("| IntSort |");
+        assert!(
+            f.contains("FAILED") || summary_row_of_dead_group,
+            "unexpected divergence at line {i}:\n  clean: {line}\n  fault: {f}"
+        );
+    }
+}
+
+/// `slow=J@D` delays a cell without killing it: under a sane budget the
+/// sweep completes with nothing quarantined and renders byte-identical
+/// to an uninjected run.
+#[test]
+fn slow_cell_finishes_within_budget_and_changes_nothing() {
+    let spec = probe_spec();
+    let wls = build_two();
+    let traces = TempDir::new("slow-traces");
+    let cache = TempDir::new("slow-cache");
+    let captures = capture_all(&traces.0, &wls);
+
+    // Default (auto) budget: a deterministic multiple of the measured
+    // baseline wall time with a generous floor — a 50ms delay is noise.
+    let slowed = {
+        let o = SweepOptions {
+            faults: Some("slow=4@50".parse().unwrap()),
+            ..opts(2, (0, 1), Some(cache.0.clone()))
+        };
+        sweeps::run_sweep(&spec, &wls, &captures, &o)
+    };
+    assert_eq!(slowed.quarantined(), 0, "a slow cell is not a dead cell");
+    assert_eq!(slowed.timeouts(), 0);
+    assert_eq!(slowed.retries(), 0);
+
+    let clean = sweeps::run_sweep(
+        &spec,
+        &wls,
+        &captures,
+        &opts(2, (0, 1), Some(cache.0.clone())),
+    );
+    let render = |r: &sweeps::ShardRun| {
+        merged_render(vec![sweeps::parse_shard(&r.to_json()).expect("parses")])
+    };
+    assert_eq!(render(&slowed), render(&clean));
+}
+
 /// `kill=C` dies with an uncatchable-by-retry [`FatalFault`] after `C`
 /// cells; `--resume` replays the journal, re-executes zero completed
 /// cells, and renders byte-identical merged tables.
