@@ -6,8 +6,15 @@
 //!   Smith, G/AC organisation) with depth 16 and width 6, in a *regular*
 //!   SRAM-realistic configuration (2048/2048) and a *large* configuration
 //!   modelling ~1 GiB of in-memory history with free access to it.
+//! * [`RptStridePrefetcher`] — the original four-state Chen & Baer
+//!   reference-prediction-table automaton, a cross-check for the two-bit
+//!   stride engine (the differential suite pins their agreement on pure
+//!   stride streams).
+//! * [`PcDeltaPrefetcher`] — a My5/Pythia-lineage PC-delta engine that
+//!   learns per-(PC, delta) accuracies and issues every delta above a
+//!   threshold, variable degree capped at a page.
 //!
-//! Both implement [`etpp_mem::PrefetchEngine`] and attach to the same L1
+//! All implement [`etpp_mem::PrefetchEngine`] and attach to the same L1
 //! port as the programmable prefetcher, so every scheme contends for the
 //! same MSHRs, TLB and DRAM bandwidth.
 
@@ -15,7 +22,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ghb;
+pub mod pc_delta;
+pub mod rpt_stride;
 pub mod stride;
 
 pub use ghb::{GhbParams, GhbPrefetcher};
+pub use pc_delta::{AccuracyTable, PcDeltaParams, PcDeltaPrefetcher, PAGE_SIZE};
+pub use rpt_stride::RptStridePrefetcher;
 pub use stride::{StrideParams, StridePrefetcher};

@@ -1,0 +1,260 @@
+//! Four-state reference-prediction-table stride prefetcher (Chen & Baer).
+//!
+//! Where [`crate::StridePrefetcher`] collapses the classic RPT automaton
+//! into a saturating two-bit counter, this engine implements the original
+//! four-state machine verbatim: `Init`, `Transient`, `Steady`, `NoPred`.
+//! A prediction is *correct* when the incoming address equals
+//! `last_addr + stride`; the transitions are
+//!
+//! | state     | correct        | incorrect                     |
+//! |-----------|----------------|-------------------------------|
+//! | Init      | → Steady       | update stride, → Transient    |
+//! | Transient | → Steady       | update stride, → NoPred       |
+//! | Steady    | stay           | → Init (stride kept)          |
+//! | NoPred    | → Transient    | update stride, stay           |
+//!
+//! Prefetches launch only from `Steady` with a non-zero stride, at
+//! `addr + stride * 1..=degree`, through the same dedup ring and bounded
+//! queue as the two-bit engine — so on a pure stride stream the two
+//! implementations converge to the identical issued-prefetch multiset,
+//! which `tests/engine_zoo.rs` pins.
+
+use crate::stride::StrideParams;
+use etpp_mem::{ConfigOp, DemandEvent, Line, PrefetchEngine, PrefetchRequest, TagId, LINE_SIZE};
+use std::collections::VecDeque;
+
+/// The RPT automaton states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum RptState {
+    /// Entry just allocated: stride not yet trusted.
+    #[default]
+    Init,
+    /// One misprediction from steady in either direction.
+    Transient,
+    /// Stride confirmed; predictions launch prefetches.
+    Steady,
+    /// Irregular: predictions are suppressed until the stride repeats.
+    NoPred,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    pc: u32,
+    valid: bool,
+    last_addr: u64,
+    stride: i64,
+    state: RptState,
+}
+
+/// The four-state RPT stride prefetcher. Shares [`StrideParams`] with the
+/// two-bit engine so sweeps can swap one for the other cell-for-cell.
+#[derive(Debug)]
+pub struct RptStridePrefetcher {
+    params: StrideParams,
+    table: Vec<Entry>,
+    queue: VecDeque<u64>,
+    /// Last few issued line addresses, to suppress duplicates cheaply.
+    recent: VecDeque<u64>,
+    /// Prefetch requests issued.
+    pub issued: u64,
+}
+
+impl RptStridePrefetcher {
+    /// Creates an empty prefetcher.
+    pub fn new(params: StrideParams) -> Self {
+        RptStridePrefetcher {
+            table: vec![Entry::default(); params.entries],
+            queue: VecDeque::with_capacity(params.queue),
+            recent: VecDeque::with_capacity(32),
+            issued: 0,
+            params,
+        }
+    }
+
+    fn enqueue(&mut self, vaddr: u64) {
+        let line = vaddr & !(LINE_SIZE - 1);
+        if self.recent.contains(&line) {
+            return;
+        }
+        if self.recent.len() >= 32 {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(line);
+        if self.queue.len() >= self.params.queue {
+            self.queue.pop_front();
+        }
+        self.queue.push_back(vaddr);
+    }
+}
+
+impl PrefetchEngine for RptStridePrefetcher {
+    fn on_demand(&mut self, _now: u64, ev: &DemandEvent) {
+        if ev.is_write {
+            return;
+        }
+        let idx = (ev.pc as usize) & (self.params.entries - 1);
+        let e = &mut self.table[idx];
+        if !e.valid || e.pc != ev.pc {
+            *e = Entry {
+                pc: ev.pc,
+                valid: true,
+                last_addr: ev.vaddr,
+                stride: 0,
+                state: RptState::Init,
+            };
+            return;
+        }
+        let correct = ev.vaddr == e.last_addr.wrapping_add(e.stride as u64);
+        let new_stride = ev.vaddr as i64 - e.last_addr as i64;
+        e.state = match (e.state, correct) {
+            (RptState::Init, true) => RptState::Steady,
+            (RptState::Init, false) => {
+                e.stride = new_stride;
+                RptState::Transient
+            }
+            (RptState::Transient, true) => RptState::Steady,
+            (RptState::Transient, false) => {
+                e.stride = new_stride;
+                RptState::NoPred
+            }
+            (RptState::Steady, true) => RptState::Steady,
+            // Chen & Baer keep the stride on the steady→init fall so a
+            // single blip does not forget a long-lived pattern.
+            (RptState::Steady, false) => RptState::Init,
+            (RptState::NoPred, true) => RptState::Transient,
+            (RptState::NoPred, false) => {
+                e.stride = new_stride;
+                RptState::NoPred
+            }
+        };
+        e.last_addr = ev.vaddr;
+        if e.state == RptState::Steady && e.stride != 0 {
+            let stride = e.stride;
+            let base = ev.vaddr;
+            for d in 1..=self.params.degree as i64 {
+                let target = base.wrapping_add((stride * d) as u64);
+                self.enqueue(target);
+            }
+        }
+    }
+
+    fn on_prefetch_fill(
+        &mut self,
+        _now: u64,
+        _vaddr: u64,
+        _line: &Line,
+        _tag: Option<TagId>,
+        _meta: u64,
+    ) {
+    }
+
+    fn tick(&mut self, _now: u64) {}
+
+    fn pop_request(&mut self, _now: u64) -> Option<PrefetchRequest> {
+        self.queue.pop_front().map(|vaddr| {
+            self.issued += 1;
+            PrefetchRequest {
+                vaddr,
+                tag: None,
+                meta: 0,
+            }
+        })
+    }
+
+    fn config(&mut self, _now: u64, _op: &ConfigOp) {}
+
+    fn next_event_at(&self, now: u64) -> Option<u64> {
+        // Purely reactive: the only pending work is queued requests,
+        // which the memory system pops one per cycle.
+        (!self.queue.is_empty()).then_some(now + 1)
+    }
+
+    fn next_tick_at(&self, _now: u64) -> Option<u64> {
+        // `tick` is a no-op, exactly like the two-bit stride engine.
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(pc: u32, vaddr: u64) -> DemandEvent {
+        DemandEvent {
+            at: 0,
+            vaddr,
+            pc,
+            is_write: false,
+            l1_hit: false,
+        }
+    }
+
+    fn drain(s: &mut RptStridePrefetcher) -> Vec<u64> {
+        let mut v = vec![];
+        while let Some(r) = s.pop_request(0) {
+            v.push(r.vaddr);
+        }
+        v
+    }
+
+    #[test]
+    fn steadies_one_access_earlier_than_two_bit() {
+        // alloc, stride learned, steady: the third access already issues.
+        let mut s = RptStridePrefetcher::new(StrideParams::paper());
+        s.on_demand(0, &load(0x40, 0x1000));
+        s.on_demand(0, &load(0x40, 0x1100));
+        assert!(drain(&mut s).is_empty(), "transient must not issue");
+        s.on_demand(0, &load(0x40, 0x1200));
+        let t = drain(&mut s);
+        assert!(!t.is_empty(), "steady stream must prefetch");
+        assert!(t.contains(&(0x1200 + 0x100)));
+    }
+
+    #[test]
+    fn single_blip_recovers_without_retraining() {
+        let mut s = RptStridePrefetcher::new(StrideParams::paper());
+        for i in 0..8u64 {
+            s.on_demand(0, &load(0x40, 0x1000 + i * 256));
+        }
+        drain(&mut s);
+        // One off-pattern access: steady → init, stride kept.
+        s.on_demand(0, &load(0x40, 0x9000));
+        drain(&mut s);
+        // The pattern resumes relative to the blip: init → steady
+        // immediately because the kept stride predicts correctly.
+        s.on_demand(0, &load(0x40, 0x9000 + 256));
+        let t = drain(&mut s);
+        assert!(t.contains(&(0x9000 + 2 * 256)), "kept stride must recover");
+    }
+
+    #[test]
+    fn random_addresses_park_in_no_pred() {
+        let mut s = RptStridePrefetcher::new(StrideParams::paper());
+        let mut x = 1u64;
+        let mut n = 0;
+        for _ in 0..64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            s.on_demand(0, &load(0x40, x % (1 << 30)));
+            n += drain(&mut s).len();
+        }
+        assert!(n < 16, "random stream should not sustain prefetching: {n}");
+    }
+
+    #[test]
+    fn stores_are_ignored() {
+        let mut s = RptStridePrefetcher::new(StrideParams::paper());
+        for i in 0..8u64 {
+            s.on_demand(
+                0,
+                &DemandEvent {
+                    at: 0,
+                    vaddr: 0x1000 + i * 64,
+                    pc: 9,
+                    is_write: true,
+                    l1_hit: false,
+                },
+            );
+        }
+        assert!(s.pop_request(0).is_none());
+    }
+}

@@ -84,6 +84,13 @@ impl StridePrefetcher {
         }
         self.queue.push_back(vaddr);
     }
+
+    /// Drops all pending (not yet popped) requests without counting them
+    /// as issued. The phase-adaptive meta-engine calls this on a switch
+    /// so targets trained during the previous phase do not leak out.
+    pub fn clear_pending(&mut self) {
+        self.queue.clear();
+    }
 }
 
 impl PrefetchEngine for StridePrefetcher {

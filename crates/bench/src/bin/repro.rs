@@ -86,12 +86,12 @@
 
 use etpp_sim::{ablations, experiments as ex, faults, replay as rp, sweeps};
 use etpp_sim::{report, PrefetchMode, SystemConfig};
-use etpp_workloads::{all_workloads, Scale};
+use etpp_workloads::{all_workloads, Scale, Workload};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Every experiment name the positional argument accepts.
-const EXPERIMENTS: [&str; 13] = [
+const EXPERIMENTS: [&str; 14] = [
     "table1",
     "table2",
     "fig7",
@@ -103,6 +103,7 @@ const EXPERIMENTS: [&str; 13] = [
     "traffic",
     "swpf",
     "ablate",
+    "zoo",
     "telemetry",
     "all",
 ];
@@ -287,7 +288,7 @@ fn main() {
     } else if what.is_empty() || what.iter().any(|w| w == "all") {
         what = [
             "table1", "table2", "fig7", "fig8", "fig9a", "fig9b", "fig10", "fig11", "traffic",
-            "swpf", "ablate",
+            "swpf", "ablate", "zoo",
         ]
         .into_iter()
         .map(String::from)
@@ -327,15 +328,7 @@ fn main() {
                     report::speedup_table(
                         "Figure 7: speedup over no prefetching",
                         &cells,
-                        &[
-                            PrefetchMode::Stride,
-                            PrefetchMode::GhbRegular,
-                            PrefetchMode::GhbLarge,
-                            PrefetchMode::Software,
-                            PrefetchMode::Pragma,
-                            PrefetchMode::Converted,
-                            PrefetchMode::Manual,
-                        ],
+                        &PrefetchMode::FIGURE7,
                     )
                 );
             }
@@ -407,6 +400,31 @@ fn main() {
                 );
             }
             "swpf" => println!("{}", report::swpf_table(&ex::swpf_overhead(&workloads))),
+            "zoo" => {
+                let cells = ex::zoo(&cfg, &workloads, jobs);
+                let mut zoo_modes = vec![PrefetchMode::Stride];
+                zoo_modes.extend(PrefetchMode::ZOO);
+                println!(
+                    "{}",
+                    report::speedup_table(
+                        "Engine zoo: speedup over no prefetching",
+                        &cells,
+                        &zoo_modes,
+                    )
+                );
+                // Adaptive vs static on the synthetic two-phase workload
+                // (built here — it is not part of the Table 2 set) plus
+                // the two already-built differential-suite benchmarks.
+                let twophase = etpp_workloads::phases::TwoPhase.build(scale);
+                let mut targets: Vec<&etpp_workloads::BuiltWorkload> = vec![&twophase];
+                for name in ["IntSort", "HJ-8"] {
+                    targets.extend(workloads.iter().find(|w| w.name == name));
+                }
+                println!(
+                    "{}",
+                    report::adaptive_table(&ex::adaptive_grid(&cfg, &targets, jobs))
+                );
+            }
             "telemetry" => {
                 let dir = telemetry_dir
                     .clone()
@@ -435,12 +453,15 @@ fn run_telemetry_report(
         .filter_map(|name| workloads.iter().find(|w| w.name == *name))
         .collect();
     assert!(!targets.is_empty(), "telemetry workloads not built");
-    let modes = [
+    // The classic observability set plus the engine zoo — every zoo
+    // engine's lifecycle/phase behaviour is part of the nightly report.
+    let mut modes = vec![
         PrefetchMode::Stride,
         PrefetchMode::GhbRegular,
         PrefetchMode::Converted,
         PrefetchMode::Manual,
     ];
+    modes.extend(PrefetchMode::ZOO);
     let spec = etpp_sim::TelemetrySpec::full(ex::sample_interval(scale));
     let cells = ex::telemetry_grid(cfg, &targets, &modes, &spec, jobs);
 
@@ -766,33 +787,22 @@ fn run_replay(scale: Scale, trace_dir: &std::path::Path, trace_format: u16, jobs
     let traces: Vec<etpp_trace::CapturedTrace> = captures.into_iter().map(|(t, _)| t).collect();
 
     let t0 = Instant::now();
-    let fig7 = rp::replay_grid(
-        &cfg,
-        &workloads,
-        &traces,
-        &[
-            PrefetchMode::Stride,
-            PrefetchMode::GhbRegular,
-            PrefetchMode::GhbLarge,
-            PrefetchMode::Pragma,
-            PrefetchMode::Converted,
-            PrefetchMode::Manual,
-        ],
-        jobs,
-    );
+    // The Figure 7 modes that replay supports (Software needs the
+    // swpf-annotated trace variant the capture corpus doesn't carry),
+    // plus the engine zoo — replay coverage for the new engines is part
+    // of the differential suite's contract.
+    let mut replay_modes: Vec<PrefetchMode> = PrefetchMode::FIGURE7
+        .into_iter()
+        .filter(|m| *m != PrefetchMode::Software)
+        .collect();
+    replay_modes.extend(PrefetchMode::ZOO);
+    let fig7 = rp::replay_grid(&cfg, &workloads, &traces, &replay_modes, jobs);
     println!(
         "{}",
         report::speedup_table(
-            "Figure 7 (replay): speedup over no prefetching",
+            "Figure 7 (replay) + engine zoo: speedup over no prefetching",
             &fig7.cells,
-            &[
-                PrefetchMode::Stride,
-                PrefetchMode::GhbRegular,
-                PrefetchMode::GhbLarge,
-                PrefetchMode::Pragma,
-                PrefetchMode::Converted,
-                PrefetchMode::Manual,
-            ],
+            &replay_modes,
         )
     );
     eprintln!("[fig7-replay] done in {:?}", t0.elapsed());

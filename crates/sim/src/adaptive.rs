@@ -1,0 +1,363 @@
+//! Phase-adaptive meta-engine: runtime prefetcher reconfiguration.
+//!
+//! Prat et al.'s POWER7 work showed that no single fixed prefetcher
+//! configuration wins across application phases, and that a runtime can
+//! pick the right one per phase from hardware counters. This engine
+//! brings that idea to the zoo: it wraps the stride baseline and the
+//! PC-delta accuracy-threshold engine, trains *both* on every demand
+//! snoop, and at interval boundaries decides which one gets to issue.
+//!
+//! ## Counter-to-decision mapping
+//!
+//! The meta-engine maintains its own interval window of the same
+//! signals the phase sampler exports (accesses, stride-predictability,
+//! L1 miss mix), computed *from the demand-event stream* — never from
+//! `tick` call counts (the horizon-aware fast path skips ticks, and
+//! decisions keyed on them would diverge from the per-cycle reference)
+//! and never from the telemetry layer (telemetry must stay pure
+//! observation; an engine reading it would make telemetry-on runs
+//! diverge, breaking the transparency contract the equivalence suite
+//! pins). Demand events arrive at bit-identical cycles on both paths,
+//! so the decisions are bit-identical too.
+//!
+//! Per window (`interval` cycles, at least `min_accesses` loads):
+//!
+//! * `accesses` — demand loads snooped;
+//! * `stride_hits` — loads whose address a per-PC last-address+stride
+//!   micro-predictor (the "would a stride engine have been right?"
+//!   probe) predicted exactly;
+//! * `misses` — loads that missed L1 (reported, not used to decide).
+//!
+//! Decision, evaluated at the first demand load at/after each interval
+//! boundary: `stride_hits * 2 >= accesses` (majority stride-predictable)
+//! selects the stride engine, anything else selects PC-delta. A switch
+//! clears the incoming engine's pending queue — its targets were
+//! trained against the previous phase — bumps `reconfigurations`, and
+//! records the `(cycle, choice)` pair for the report table.
+
+use etpp_baselines::{PcDeltaParams, PcDeltaPrefetcher, StrideParams, StridePrefetcher};
+use etpp_mem::{ConfigOp, DemandEvent, Line, PrefetchEngine, PrefetchRequest, TagId};
+
+/// Which sub-engine the meta-engine currently lets issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdaptiveChoice {
+    /// The two-bit RPT stride baseline.
+    Stride,
+    /// The PC-delta accuracy-threshold engine.
+    PcDelta,
+}
+
+impl AdaptiveChoice {
+    /// Stable display name for report tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdaptiveChoice::Stride => "stride",
+            AdaptiveChoice::PcDelta => "pc_delta",
+        }
+    }
+}
+
+/// Meta-engine parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveParams {
+    /// Decision-interval length in cycles (mirrors the phase sampler's
+    /// default cadence).
+    pub interval: u64,
+    /// Minimum demand loads a window must contain before a decision is
+    /// taken; thinner windows keep accumulating into the next boundary.
+    pub min_accesses: u64,
+    /// Micro-predictor entries (direct-mapped by PC, power of two).
+    pub pred_entries: usize,
+}
+
+impl AdaptiveParams {
+    /// Default cadence: decide every 20k cycles over ≥64 loads.
+    pub fn paper() -> Self {
+        AdaptiveParams {
+            interval: 20_000,
+            min_accesses: 64,
+            pred_entries: 64,
+        }
+    }
+}
+
+impl Default for AdaptiveParams {
+    fn default() -> Self {
+        AdaptiveParams::paper()
+    }
+}
+
+/// Post-run summary of the meta-engine's decisions, surfaced on
+/// [`crate::RunResult`] for the adaptive report table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdaptiveSummary {
+    /// Number of engine switches (not counting the initial selection).
+    pub reconfigurations: u32,
+    /// The engine left active when the run finished.
+    pub final_choice: AdaptiveChoice,
+    /// Every switch as `(cycle, new choice)`, in time order.
+    pub switches: Vec<(u64, AdaptiveChoice)>,
+    /// Total decision windows evaluated.
+    pub windows: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PredEntry {
+    pc: u32,
+    valid: bool,
+    last_addr: u64,
+    stride: i64,
+}
+
+/// The phase-adaptive meta-engine.
+#[derive(Debug)]
+pub struct AdaptiveEngine {
+    params: AdaptiveParams,
+    stride: StridePrefetcher,
+    pc_delta: PcDeltaPrefetcher,
+    active: AdaptiveChoice,
+    pred: Vec<PredEntry>,
+    next_decision_at: u64,
+    // Current-window counters.
+    accesses: u64,
+    stride_hits: u64,
+    misses: u64,
+    // Lifetime decision log.
+    reconfigurations: u32,
+    switches: Vec<(u64, AdaptiveChoice)>,
+    windows: u64,
+}
+
+impl AdaptiveEngine {
+    /// Creates the meta-engine with both sub-engines at their paper
+    /// configurations, starting on stride.
+    pub fn new(params: AdaptiveParams) -> Self {
+        assert!(params.pred_entries.is_power_of_two());
+        AdaptiveEngine {
+            stride: StridePrefetcher::new(StrideParams::paper()),
+            pc_delta: PcDeltaPrefetcher::new(PcDeltaParams::paper()),
+            active: AdaptiveChoice::Stride,
+            pred: vec![PredEntry::default(); params.pred_entries],
+            next_decision_at: params.interval,
+            accesses: 0,
+            stride_hits: 0,
+            misses: 0,
+            reconfigurations: 0,
+            switches: Vec::new(),
+            windows: 0,
+            params,
+        }
+    }
+
+    /// The currently issuing sub-engine.
+    pub fn active(&self) -> AdaptiveChoice {
+        self.active
+    }
+
+    /// Decision log for the report table.
+    pub fn summary(&self) -> AdaptiveSummary {
+        AdaptiveSummary {
+            reconfigurations: self.reconfigurations,
+            final_choice: self.active,
+            switches: self.switches.clone(),
+            windows: self.windows,
+        }
+    }
+
+    fn active_dyn(&mut self) -> &mut dyn PrefetchEngine {
+        match self.active {
+            AdaptiveChoice::Stride => &mut self.stride,
+            AdaptiveChoice::PcDelta => &mut self.pc_delta,
+        }
+    }
+
+    fn observe_window(&mut self, ev: &DemandEvent) {
+        self.accesses += 1;
+        if !ev.l1_hit {
+            self.misses += 1;
+        }
+        let idx = (ev.pc as usize) & (self.params.pred_entries - 1);
+        let e = &mut self.pred[idx];
+        if e.valid && e.pc == ev.pc {
+            let predicted = e.last_addr.wrapping_add(e.stride as u64);
+            if e.stride != 0 && ev.vaddr == predicted {
+                self.stride_hits += 1;
+            }
+            e.stride = ev.vaddr as i64 - e.last_addr as i64;
+            e.last_addr = ev.vaddr;
+        } else {
+            *e = PredEntry {
+                pc: ev.pc,
+                valid: true,
+                last_addr: ev.vaddr,
+                stride: 0,
+            };
+        }
+    }
+
+    fn maybe_decide(&mut self, now: u64) {
+        if now < self.next_decision_at || self.accesses < self.params.min_accesses {
+            return;
+        }
+        self.windows += 1;
+        let choice = if self.stride_hits * 2 >= self.accesses {
+            AdaptiveChoice::Stride
+        } else {
+            AdaptiveChoice::PcDelta
+        };
+        if choice != self.active {
+            self.active = choice;
+            // The incoming engine trained through the old phase; its
+            // queued targets are stale. Drop them, keep its tables.
+            match choice {
+                AdaptiveChoice::Stride => self.stride.clear_pending(),
+                AdaptiveChoice::PcDelta => self.pc_delta.clear_pending(),
+            }
+            self.reconfigurations += 1;
+            self.switches.push((now, choice));
+        }
+        self.accesses = 0;
+        self.stride_hits = 0;
+        self.misses = 0;
+        self.next_decision_at = now + self.params.interval;
+    }
+}
+
+impl PrefetchEngine for AdaptiveEngine {
+    fn on_demand(&mut self, now: u64, ev: &DemandEvent) {
+        // Both sub-engines train on everything so a newly activated
+        // engine is already warm for the phase that selected it.
+        self.stride.on_demand(now, ev);
+        self.pc_delta.on_demand(now, ev);
+        if ev.is_write {
+            return;
+        }
+        self.observe_window(ev);
+        self.maybe_decide(now);
+    }
+
+    fn on_prefetch_fill(
+        &mut self,
+        now: u64,
+        vaddr: u64,
+        line: &Line,
+        tag: Option<TagId>,
+        meta: u64,
+    ) {
+        self.stride.on_prefetch_fill(now, vaddr, line, tag, meta);
+        self.pc_delta.on_prefetch_fill(now, vaddr, line, tag, meta);
+    }
+
+    fn tick(&mut self, _now: u64) {
+        // Deliberately empty: decisions must ride demand events only.
+        // The fast path does not deliver per-cycle ticks, so anything
+        // keyed on tick counts would break fast-vs-reference identity.
+    }
+
+    fn pop_request(&mut self, now: u64) -> Option<PrefetchRequest> {
+        self.active_dyn().pop_request(now)
+    }
+
+    fn config(&mut self, now: u64, op: &ConfigOp) {
+        self.stride.config(now, op);
+        self.pc_delta.config(now, op);
+    }
+
+    fn next_event_at(&self, now: u64) -> Option<u64> {
+        // Only the active engine can emit; decisions piggyback on
+        // demand snoops, which arrive regardless of this horizon.
+        match self.active {
+            AdaptiveChoice::Stride => self.stride.next_event_at(now),
+            AdaptiveChoice::PcDelta => self.pc_delta.next_event_at(now),
+        }
+    }
+
+    fn next_tick_at(&self, _now: u64) -> Option<u64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(at: u64, pc: u32, vaddr: u64) -> DemandEvent {
+        DemandEvent {
+            at,
+            vaddr,
+            pc,
+            is_write: false,
+            l1_hit: false,
+        }
+    }
+
+    fn drain(e: &mut AdaptiveEngine) -> Vec<u64> {
+        let mut v = vec![];
+        while let Some(r) = e.pop_request(0) {
+            v.push(r.vaddr);
+        }
+        v
+    }
+
+    #[test]
+    fn streaming_window_stays_on_stride() {
+        let mut e = AdaptiveEngine::new(AdaptiveParams {
+            interval: 1000,
+            min_accesses: 16,
+            pred_entries: 64,
+        });
+        let mut now = 0;
+        for i in 0..256u64 {
+            e.on_demand(now, &load(now, 0x40, 0x1000 + i * 64));
+            now += 10;
+        }
+        let s = e.summary();
+        assert_eq!(s.final_choice, AdaptiveChoice::Stride);
+        assert_eq!(s.reconfigurations, 0);
+        assert!(s.windows > 0, "boundaries must have been evaluated");
+        assert!(!drain(&mut e).is_empty(), "stride engine must issue");
+    }
+
+    #[test]
+    fn irregular_window_switches_to_pc_delta_once() {
+        let mut e = AdaptiveEngine::new(AdaptiveParams {
+            interval: 1000,
+            min_accesses: 16,
+            pred_entries: 64,
+        });
+        let mut now = 0;
+        // Phase 1: pure stride.
+        for i in 0..128u64 {
+            e.on_demand(now, &load(now, 0x40, 0x1000 + i * 64));
+            now += 10;
+        }
+        // Phase 2: alternating deltas a stride predictor never pins.
+        let mut a = 0x80_0000u64;
+        for i in 0..256u64 {
+            e.on_demand(now, &load(now, 0x80, a));
+            a += if i % 2 == 0 { 192 } else { 320 };
+            now += 10;
+        }
+        let s = e.summary();
+        assert_eq!(s.final_choice, AdaptiveChoice::PcDelta);
+        assert_eq!(
+            s.reconfigurations, 1,
+            "exactly one switch at the phase boundary: {:?}",
+            s.switches
+        );
+    }
+
+    #[test]
+    fn thin_windows_defer_decisions() {
+        let mut e = AdaptiveEngine::new(AdaptiveParams {
+            interval: 100,
+            min_accesses: 50,
+            pred_entries: 64,
+        });
+        // 10 accesses spread over many intervals: never enough to decide.
+        for i in 0..10u64 {
+            e.on_demand(i * 1000, &load(i * 1000, 1, i * 0x999));
+        }
+        assert_eq!(e.summary().windows, 0);
+    }
+}

@@ -1,6 +1,6 @@
 //! Developer diagnostic: simulation wall-clock speed for the cycle-level
 //! core and the trace-replay fast path across engine modes, with a
-//! machine-readable `BENCH_speedcheck.json` (schema 7) so the perf
+//! machine-readable `BENCH_speedcheck.json` (schema 8) so the perf
 //! trajectory is tracked across PRs.
 //!
 //! ```text
@@ -45,7 +45,11 @@
 //! the throughput numbers — and the overhead gate below — measure the
 //! production configuration: strided deadline polls in the driver and
 //! memory system included. The report records it in the `watchdog`
-//! stanza.
+//! stanza. Schema 8 adds the engine-zoo modes (`PrefetchMode::ZOO`:
+//! `rpt_stride`, `pc_delta`, `adaptive`) to the cell grid so the new
+//! engines' throughput rides the same gates; against a schema-7
+//! report, `--compare` lists their rows as coverage drift, not
+//! failures.
 //!
 //! `--jobs N` shards the (workload × path × mode) cell grid across N
 //! worker threads; each cell's `wall_s` is still measured around its
@@ -246,7 +250,7 @@ fn render_json(
     sweep: &SweepStanza,
 ) -> String {
     let mut j = String::new();
-    j.push_str("{\n  \"schema\": 7,\n  \"tool\": \"speedcheck\",\n");
+    j.push_str("{\n  \"schema\": 8,\n  \"tool\": \"speedcheck\",\n");
     let _ = writeln!(j, "  \"scale\": \"{}\",", json_escape(scale));
     let _ = writeln!(j, "  \"jobs\": {jobs},");
     let mode_list = modes
@@ -590,14 +594,16 @@ fn main() {
     };
     // `converted` guards the compiled programmable hot path — the
     // compiler-generated kernels the paper's Figure 7 "Converted" bars
-    // measure — alongside the hand-written `manual` kernels.
-    let modes = [
+    // measure — alongside the hand-written `manual` kernels. The zoo
+    // modes (schema 8) keep the new engines on the same perf gates.
+    let mut modes = vec![
         PrefetchMode::None,
         PrefetchMode::Stride,
         PrefetchMode::GhbRegular,
         PrefetchMode::Converted,
         PrefetchMode::Manual,
     ];
+    modes.extend(PrefetchMode::ZOO);
 
     let cfg = SystemConfig::paper();
 

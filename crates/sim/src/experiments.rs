@@ -181,20 +181,76 @@ fn run_grid(
 
 /// Figure 7: speedups for every scheme on every benchmark.
 pub fn fig7(cfg: &SystemConfig, workloads: &[BuiltWorkload], jobs: usize) -> Vec<SpeedupCell> {
-    run_grid(
-        cfg,
-        workloads,
-        &[
-            PrefetchMode::Stride,
-            PrefetchMode::GhbRegular,
-            PrefetchMode::GhbLarge,
-            PrefetchMode::Software,
-            PrefetchMode::Pragma,
-            PrefetchMode::Converted,
-            PrefetchMode::Manual,
-        ],
-        jobs,
-    )
+    run_grid(cfg, workloads, &PrefetchMode::FIGURE7, jobs)
+}
+
+/// Engine-zoo grid: the zoo additions beside the classic stride
+/// baseline they cross-check, on any workload set (the repro driver
+/// feeds it the Table 2 benchmarks plus the synthetic TwoPhase).
+pub fn zoo(cfg: &SystemConfig, workloads: &[BuiltWorkload], jobs: usize) -> Vec<SpeedupCell> {
+    let mut modes = vec![PrefetchMode::Stride];
+    modes.extend(PrefetchMode::ZOO);
+    run_grid(cfg, workloads, &modes, jobs)
+}
+
+/// The static configurations the adaptive meta-engine chooses between
+/// (plus the no-prefetch baseline), for the adaptive-vs-static table.
+pub const ADAPTIVE_STATICS: [PrefetchMode; 3] = [
+    PrefetchMode::None,
+    PrefetchMode::Stride,
+    PrefetchMode::PcDelta,
+];
+
+/// One row of the adaptive-vs-static table: the meta-engine's cycles
+/// next to every static config, plus its decision log.
+#[derive(Debug, Clone)]
+pub struct AdaptiveRow {
+    /// Benchmark.
+    pub workload: &'static str,
+    /// Cycles under [`PrefetchMode::Adaptive`].
+    pub adaptive_cycles: u64,
+    /// Cycles under each of [`ADAPTIVE_STATICS`], in that order.
+    pub statics: Vec<(PrefetchMode, u64)>,
+    /// The meta-engine's decision log for this run.
+    pub summary: crate::adaptive::AdaptiveSummary,
+}
+
+/// Runs every workload under the adaptive engine and each static
+/// config, one pool job per (workload, mode) cell.
+pub fn adaptive_grid(
+    cfg: &SystemConfig,
+    workloads: &[&BuiltWorkload],
+    jobs: usize,
+) -> Vec<AdaptiveRow> {
+    let modes: Vec<PrefetchMode> = ADAPTIVE_STATICS
+        .into_iter()
+        .chain([PrefetchMode::Adaptive])
+        .collect();
+    let results = map_indexed(jobs, workloads.len() * modes.len(), |k| {
+        let w = workloads[k / modes.len()];
+        run(cfg, modes[k % modes.len()], w).expect("adaptive grid modes never skip")
+    });
+    workloads
+        .iter()
+        .enumerate()
+        .map(|(wi, w)| {
+            let base = wi * modes.len();
+            let adaptive = &results[base + modes.len() - 1];
+            AdaptiveRow {
+                workload: w.name,
+                adaptive_cycles: adaptive.cycles,
+                statics: ADAPTIVE_STATICS
+                    .iter()
+                    .enumerate()
+                    .map(|(mi, &m)| (m, results[base + mi].cycles))
+                    .collect(),
+                summary: adaptive
+                    .adaptive
+                    .clone()
+                    .expect("adaptive mode populates its summary"),
+            }
+        })
+        .collect()
 }
 
 /// One Figure 8 row: utilisation and hit rates for the Manual configuration.

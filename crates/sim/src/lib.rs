@@ -11,6 +11,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ablations;
+pub mod adaptive;
 pub mod config;
 pub mod experiments;
 pub mod faults;
@@ -21,6 +22,7 @@ pub mod system;
 pub mod telemetry;
 pub mod watchdog;
 
+pub use adaptive::{AdaptiveChoice, AdaptiveEngine, AdaptiveParams, AdaptiveSummary};
 pub use config::{PrefetchMode, SystemConfig};
 pub use etpp_cpu::HorizonSource;
 pub use faults::{FailureRecord, FaultPlan, JobFailure, RetryPolicy};

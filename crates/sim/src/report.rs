@@ -2,7 +2,8 @@
 
 use crate::config::PrefetchMode;
 use crate::experiments::{
-    Fig10Row, Fig8Row, Fig9aRow, SpeedupCell, SwpfOverheadRow, TelemetryCell, TrafficRow,
+    AdaptiveRow, Fig10Row, Fig8Row, Fig9aRow, SpeedupCell, SwpfOverheadRow, TelemetryCell,
+    TrafficRow,
 };
 
 fn fmt_speedup(s: Option<f64>) -> String {
@@ -232,6 +233,56 @@ pub fn swpf_table(rows: &[SwpfOverheadRow]) -> String {
             r.base_insts,
             r.sw_insts,
             100.0 * r.overhead()
+        );
+    }
+    out
+}
+
+/// Renders the adaptive-vs-static table: the meta-engine's cycles next
+/// to every static configuration it chooses between, plus its decision
+/// log (switch count, switch cycles, final engine).
+pub fn adaptive_table(rows: &[AdaptiveRow]) -> String {
+    let mut out = String::from("## Phase-adaptive engine vs static configs\n\n| Benchmark |");
+    if let Some(first) = rows.first() {
+        for (m, _) in &first.statics {
+            out += &format!(" {} (cycles) |", m.label());
+        }
+    }
+    out += " Adaptive (cycles) | vs best static | Switches | Final engine |\n|---|";
+    if let Some(first) = rows.first() {
+        for _ in &first.statics {
+            out += "---|";
+        }
+    }
+    out += "---|---|---|---|\n";
+    for r in rows {
+        out += &format!("| {} |", r.workload);
+        for (_, cycles) in &r.statics {
+            out += &format!(" {cycles} |");
+        }
+        let best = r
+            .statics
+            .iter()
+            .map(|&(_, c)| c)
+            .min()
+            .unwrap_or(r.adaptive_cycles);
+        let switches = r
+            .summary
+            .switches
+            .iter()
+            .map(|(cy, ch)| format!("@{cy}→{}", ch.label()))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out += &format!(
+            " {} | {:+.1}% | {} | {} |\n",
+            r.adaptive_cycles,
+            100.0 * (r.adaptive_cycles as f64 / best.max(1) as f64 - 1.0),
+            if switches.is_empty() {
+                r.summary.reconfigurations.to_string()
+            } else {
+                format!("{} ({switches})", r.summary.reconfigurations)
+            },
+            r.summary.final_choice.label(),
         );
     }
     out

@@ -123,6 +123,12 @@ pub mod axes {
     fn set_pf_buffer(cfg: &mut SystemConfig, v: u64) {
         cfg.mem.pf_buffer_entries = v as usize;
     }
+    fn set_num_ppus(cfg: &mut SystemConfig, v: u64) {
+        cfg.pf.num_ppus = v as usize;
+    }
+    fn set_ppu_hz(cfg: &mut SystemConfig, v: u64) {
+        cfg.pf.ppu_hz = v;
+    }
 
     /// Observation-queue depth (paper: 40 entries).
     pub fn obs_queue(values: &[u64]) -> Axis {
@@ -159,6 +165,24 @@ pub mod axes {
             name: "pf_buffer",
             values: values.to_vec(),
             apply: set_pf_buffer,
+        }
+    }
+
+    /// PPU count (paper: 12; Figure 9a sweeps it).
+    pub fn num_ppus(values: &[u64]) -> Axis {
+        Axis {
+            name: "num_ppus",
+            values: values.to_vec(),
+            apply: set_num_ppus,
+        }
+    }
+
+    /// PPU clock in Hz (paper: 1 GHz; Figure 9b trades count for clock).
+    pub fn ppu_hz(values: &[u64]) -> Axis {
+        Axis {
+            name: "ppu_hz",
+            values: values.to_vec(),
+            apply: set_ppu_hz,
         }
     }
 }
@@ -235,23 +259,31 @@ pub fn settings_string(settings: &[(&'static str, u64)]) -> String {
         .join(" ")
 }
 
-/// The ROADMAP's composed grid: observation-queue depth × EWMA
-/// look-ahead scale (0 = raw ratio) × prefetch-buffer capacity × engine
-/// mode — 256 configurations per workload, all replay-first.
+/// The ROADMAP's composed grid, grown now that cells are cheap:
+/// observation-queue depth × request-queue depth × EWMA look-ahead
+/// scale (0 = raw ratio) × prefetch-buffer capacity × PPU count × PPU
+/// clock × engine mode — 3072 configurations per workload, all
+/// replay-first. The engine axis includes the zoo's fixed-function
+/// additions (RPT stride, PC-delta) beside the original four.
 pub fn composed_grid() -> SweepSpec {
     SweepSpec {
         name: "composed",
         base: SystemConfig::paper(),
         modes: vec![
             PrefetchMode::Stride,
+            PrefetchMode::RptStride,
+            PrefetchMode::PcDelta,
             PrefetchMode::GhbRegular,
             PrefetchMode::Converted,
             PrefetchMode::Manual,
         ],
         axes: vec![
             axes::obs_queue(&[10, 20, 40, 80]),
+            axes::req_queue(&[100, 200]),
             axes::lookahead_scale(&[0, 2, 4, 8]),
             axes::pf_buffer(&[8, 16, 32, 64]),
+            axes::num_ppus(&[6, 12]),
+            axes::ppu_hz(&[500_000_000, 1_000_000_000]),
         ],
     }
 }

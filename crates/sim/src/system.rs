@@ -5,10 +5,14 @@
 //! memory image is cloned per run, so a [`BuiltWorkload`] can be reused
 //! across an entire parameter sweep.
 
+use crate::adaptive::{AdaptiveEngine, AdaptiveParams, AdaptiveSummary};
 use crate::config::{PrefetchMode, SystemConfig};
 use crate::telemetry::{hist_columns, PhaseSampler, TelemetryReport, TelemetrySpec};
 use crate::watchdog::{LivelockDetector, Watchdog};
-use etpp_baselines::{GhbParams, GhbPrefetcher, StrideParams, StridePrefetcher};
+use etpp_baselines::{
+    GhbParams, GhbPrefetcher, PcDeltaParams, PcDeltaPrefetcher, RptStridePrefetcher, StrideParams,
+    StridePrefetcher,
+};
 use etpp_core::{PfEngineStats, PrefetcherParams, ProgrammablePrefetcher};
 use etpp_cpu::{Core, CoreStats, HorizonSource, RetiredEvent, Trace};
 use etpp_mem::{MemStats, MemorySystem, NullEngine, PrefetchEngine};
@@ -68,6 +72,8 @@ pub struct RunResult {
     /// Per-source attribution of every driver visit (zeros on the
     /// per-cycle reference path, which visits unconditionally).
     pub visits: VisitCounts,
+    /// Phase-adaptive decision log ([`PrefetchMode::Adaptive`] only).
+    pub adaptive: Option<AdaptiveSummary>,
 }
 
 impl RunResult {
@@ -108,8 +114,14 @@ impl std::fmt::Display for Skip {
 pub enum Engine {
     /// No prefetching.
     Null(NullEngine),
-    /// Reference-prediction-table stride baseline.
+    /// Reference-prediction-table stride baseline (two-bit confidence).
     Stride(StridePrefetcher),
+    /// Four-state Chen & Baer RPT stride cross-check.
+    Rpt(RptStridePrefetcher),
+    /// PC-delta accuracy-threshold engine.
+    PcDelta(PcDeltaPrefetcher),
+    /// Phase-adaptive meta-engine (stride ↔ PC-delta).
+    Adaptive(Box<AdaptiveEngine>),
     /// Markov global-history-buffer baseline.
     Ghb(Box<GhbPrefetcher>),
     /// The paper's programmable prefetcher.
@@ -122,6 +134,9 @@ impl Engine {
         match self {
             Engine::Null(e) => e,
             Engine::Stride(e) => e,
+            Engine::Rpt(e) => e,
+            Engine::PcDelta(e) => e,
+            Engine::Adaptive(e) => e.as_mut(),
             Engine::Ghb(e) => e.as_mut(),
             Engine::Prog(e) => e.as_mut(),
         }
@@ -132,6 +147,14 @@ impl Engine {
     pub fn pf_stats(&self) -> Option<PfEngineStats> {
         match self {
             Engine::Prog(p) => Some(p.stats()),
+            _ => None,
+        }
+    }
+
+    /// Phase-adaptive decision log, when this is the meta-engine.
+    pub fn adaptive_summary(&self) -> Option<AdaptiveSummary> {
+        match self {
+            Engine::Adaptive(a) => Some(a.summary()),
             _ => None,
         }
     }
@@ -152,6 +175,13 @@ pub fn make_engine(
     match mode {
         PrefetchMode::None => Ok(Engine::Null(NullEngine)),
         PrefetchMode::Stride => Ok(Engine::Stride(StridePrefetcher::new(StrideParams::paper()))),
+        PrefetchMode::RptStride => Ok(Engine::Rpt(RptStridePrefetcher::new(StrideParams::paper()))),
+        PrefetchMode::PcDelta => Ok(Engine::PcDelta(PcDeltaPrefetcher::new(
+            PcDeltaParams::paper(),
+        ))),
+        PrefetchMode::Adaptive => Ok(Engine::Adaptive(Box::new(AdaptiveEngine::new(
+            AdaptiveParams::paper(),
+        )))),
         PrefetchMode::GhbRegular => Ok(Engine::Ghb(Box::new(GhbPrefetcher::new(
             GhbParams::regular(),
         )))),
@@ -544,6 +574,7 @@ fn run_inner(
     });
 
     let pf = engine.pf_stats();
+    let adaptive = engine.adaptive_summary();
     let final_lookahead = match &engine {
         Engine::Prog(p) => p.lookahead(0),
         _ => 0,
@@ -567,6 +598,7 @@ fn run_inner(
             validated,
             final_lookahead,
             visits,
+            adaptive,
         },
         events,
         report,

@@ -30,11 +30,14 @@ pub mod hashjoin;
 pub mod intsort;
 pub mod loop_ir;
 pub mod pagerank;
+pub mod phases;
 pub mod randacc;
 
 pub use common::{checksum_region, BuiltWorkload, PrefetchSetup, Scale, Workload};
 
-/// All eight benchmarks in Table 2's order.
+/// All eight benchmarks in Table 2's order. The synthetic
+/// [`phases::TwoPhase`] workload is deliberately *not* listed here — it
+/// exists for the adaptive-engine experiments, not the paper's figures.
 pub fn all_workloads() -> Vec<Box<dyn Workload>> {
     vec![
         Box::new(g500_csr::G500Csr),

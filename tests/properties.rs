@@ -407,6 +407,63 @@ fn golden_records_v1() -> Vec<TraceRecord> {
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// PC-delta accuracy table (engine zoo)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Virtual-training bookkeeping stays sane under arbitrary observation
+    /// sequences: every reported accuracy lies in [0, 1], and the
+    /// threshold extremes behave as the engine's issue logic assumes —
+    /// a 1.0 threshold admits nothing (the strict `>` can never pass)
+    /// while a 0.0 threshold admits every tracked slot (accuracies are
+    /// kept strictly positive by round-up halving, so `> 0.0` always
+    /// passes once a slot exists).
+    #[test]
+    fn accuracy_table_invariants(
+        obs in proptest::collection::vec((0u32..64, -4096i64..4096), 1..400)
+    ) {
+        let mut t = etpp::baselines::AccuracyTable::new(16, 4);
+        for &(pc, delta) in &obs {
+            t.observe(pc, delta);
+            if let Some(a) = t.accuracy(pc, delta) {
+                prop_assert!((0.0..=1.0).contains(&a), "accuracy {a} out of range");
+            }
+        }
+        for &(pc, _) in &obs {
+            for d in t.candidates(pc, 0.0, 0) {
+                let a = t.accuracy(pc, d).expect("candidate must be tracked");
+                prop_assert!((0.0..=1.0).contains(&a));
+            }
+            prop_assert!(
+                t.candidates(pc, 1.0, 0).is_empty(),
+                "threshold 1.0 must admit nothing"
+            );
+            prop_assert_eq!(
+                t.candidates(pc, 0.0, 0).len(),
+                t.tracked(pc),
+                "threshold 0.0 must admit every tracked slot"
+            );
+        }
+    }
+
+    /// Slot and PC-entry eviction never panics and never leaks capacity:
+    /// a deliberately tiny table flooded with far more distinct PCs and
+    /// deltas than it can hold stays within its configured bounds.
+    #[test]
+    fn accuracy_table_eviction_respects_capacity(
+        obs in proptest::collection::vec((0u32..1024, -(1i64 << 20)..(1 << 20)), 1..600)
+    ) {
+        let mut t = etpp::baselines::AccuracyTable::new(4, 2);
+        for &(pc, delta) in &obs {
+            t.observe(pc, delta);
+        }
+        for pc in 0u32..1024 {
+            prop_assert!(t.tracked(pc) <= 2, "pc {pc} holds more than delta_slots");
+        }
+    }
+}
+
 /// A version-2-writing build must keep reading version-1 files exactly:
 /// same records (edges zero), same metadata, verified footer. The
 /// fixture bytes are checked in, so encoder drift cannot silently

@@ -127,11 +127,22 @@ fn result_cache_hits_warm_and_invalidates_exactly_changed_cells() {
 #[test]
 fn composed_grid_covers_the_documented_cross_product() {
     let spec = sweeps::composed_grid();
-    // 4 modes × 4 obs_queue × 4 lookahead_scale × 4 pf_buffer.
-    assert_eq!(spec.cells_per_workload(), 256);
-    assert_eq!(spec.total_jobs(2), 512);
+    // 6 modes × 4 obs_queue × 2 req_queue × 4 lookahead_scale ×
+    // 4 pf_buffer × 2 num_ppus × 2 ppu_hz.
+    assert_eq!(spec.cells_per_workload(), 3072);
+    assert_eq!(spec.total_jobs(2), 6144);
     assert!(spec
         .axes
         .iter()
         .any(|a| a.name == "lookahead_scale" && a.values.contains(&0)));
+    // The grown axes (PR 7's ROADMAP leftover) and the zoo modes.
+    for name in ["req_queue", "num_ppus", "ppu_hz"] {
+        assert!(
+            spec.axes.iter().any(|a| a.name == name),
+            "missing axis {name}"
+        );
+    }
+    for mode in [PrefetchMode::RptStride, PrefetchMode::PcDelta] {
+        assert!(spec.modes.contains(&mode), "missing zoo mode {mode:?}");
+    }
 }
